@@ -1,0 +1,49 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every figure benchmark runs the corresponding experiment exactly once
+(``pedantic(rounds=1)``) — the interesting output is the figure data it
+prints (the same rows the paper plots), with wall-clock time as a side
+benefit.  Micro-benchmarks use normal pytest-benchmark statistics.
+
+Scale is controlled by ``REPRO_SCALE`` (smoke / default / paper); see
+:mod:`repro.experiments.runner`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.plots import ascii_plot
+from repro.analysis.results import SweepResult
+from repro.experiments.runner import current_scale
+
+
+@pytest.fixture(scope="session", autouse=True)
+def announce_scale():
+    scale = current_scale()
+    print(
+        f"\n[repro] benchmark scale: {scale.label} "
+        f"({scale.n_requests} requests x {scale.n_clients} clients per cluster, "
+        f"{scale.n_objects} objects)"
+    )
+    yield
+
+
+@pytest.fixture
+def emit():
+    """Print a sweep as table + ASCII chart inside a benchmark."""
+
+    def _emit(result: SweepResult | dict[str, SweepResult]) -> None:
+        sweeps = result if isinstance(result, dict) else {"": result}
+        for sweep in sweeps.values():
+            print()
+            print(sweep.to_table())
+            print()
+            print(ascii_plot(sweep))
+
+    return _emit
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,158 @@
+"""Ablation benchmarks for Hier-GD's design choices (DESIGN.md §4 index).
+
+Each ablation toggles one mechanism of §4 and reports the effect on mean
+latency and on the protocol message counters — quantifying the design
+discussion the paper gives qualitatively.
+"""
+
+from functools import lru_cache
+
+from conftest import run_once
+
+from repro.core.hiergd import HierGdScheme
+from repro.core.run import generate_workloads
+from repro.experiments.runner import base_config
+
+
+@lru_cache(maxsize=None)
+def shared_setup():
+    config = base_config(proxy_cache_fraction=0.15)
+    traces = generate_workloads(config, seed=13)
+    return config, traces
+
+
+def run_variant(**overrides):
+    config, traces = shared_setup()
+    return HierGdScheme(config.with_changes(**overrides), traces).run()
+
+
+def report(label, result):
+    print(
+        f"  {label:34s} latency={result.mean_latency:7.4f} "
+        f"p2p_hits={result.tier_counts.get('local_p2p', 0):6d} "
+        f"diversions={result.messages['diversions']:5d} "
+        f"fp={result.messages['directory_false_positives']:5d}"
+    )
+
+
+def test_ablation_object_diversion(benchmark):
+    """§4.3: diversion balances leaf-set storage; disabling it forces
+    earlier client-cache evictions."""
+
+    def run():
+        return run_variant(object_diversion=True), run_variant(object_diversion=False)
+
+    with_div, without = run_once(benchmark, run)
+    print("\nobject diversion ablation:")
+    report("diversion on", with_div)
+    report("diversion off", without)
+    assert with_div.messages["diversions"] > 0
+    assert without.messages["diversions"] == 0
+    # Diversion can only reduce (or match) forced client evictions.
+    assert with_div.messages["client_evictions"] <= without.messages["client_evictions"]
+
+
+def test_ablation_directory_representation(benchmark):
+    """§4.2: Bloom vs exact — memory down, wasted redirects up."""
+
+    def run():
+        return (
+            run_variant(directory="exact"),
+            run_variant(directory="bloom", bloom_fp_rate=0.01),
+            run_variant(directory="bloom", bloom_fp_rate=0.1),
+        )
+
+    exact, bloom1, bloom10 = run_once(benchmark, run)
+    print("\ndirectory representation ablation:")
+    report("exact", exact)
+    report("bloom fp=1%", bloom1)
+    report("bloom fp=10%", bloom10)
+    assert exact.messages["directory_false_positives"] == 0
+    assert bloom1.extras["directory_bytes"] < exact.extras["directory_bytes"]
+    assert bloom10.extras["directory_bytes"] < bloom1.extras["directory_bytes"]
+    assert (
+        bloom10.messages["directory_false_positives"]
+        >= bloom1.messages["directory_false_positives"]
+    )
+    assert exact.mean_latency <= bloom1.mean_latency <= bloom10.mean_latency * 1.001
+
+
+def test_ablation_promote_on_p2p_hit(benchmark):
+    """§3: re-running GD on each fetched object (promotion) concentrates
+    reuse at the proxy tier."""
+
+    def run():
+        return run_variant(promote_on_p2p_hit=True), run_variant(promote_on_p2p_hit=False)
+
+    promote, stay = run_once(benchmark, run)
+    print("\npromotion-on-P2P-hit ablation:")
+    report("promote", promote)
+    report("stay in p2p", stay)
+    # Without promotion, repeated hits keep paying the Tp2p premium.
+    assert promote.tier_counts.get("local_proxy", 0) >= stay.tier_counts.get(
+        "local_proxy", 0
+    )
+
+
+def test_ablation_piggyback_messaging(benchmark):
+    """§4.4: piggybacking converts every destage connection into zero new
+    connections (accounting-level ablation; latency is unaffected)."""
+
+    def run():
+        return run_variant(piggyback=True), run_variant(piggyback=False)
+
+    piggy, dedicated = run_once(benchmark, run)
+    print("\npiggyback ablation:")
+    print(f"  piggyback on : {piggy.messages['piggybacked_destages']} piggybacked, "
+          f"{piggy.messages['dedicated_destage_connections']} dedicated")
+    print(f"  piggyback off: {dedicated.messages['piggybacked_destages']} piggybacked, "
+          f"{dedicated.messages['dedicated_destage_connections']} dedicated")
+    assert piggy.messages["dedicated_destage_connections"] == 0
+    assert dedicated.messages["piggybacked_destages"] == 0
+    assert (
+        dedicated.messages["dedicated_destage_connections"]
+        == dedicated.messages["passdowns"]
+    )
+    assert piggy.mean_latency == dedicated.mean_latency
+
+
+def test_ablation_local_policy(benchmark):
+    """§3: greedy-dual vs LRU vs LFU as Hier-GD's local policy — the
+    paper's justification for building on GD, measured."""
+
+    def run():
+        return {
+            policy: run_variant(hiergd_policy=policy)
+            for policy in ("gd", "lru", "lfu")
+        }
+
+    results = run_once(benchmark, run)
+    print("\nlocal replacement policy ablation (Hier-GD):")
+    for policy, result in results.items():
+        report(policy, result)
+    assert results["gd"].mean_latency < results["lru"].mean_latency
+    assert results["gd"].mean_latency < results["lfu"].mean_latency
+
+
+def test_ablation_pastry_parameters(benchmark):
+    """§4.1: the b parameter trades routing-table size for hops; the leaf
+    set size widens the diversion neighbourhood."""
+
+    def run():
+        return (
+            run_variant(pastry_b=4, hop_sample_rate=16),
+            run_variant(pastry_b=2, hop_sample_rate=16),
+            run_variant(leaf_set_size=4),
+            run_variant(leaf_set_size=32),
+        )
+
+    b4, b2, leaf4, leaf32 = run_once(benchmark, run)
+    print("\npastry parameter ablation:")
+    print(f"  b=4 mean hops: {b4.extras.get('mean_pastry_hops', 0):.2f}")
+    print(f"  b=2 mean hops: {b2.extras.get('mean_pastry_hops', 0):.2f}")
+    report("leaf set 4", leaf4)
+    report("leaf set 32", leaf32)
+    # Smaller digits resolve fewer bits per hop: b=2 must not beat b=4.
+    assert b2.extras["mean_pastry_hops"] >= b4.extras["mean_pastry_hops"]
+    # Placement (hence caching behaviour) is independent of b.
+    assert b2.mean_latency == b4.mean_latency

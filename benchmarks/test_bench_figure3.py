@@ -1,0 +1,46 @@
+"""Figure 3 benchmark: sensitivity to the Zipf popularity parameter α.
+
+Regenerates all four panels (FC, SC-EC, FC-EC, Hier-GD vs NC for
+α ∈ {0.5, 0.7, 1.0}) and checks the paper's claim that smaller α —
+a larger working set — yields larger gains for the frequency-driven
+schemes.  (Hier-GD's greedy-dual is recency-sensitive; see
+EXPERIMENTS.md for the documented deviation on that panel.)
+"""
+
+from functools import lru_cache
+
+from conftest import run_once
+
+from repro.experiments.figure3 import figure3
+
+
+@lru_cache(maxsize=None)
+def fig3_cached():
+    return figure3()
+
+
+def mean(values):
+    return sum(values) / len(values)
+
+
+def test_fig3_panels(benchmark, emit):
+    panels = run_once(benchmark, fig3_cached)
+    emit(panels)
+    assert set(panels) == {"fc", "sc-ec", "fc-ec", "hier-gd"}
+    for panel in panels.values():
+        assert panel.labels == ["alpha=0.5", "alpha=0.7", "alpha=1"]
+
+
+def test_fig3_smaller_alpha_larger_gain_for_frequency_schemes(benchmark):
+    panels = run_once(benchmark, fig3_cached)
+    # Paper: "smaller values of alpha generally have larger latency gains".
+    for scheme in ("fc", "fc-ec"):
+        sweep = panels[scheme]
+        assert mean(sweep.get("alpha=0.5").values) > mean(sweep.get("alpha=1").values), scheme
+
+
+def test_fig3_all_panels_positive_gains(benchmark):
+    panels = run_once(benchmark, fig3_cached)
+    for scheme, sweep in panels.items():
+        for series in sweep.series:
+            assert mean(series.values) > 0, (scheme, series.label)

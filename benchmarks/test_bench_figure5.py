@@ -1,0 +1,86 @@
+"""Figure 5 benchmarks: Hier-GD sensitivity to network ratios, client
+cluster size and proxy cluster size.
+
+Checks the paper's directions: latency gain increases with Ts/Tc, with
+Ts/Tl, with the number of client caches, and with the number of
+cooperating proxies — in each case most strongly when the proxy cache is
+small relative to the object universe.
+"""
+
+from functools import lru_cache
+
+from conftest import run_once
+
+from repro.experiments.figure5 import figure5a, figure5b, figure5c, figure5d
+
+
+@lru_cache(maxsize=None)
+def fig5a_cached():
+    return figure5a()
+
+
+@lru_cache(maxsize=None)
+def fig5b_cached():
+    return figure5b()
+
+
+@lru_cache(maxsize=None)
+def fig5c_cached():
+    # The paper sweeps 100..1000 clients; cap at 400 below the paper
+    # scale to keep overlay construction proportionate.
+    from repro.experiments.runner import current_scale
+
+    sizes = (100, 400, 800, 1000) if current_scale().label == "paper" else (50, 100, 250, 400)
+    return figure5c(cluster_sizes=sizes)
+
+
+@lru_cache(maxsize=None)
+def fig5d_cached():
+    return figure5d()
+
+
+def mean(values):
+    return sum(values) / len(values)
+
+
+def test_fig5a_gain_increases_with_ts_over_tc(benchmark, emit):
+    sweep = run_once(benchmark, fig5a_cached)
+    emit(sweep)
+    assert (
+        mean(sweep.get("Ts/Tc=10").values)
+        > mean(sweep.get("Ts/Tc=5").values)
+        > mean(sweep.get("Ts/Tc=2").values)
+    )
+
+
+def test_fig5b_gain_increases_with_ts_over_tl(benchmark, emit):
+    sweep = run_once(benchmark, fig5b_cached)
+    emit(sweep)
+    assert (
+        mean(sweep.get("Ts/Tl=20").values)
+        > mean(sweep.get("Ts/Tl=10").values)
+        > mean(sweep.get("Ts/Tl=5").values)
+    )
+
+
+def test_fig5c_gain_increases_with_client_cluster_size(benchmark, emit):
+    sweep = run_once(benchmark, fig5c_cached)
+    emit(sweep)
+    hier_labels = [l for l in sweep.labels if l.startswith("hier-gd")]
+    means = [mean(sweep.get(l).values) for l in hier_labels]
+    assert means == sorted(means), f"not monotone: {dict(zip(hier_labels, means))}"
+    # Effect strongest at small proxy caches: the spread between the
+    # largest and smallest cluster is wider at 10% than at 100%.
+    small_gap = sweep.get(hier_labels[-1]).values[0] - sweep.get(hier_labels[0]).values[0]
+    large_gap = sweep.get(hier_labels[-1]).values[-1] - sweep.get(hier_labels[0]).values[-1]
+    assert small_gap > large_gap
+
+
+def test_fig5d_gain_increases_with_proxy_cluster_size(benchmark, emit):
+    sweep = run_once(benchmark, fig5d_cached)
+    emit(sweep)
+    assert (
+        mean(sweep.get("10 proxies").values)
+        > mean(sweep.get("5 proxies").values)
+        > mean(sweep.get("2 proxies").values)
+    )

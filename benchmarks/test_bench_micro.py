@@ -1,0 +1,112 @@
+"""Micro-benchmarks for the substrates on the simulation hot path.
+
+These are classic throughput benchmarks (statistical, many rounds) for
+the data structures the guides' profiling workflow identified as the
+per-request cost drivers: cache policy operations, DHT owner resolution,
+Pastry routing, Bloom filter probes, and workload generation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bloom import BloomFilter, CountingBloomFilter
+from repro.cache import GreedyDualCache, LfuCache, LruCache, TieredCache
+from repro.overlay import Dht, Overlay
+from repro.workload import ProWGenConfig, generate_trace
+from repro.workload.zipf import AliasSampler, zipf_weights
+
+N_OPS = 10_000
+
+
+@pytest.fixture(scope="module")
+def zipf_stream():
+    sampler = AliasSampler(zipf_weights(5_000, 0.7))
+    rng = np.random.default_rng(0)
+    return sampler.sample_array(rng, N_OPS).tolist()
+
+
+def drive_cache(cache, stream):
+    for obj in stream:
+        if not cache.lookup(obj):
+            cache.insert(obj, cost=20.0)
+    return cache.stats.hits
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        pytest.param(lambda: LruCache(1000), id="lru"),
+        pytest.param(lambda: LfuCache(1000), id="lfu"),
+        pytest.param(lambda: GreedyDualCache(1000), id="greedy-dual"),
+        pytest.param(lambda: TieredCache(500, 500), id="tiered"),
+    ],
+)
+def test_cache_policy_throughput(benchmark, factory, zipf_stream):
+    hits = benchmark(lambda: drive_cache(factory(), zipf_stream))
+    assert hits > 0
+
+
+def test_alias_sampler_throughput(benchmark):
+    sampler = AliasSampler(zipf_weights(10_000, 0.7))
+    rng = np.random.default_rng(1)
+    out = benchmark(lambda: sampler.sample_array(rng, N_OPS))
+    assert len(out) == N_OPS
+
+
+def test_dht_owner_resolution_memoised(benchmark):
+    overlay = Overlay.build(100)
+    dht = Dht(overlay)
+    keys = [dht.object_id(f"http://o/{i}") for i in range(2000)]
+
+    def resolve_all():
+        return sum(dht.owner(k) % 2 for k in keys)
+
+    benchmark(resolve_all)
+
+
+def test_pastry_full_routing(benchmark):
+    overlay = Overlay.build(100)
+    keys = [overlay.space.object_id(f"k{i}") for i in range(500)]
+    starts = overlay.node_ids()
+
+    def route_all():
+        total = 0
+        for i, key in enumerate(keys):
+            total += overlay.route(key, start=starts[i % len(starts)]).hops
+        return total
+
+    hops = benchmark(route_all)
+    assert hops >= 0
+
+
+def test_bloom_filter_add_and_probe(benchmark):
+    def run():
+        bf = BloomFilter(capacity=N_OPS, fp_rate=0.01)
+        for i in range(N_OPS):
+            bf.add(i)
+        return sum(1 for i in range(N_OPS) if i in bf)
+
+    assert benchmark(run) == N_OPS
+
+
+def test_counting_bloom_add_remove(benchmark):
+    def run():
+        cbf = CountingBloomFilter(capacity=N_OPS, fp_rate=0.01)
+        for i in range(N_OPS):
+            cbf.add(i)
+        for i in range(0, N_OPS, 2):
+            cbf.remove(i)
+        return cbf.count
+
+    assert benchmark(run) == N_OPS // 2
+
+
+def test_workload_generation_throughput(benchmark):
+    config = ProWGenConfig(n_requests=20_000, n_objects=1_000, n_clients=50)
+    trace = benchmark(lambda: generate_trace(config, seed=0))
+    assert len(trace) == 20_000
+
+
+def test_overlay_construction(benchmark):
+    overlay = benchmark(lambda: Overlay.build(100))
+    assert len(overlay) == 100

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""The lookup-directory tradeoff: exact hashtable vs Bloom filter (§4.2).
+
+The proxy must know which objects its P2P client cache holds.  An exact
+directory of 128-bit objectIds costs 16 bytes per cached object and is
+always right; a (counting, 4-bit, Summary-Cache-style) Bloom filter is
+several times smaller but occasionally claims an object is present when
+it is not — and every false positive sends the proxy on a wasted LAN
+round into the overlay.
+
+This example sweeps the Bloom filter's design false-positive rate and
+reports memory, observed false positives, and the end-to-end latency
+penalty, next to the exact directory.
+
+Usage::
+
+    python examples/directory_tradeoff.py
+"""
+
+from repro.core.config import SimulationConfig
+from repro.core.hiergd import HierGdScheme
+from repro.core.run import generate_workloads
+from repro.workload import ProWGenConfig
+
+
+def main() -> None:
+    workload = ProWGenConfig(n_requests=40_000, n_objects=2_000, n_clients=60)
+    base = SimulationConfig(
+        workload=workload,
+        proxy_cache_fraction=0.15,
+        client_cache_fraction=0.0017,  # ~10% P2P tier
+    )
+    traces = generate_workloads(base, seed=21)
+
+    rows = []
+    exact = HierGdScheme(base, traces).run()
+    rows.append(("exact", exact))
+    for fp in (0.001, 0.01, 0.1, 0.3):
+        config = base.with_changes(directory="bloom", bloom_fp_rate=fp)
+        rows.append((f"bloom fp={fp:g}", HierGdScheme(config, traces).run()))
+
+    print(f"{'directory':>14} {'memory (B)':>12} {'false pos.':>12} "
+          f"{'wasted lat.':>12} {'mean lat.':>10}")
+    for label, result in rows:
+        print(
+            f"{label:>14} {result.extras['directory_bytes']:>12.0f} "
+            f"{result.messages['directory_false_positives']:>12d} "
+            f"{result.extras['extra_latency']:>12.1f} "
+            f"{result.mean_latency:>10.4f}"
+        )
+    print(
+        "\nMemory shrinks with the allowed false-positive rate; latency\n"
+        "degrades only marginally because a wasted redirect costs Tp2p,\n"
+        "which is tiny next to a server fetch — the paper's argument for\n"
+        "Bloom directories."
+    )
+
+
+if __name__ == "__main__":
+    main()

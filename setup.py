@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools but no ``wheel`` package, so the
+PEP-517 editable path (which needs ``bdist_wheel``) is unavailable offline.
+This shim lets ``pip install -e . --no-build-isolation --no-use-pep517``
+work; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""Analysis helpers: sweep containers, tables, plots, analytical models."""
+
+from .models import (
+    che_characteristic_time,
+    lru_hit_rate_che,
+    predicted_fc_latency,
+    predicted_nc_latency,
+    static_topk_hit_rate,
+)
+from .plots import ascii_plot
+from .results import Series, SweepResult
+
+__all__ = [
+    "ascii_plot",
+    "Series",
+    "SweepResult",
+    "che_characteristic_time",
+    "lru_hit_rate_che",
+    "predicted_fc_latency",
+    "predicted_nc_latency",
+    "static_topk_hit_rate",
+]

@@ -1,0 +1,146 @@
+"""Closed-form cache models that cross-validate the simulator.
+
+Three classic analytical results predict what the trace-driven simulator
+should measure; the test suite checks the two agree.  Any future change
+that silently breaks a policy's semantics shows up as model divergence —
+a much sharper oracle than "the numbers moved".
+
+* :func:`che_characteristic_time` / :func:`lru_hit_rate_che` — Che's
+  approximation for LRU under the independent reference model (IRM):
+  the characteristic time ``T`` solves ``Σ_i (1 − e^{−λ_i T}) = C`` and
+  each object hits with probability ``1 − e^{−λ_i T}``.  The ProWGen
+  generator with ``stack_fraction = 0`` *is* an IRM source, so the
+  approximation applies directly.
+* :func:`static_topk_hit_rate` — a perfect-frequency cache of size C
+  converges to holding the C most-referenced objects; each covered
+  object then hits on all but its first access.  This upper-bounds (and
+  with perfect-LFU, closely tracks) the NC scheme.
+* :func:`predicted_fc_latency` — the FC upper bound in closed form:
+  static optimal placement of the ``P·C`` globally most valuable objects
+  with no duplicates, accesses hitting locally with probability ``1/P``
+  (statistically identical clusters), remotely otherwise.
+
+All functions take reference *counts* (as produced by
+:meth:`~repro.workload.trace.Trace.reference_counts`), not fitted
+distributions — the validation is exact per trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..netmodel import NetworkConfig
+
+__all__ = [
+    "che_characteristic_time",
+    "lru_hit_rate_che",
+    "static_topk_hit_rate",
+    "predicted_nc_latency",
+    "predicted_fc_latency",
+]
+
+
+def che_characteristic_time(counts: np.ndarray, capacity: int, tol: float = 1e-10) -> float:
+    """Solve ``Σ_i (1 − e^{−λ_i T}) = capacity`` for T (Che, 2002).
+
+    ``counts`` are per-object reference counts; rates λ_i are counts
+    normalised by the trace length (the time unit is one request).
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    active = counts[counts > 0]
+    if capacity <= 0:
+        return 0.0
+    if capacity >= active.size:
+        return float("inf")
+    rates = active / active.sum()
+
+    def occupancy(t: float) -> float:
+        return float((1.0 - np.exp(-rates * t)).sum())
+
+    lo, hi = 0.0, 1.0
+    while occupancy(hi) < capacity:
+        hi *= 2.0
+        if hi > 1e18:  # pragma: no cover - pathological counts
+            return hi
+    # Bisection: occupancy is monotone increasing in t.
+    while hi - lo > tol * max(1.0, hi):
+        mid = (lo + hi) / 2
+        if occupancy(mid) < capacity:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2
+
+
+def lru_hit_rate_che(counts: np.ndarray, capacity: int) -> float:
+    """Request-weighted LRU hit rate under Che's approximation."""
+    counts = np.asarray(counts, dtype=np.float64)
+    active = counts[counts > 0]
+    if capacity <= 0 or active.size == 0:
+        return 0.0
+    if capacity >= active.size:
+        # Everything fits: only first accesses miss.
+        return float((active - 1).sum() / active.sum())
+    t = che_characteristic_time(counts, capacity)
+    rates = active / active.sum()
+    per_object_hit = 1.0 - np.exp(-rates * t)
+    return float((rates * per_object_hit).sum())
+
+
+def static_topk_hit_rate(counts: np.ndarray, capacity: int) -> float:
+    """Hit rate of a static cache holding the ``capacity`` hottest objects.
+
+    Each covered object misses exactly once (its first access) — the
+    converged behaviour of a perfect-frequency policy, ignoring the
+    transient in which the top-K set is still being discovered.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    active = np.sort(counts[counts > 0])[::-1]
+    if capacity <= 0 or active.size == 0:
+        return 0.0
+    covered = active[: min(capacity, active.size)]
+    total = active.sum()
+    return float((covered - 1).sum() / total)
+
+
+def predicted_nc_latency(
+    counts: np.ndarray, capacity: int, network: NetworkConfig | None = None
+) -> float:
+    """Closed-form NC mean latency from the static top-K model."""
+    network = network or NetworkConfig()
+    h = static_topk_hit_rate(counts, capacity)
+    return h * network.latency("local_proxy") + (1 - h) * network.latency("server")
+
+
+def predicted_fc_latency(
+    counts_per_cluster: list[np.ndarray],
+    proxy_capacity: int,
+    network: NetworkConfig | None = None,
+) -> float:
+    """Closed-form FC mean latency: static no-duplicate optimal placement.
+
+    The ``P · proxy_capacity`` globally most-referenced objects are
+    cached, one copy each; with statistically identical clusters a
+    covered access is local with probability ``1/P``.  Each covered
+    object still pays one server fetch (cold start) per cluster-local
+    first access — approximated as one server access per covered object
+    total, which at paper trace lengths is negligible either way.
+    """
+    network = network or NetworkConfig()
+    p = len(counts_per_cluster)
+    if p == 0:
+        raise ValueError("need at least one cluster")
+    total_counts = np.sum(counts_per_cluster, axis=0)
+    active = np.sort(total_counts[total_counts > 0])[::-1]
+    capacity = min(p * proxy_capacity, active.size)
+    total = active.sum()
+    covered_mass = active[:capacity].sum() - capacity  # minus cold starts
+    covered_share = covered_mass / total
+    local = covered_share / p
+    remote = covered_share * (p - 1) / p
+    miss = 1.0 - covered_share
+    return (
+        local * network.latency("local_proxy")
+        + remote * network.latency("coop_proxy")
+        + miss * network.latency("server")
+    )

@@ -1,0 +1,67 @@
+"""Terminal-friendly line plots for sweep results.
+
+The execution environment has no plotting stack, so the experiment
+harness renders figures as ASCII line charts — enough to eyeball the
+shapes the paper reports (who wins, where curves cross, how gains decay
+with cache size).  CSV export (:meth:`SweepResult.to_csv`) feeds real
+plotting tools offline.
+"""
+
+from __future__ import annotations
+
+from .results import SweepResult
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    sweep: SweepResult,
+    width: int = 64,
+    height: int = 18,
+    y_min: float | None = None,
+    y_max: float | None = None,
+) -> str:
+    """Render a sweep as an ASCII chart with one marker per series."""
+    if not sweep.series:
+        return f"{sweep.title}\n(no series)"
+    if width < 8 or height < 4:
+        raise ValueError("width must be >= 8 and height >= 4")
+
+    all_y = [v for s in sweep.series for v in s.values]
+    lo = min(all_y) if y_min is None else y_min
+    hi = max(all_y) if y_max is None else y_max
+    if hi <= lo:
+        hi = lo + 1.0
+    xs = sweep.x_values
+    x_lo, x_hi = min(xs), max(xs)
+    x_span = (x_hi - x_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, series in enumerate(sweep.series):
+        marker = _MARKERS[si % len(_MARKERS)]
+        for x, y in zip(xs, series.values):
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = round((y - lo) / (hi - lo) * (height - 1))
+            row = min(max(row, 0), height - 1)
+            grid[height - 1 - row][col] = marker
+
+    lines = [sweep.title]
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{hi:8.1f} |"
+        elif i == height - 1:
+            label = f"{lo:8.1f} |"
+        else:
+            label = " " * 8 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 9 + f" {x_lo:<10g}{sweep.x_label:^{max(0, width - 22)}}{x_hi:>10g}"
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={s.label}" for i, s in enumerate(sweep.series)
+    )
+    lines.append(" " * 9 + " " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Bloom-filter substrate for the P2P-cache lookup directory (paper §4.2)."""
+
+from .bloom import BloomFilter, CountingBloomFilter, optimal_num_bits, optimal_num_hashes
+
+__all__ = ["BloomFilter", "CountingBloomFilter", "optimal_num_bits", "optimal_num_hashes"]

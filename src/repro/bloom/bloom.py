@@ -1,0 +1,262 @@
+"""Bloom filters for the proxy's P2P-cache lookup directory.
+
+The paper proposes two lookup-directory representations (§4.2): an exact
+hashtable of objectIds and a **Bloom filter**, which trades memory for a
+tunable false-positive ratio (false positives send the proxy on a futile
+redirect into the P2P client cache).  This module implements both the
+classic bit-array Bloom filter and a **counting Bloom filter** — the
+directory must support deletions (objects are evicted from client caches),
+which plain Bloom filters cannot do.
+
+Implementation notes
+--------------------
+* Hashing uses the standard double-hashing scheme of Kirsch & Mitzenmacher:
+  ``h_i(x) = h1(x) + i * h2(x) mod m`` derived from one 128-bit blake2b
+  digest, so adding a key costs a single hash invocation regardless of k.
+* Keys may be arbitrary ints (the simulator passes 128-bit objectIds) or
+  bytes/str.
+* Sizing helpers (:func:`optimal_num_bits`, :func:`optimal_num_hashes`)
+  implement the textbook formulas m = -n ln p / (ln 2)^2 and
+  k = (m/n) ln 2, and :meth:`BloomFilter.false_positive_rate` reports the
+  *current-load* estimate (1 - e^{-kn/m})^k used by the directory-tradeoff
+  example and the ablation bench.
+* The bit array is a numpy uint8 buffer addressed bitwise; the counting
+  variant uses uint16 counters (saturating, with a documented overflow
+  guard) so 65 535 concurrent insertions of one slot are safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+import numpy as np
+
+__all__ = [
+    "optimal_num_bits",
+    "optimal_num_hashes",
+    "BloomFilter",
+    "CountingBloomFilter",
+]
+
+
+def optimal_num_bits(capacity: int, fp_rate: float) -> int:
+    """Bits needed for ``capacity`` keys at target false-positive ``fp_rate``."""
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    if not 0.0 < fp_rate < 1.0:
+        raise ValueError("fp_rate must be in (0, 1)")
+    m = -capacity * math.log(fp_rate) / (math.log(2) ** 2)
+    return max(8, int(math.ceil(m)))
+
+
+def optimal_num_hashes(num_bits: int, capacity: int) -> int:
+    """Hash-function count minimising false positives for the given sizing."""
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    k = (num_bits / capacity) * math.log(2)
+    return max(1, int(round(k)))
+
+
+def _key_bytes(key: int | str | bytes) -> bytes:
+    if isinstance(key, bytes):
+        return key
+    if isinstance(key, str):
+        return key.encode("utf-8")
+    if isinstance(key, int):
+        # Fixed-width little-endian encoding of arbitrary non-negative ints.
+        if key < 0:
+            raise ValueError("integer keys must be non-negative")
+        length = max(1, (key.bit_length() + 7) // 8)
+        return key.to_bytes(length, "little")
+    raise TypeError(f"unsupported key type {type(key).__name__}")
+
+
+def _hash_pair(key: int | str | bytes) -> tuple[int, int]:
+    """Two independent 64-bit hashes from one blake2b invocation."""
+    digest = hashlib.blake2b(_key_bytes(key), digest_size=16).digest()
+    return int.from_bytes(digest[:8], "little"), int.from_bytes(digest[8:], "little")
+
+
+class BloomFilter:
+    """Classic bit-array Bloom filter (no deletions).
+
+    Parameters
+    ----------
+    capacity:
+        Expected number of distinct keys (used for sizing).
+    fp_rate:
+        Target false-positive probability at ``capacity`` keys.
+    num_bits, num_hashes:
+        Explicit sizing; overrides the capacity/fp_rate formulas when given.
+    """
+
+    __slots__ = ("num_bits", "num_hashes", "count", "_bits")
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        fp_rate: float = 0.01,
+        num_bits: int | None = None,
+        num_hashes: int | None = None,
+    ) -> None:
+        self.num_bits = num_bits if num_bits is not None else optimal_num_bits(capacity, fp_rate)
+        if self.num_bits <= 0:
+            raise ValueError("num_bits must be positive")
+        self.num_hashes = (
+            num_hashes if num_hashes is not None else optimal_num_hashes(self.num_bits, capacity)
+        )
+        if self.num_hashes <= 0:
+            raise ValueError("num_hashes must be positive")
+        self.count = 0  # number of add() calls (not distinct keys)
+        self._bits = np.zeros((self.num_bits + 7) // 8, dtype=np.uint8)
+
+    def _indices(self, key: int | str | bytes) -> list[int]:
+        h1, h2 = _hash_pair(key)
+        m = self.num_bits
+        return [(h1 + i * h2) % m for i in range(self.num_hashes)]
+
+    def add(self, key: int | str | bytes) -> None:
+        for idx in self._indices(key):
+            self._bits[idx >> 3] |= 1 << (idx & 7)
+        self.count += 1
+
+    def __contains__(self, key: int | str | bytes) -> bool:
+        for idx in self._indices(key):
+            if not (self._bits[idx >> 3] >> (idx & 7)) & 1:
+                return False
+        return True
+
+    def clear(self) -> None:
+        self._bits[:] = 0
+        self.count = 0
+
+    @property
+    def bits_set(self) -> int:
+        """Number of 1-bits currently in the filter."""
+        return int(np.unpackbits(self._bits).sum())
+
+    def false_positive_rate(self, n_keys: int | None = None) -> float:
+        """Estimated FP probability at the current (or given) load.
+
+        Uses the classic approximation (1 - e^{-kn/m})^k.
+        """
+        n = self.count if n_keys is None else n_keys
+        if n <= 0:
+            return 0.0
+        k, m = self.num_hashes, self.num_bits
+        return (1.0 - math.exp(-k * n / m)) ** k
+
+    def memory_bytes(self) -> int:
+        """Actual memory used by the bit array."""
+        return int(self._bits.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BloomFilter(num_bits={self.num_bits}, num_hashes={self.num_hashes}, "
+            f"count={self.count})"
+        )
+
+
+class CountingBloomFilter:
+    """Bloom filter with 4-bit per-slot counters, supporting deletion.
+
+    The proxy's Bloom-filter directory must remove objectIds when client
+    caches evict objects; counting slots make ``remove`` possible.  The
+    counters are 4 bits wide, packed two per byte — the classic Summary
+    Cache design (Fan et al. 2000, the paper's reference [7]): analysis
+    there shows 4 bits overflow with probability ~1.37e-15 per slot, and
+    the memory stays well below an exact table of 128-bit objectIds.
+    Saturated counters become sticky (never decremented), so an overflow
+    degrades the slot to a plain Bloom bit instead of corrupting state.
+
+    Removal of a key that was never added is detected best-effort (any
+    slot already at zero) and raises :class:`KeyError` rather than
+    silently corrupting the filter.
+    """
+
+    __slots__ = ("num_bits", "num_hashes", "count", "_slots")
+
+    #: Counter saturation limit (4-bit counters, Summary Cache's choice).
+    MAX_COUNT = 15
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        fp_rate: float = 0.01,
+        num_bits: int | None = None,
+        num_hashes: int | None = None,
+    ) -> None:
+        self.num_bits = num_bits if num_bits is not None else optimal_num_bits(capacity, fp_rate)
+        self.num_hashes = (
+            num_hashes if num_hashes is not None else optimal_num_hashes(self.num_bits, capacity)
+        )
+        if self.num_bits <= 0 or self.num_hashes <= 0:
+            raise ValueError("num_bits and num_hashes must be positive")
+        self.count = 0
+        self._slots = np.zeros((self.num_bits + 1) // 2, dtype=np.uint8)
+
+    def _indices(self, key: int | str | bytes) -> list[int]:
+        h1, h2 = _hash_pair(key)
+        m = self.num_bits
+        return [(h1 + i * h2) % m for i in range(self.num_hashes)]
+
+    def _get(self, idx: int) -> int:
+        byte = self._slots[idx >> 1]
+        return int(byte & 0x0F) if idx & 1 == 0 else int(byte >> 4)
+
+    def _set(self, idx: int, value: int) -> None:
+        pos = idx >> 1
+        byte = int(self._slots[pos])
+        if idx & 1 == 0:
+            self._slots[pos] = (byte & 0xF0) | value
+        else:
+            self._slots[pos] = (byte & 0x0F) | (value << 4)
+
+    def add(self, key: int | str | bytes) -> None:
+        for idx in self._indices(key):
+            c = self._get(idx)
+            if c < self.MAX_COUNT:
+                self._set(idx, c + 1)
+        self.count += 1
+
+    def remove(self, key: int | str | bytes) -> None:
+        idxs = self._indices(key)
+        counts = [self._get(i) for i in idxs]
+        if any(c == 0 for c in counts):
+            raise KeyError(f"key {key!r} not present in counting Bloom filter")
+        for idx, c in zip(idxs, counts):
+            if c < self.MAX_COUNT:  # saturated slots are sticky
+                self._set(idx, c - 1)
+        self.count -= 1
+
+    def discard(self, key: int | str | bytes) -> bool:
+        """Remove if (apparently) present; returns True if removed."""
+        try:
+            self.remove(key)
+        except KeyError:
+            return False
+        return True
+
+    def __contains__(self, key: int | str | bytes) -> bool:
+        return all(self._get(i) > 0 for i in self._indices(key))
+
+    def clear(self) -> None:
+        self._slots[:] = 0
+        self.count = 0
+
+    def false_positive_rate(self, n_keys: int | None = None) -> float:
+        n = self.count if n_keys is None else n_keys
+        if n <= 0:
+            return 0.0
+        k, m = self.num_hashes, self.num_bits
+        return (1.0 - math.exp(-k * n / m)) ** k
+
+    def memory_bytes(self) -> int:
+        return int(self._slots.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CountingBloomFilter(num_bits={self.num_bits}, "
+            f"num_hashes={self.num_hashes}, count={self.count})"
+        )

@@ -1,0 +1,115 @@
+"""Greedy-dual replacement (Young 1998) — the policy inside Hier-GD.
+
+The paper builds Hier-GD on the greedy-dual algorithm because "the
+greedy-dual algorithm provides some implicit coordination among caches"
+(§3, citing Korupolu & Dahlin).  The classical algorithm:
+
+* every cached object carries a credit ``H``;
+* on fetch or hit, ``H(obj) = L + cost(obj)`` where ``cost`` is the
+  latency paid to retrieve the object and ``L`` is a running inflation
+  value;
+* on eviction, the object with minimum ``H`` goes, and ``L`` is raised to
+  that minimum.
+
+The *efficient implementation* the paper references (its tech report
+[22]) is the standard one: never rewrite credits in place — keep absolute
+priorities in a lazy-deletion heap and raise the global ``L`` on each
+eviction, giving O(log n) per operation.  The implicit coordination
+emerges because recently useful objects accumulate credit above ``L``
+while untouched ones are overtaken as ``L`` inflates.
+
+With variable object sizes the credit becomes ``L + cost/size``
+(GreedyDual-Size, Cao & Irani); unit sizes reduce it to classic GD, which
+is what the paper's equal-size assumption exercises.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from .base import Cache
+from .heapdict import HeapDict
+
+__all__ = ["GreedyDualCache"]
+
+
+class GreedyDualCache(Cache):
+    """Greedy-dual(-size) cache with the O(log n) inflation implementation."""
+
+    def __init__(self, capacity: int, default_cost: float = 1.0) -> None:
+        super().__init__(capacity)
+        if default_cost <= 0:
+            raise ValueError("default_cost must be positive")
+        self.default_cost = default_cost
+        self.inflation = 0.0  # the running value L
+        self._sizes: dict[Hashable, int] = {}
+        self._costs: dict[Hashable, float] = {}
+        self._heap = HeapDict()
+        self._used = 0
+
+    def credit(self, key: Hashable) -> float:
+        """Current absolute credit H of a cached key (KeyError if absent)."""
+        return self._heap.priority(key)
+
+    def lookup(self, key: Hashable) -> bool:
+        if key in self._sizes:
+            # Restore full credit relative to the current inflation value.
+            size = self._sizes[key]
+            self._heap.push(key, self.inflation + self._costs[key] / size)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def contains(self, key: Hashable) -> bool:
+        return key in self._sizes
+
+    def insert(self, key: Hashable, cost: float | None = None, size: int = 1) -> list[Hashable]:
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if cost is None:
+            cost = self.default_cost
+        if cost <= 0:
+            raise ValueError("cost must be positive")
+        if size > self.capacity:
+            return [key]
+        evicted: list[Hashable] = []
+        if key in self._sizes:
+            self._used -= self._sizes.pop(key)
+            self._costs.pop(key)
+        while self._used + size > self.capacity:
+            victim, h_min = self._heap.pop_min()
+            # Eviction raises L to the evicted credit — the dual update
+            # that makes everything else comparatively less protected.
+            if h_min > self.inflation:
+                self.inflation = h_min
+            self._used -= self._sizes.pop(victim)
+            self._costs.pop(victim)
+            evicted.append(victim)
+            self.stats.evictions += 1
+        self._sizes[key] = size
+        self._costs[key] = cost
+        self._heap.push(key, self.inflation + cost / size)
+        self._used += size
+        self.stats.insertions += 1
+        return evicted
+
+    def remove(self, key: Hashable) -> bool:
+        size = self._sizes.pop(key, None)
+        if size is None:
+            return False
+        self._used -= size
+        self._costs.pop(key)
+        self._heap.discard(key)
+        return True
+
+    def __len__(self) -> int:
+        return self._used
+
+    def keys(self) -> Iterator[Hashable]:
+        return iter(self._sizes)
+
+    def min_credit(self) -> float:
+        """Credit of the current eviction candidate (diagnostic)."""
+        _key, prio = self._heap.peek_min()
+        return prio

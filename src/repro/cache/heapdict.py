@@ -1,0 +1,108 @@
+"""Addressable min-heap with lazy deletion — the policies' shared engine.
+
+LFU, greedy-dual, cost-benefit and the tiered unified cache all need the
+same primitive: a priority queue whose entries' priorities change as
+objects are referenced, with O(log n) update and O(log n) amortised pop.
+Rebuilding a ``heapq`` on every priority change would be O(n); instead we
+push a fresh entry per update and invalidate the old one lazily — the
+standard technique, factored out here once so every policy stays thin and
+the (subtle) staleness logic is tested in one place.
+
+Priorities are ``(primary, tiebreak)`` pairs; the tiebreak is a
+monotonically increasing sequence number by default, giving FIFO order
+among equal priorities (for LFU this makes eviction among equal
+frequencies least-recently-*updated* first, matching the classic policy).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable, Iterator
+
+__all__ = ["HeapDict"]
+
+
+class HeapDict:
+    """Min-priority queue with by-key addressing and lazy deletion."""
+
+    __slots__ = ("_heap", "_live", "_seq", "_stale")
+
+    #: Compact the heap when stale entries outnumber live ones by this factor.
+    _COMPACT_FACTOR = 4
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Hashable]] = []
+        self._live: dict[Hashable, tuple[float, int]] = {}  # key -> (prio, seq)
+        self._seq = 0
+        self._stale = 0
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._live
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._live)
+
+    def priority(self, key: Hashable) -> float:
+        """Current priority of ``key`` (KeyError if absent)."""
+        return self._live[key][0]
+
+    def push(self, key: Hashable, priority: float) -> None:
+        """Insert or update ``key`` at ``priority``."""
+        if key in self._live:
+            self._stale += 1
+        self._seq += 1
+        self._live[key] = (priority, self._seq)
+        heapq.heappush(self._heap, (priority, self._seq, key))
+        self._maybe_compact()
+
+    def discard(self, key: Hashable) -> bool:
+        """Remove ``key`` if present (lazily); True if it was present."""
+        if key in self._live:
+            del self._live[key]
+            self._stale += 1
+            self._maybe_compact()
+            return True
+        return False
+
+    def _skim(self) -> None:
+        """Drop stale heap heads until the head is live (or heap empty)."""
+        heap, live = self._heap, self._live
+        while heap:
+            prio, seq, key = heap[0]
+            entry = live.get(key)
+            if entry is not None and entry == (prio, seq):
+                return
+            heapq.heappop(heap)
+            self._stale -= 1
+
+    def peek_min(self) -> tuple[Hashable, float]:
+        """(key, priority) of the minimum without removing it."""
+        self._skim()
+        if not self._heap:
+            raise KeyError("peek_min on empty HeapDict")
+        prio, _seq, key = self._heap[0]
+        return key, prio
+
+    def pop_min(self) -> tuple[Hashable, float]:
+        """Remove and return (key, priority) of the minimum."""
+        self._skim()
+        if not self._heap:
+            raise KeyError("pop_min on empty HeapDict")
+        prio, _seq, key = heapq.heappop(self._heap)
+        del self._live[key]
+        return key, prio
+
+    def _maybe_compact(self) -> None:
+        if self._stale > self._COMPACT_FACTOR * max(8, len(self._live)):
+            live = self._live
+            self._heap = [(p, s, k) for k, (p, s) in live.items()]
+            heapq.heapify(self._heap)
+            self._stale = 0
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._live.clear()
+        self._stale = 0

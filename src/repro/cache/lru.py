@@ -1,0 +1,75 @@
+"""Least-Recently-Used replacement.
+
+Not used by any scheme in the paper's headline results, but (a) ProWGen's
+temporal-locality model is defined in terms of an LRU stack, (b) LRU is the
+standard reference policy the paper's related work compares against, and
+(c) the test suite uses it as a behavioural baseline for the fancier
+policies.  Implemented over a ``dict`` (insertion-ordered, O(1)
+move-to-back via delete+reinsert).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from .base import Cache
+
+__all__ = ["LruCache"]
+
+
+class LruCache(Cache):
+    """Classic LRU with optional variable object sizes."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._entries: dict[Hashable, int] = {}  # key -> size, MRU last
+        self._used = 0
+
+    def lookup(self, key: Hashable) -> bool:
+        size = self._entries.pop(key, None)
+        if size is None:
+            self.stats.misses += 1
+            return False
+        self._entries[key] = size  # move to MRU position
+        self.stats.hits += 1
+        return True
+
+    def contains(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def insert(self, key: Hashable, cost: float = 1.0, size: int = 1) -> list[Hashable]:
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if size > self.capacity:
+            # Cannot ever fit: reject (callers treat the key as uncached).
+            return [key]
+        evicted: list[Hashable] = []
+        if key in self._entries:
+            self._used -= self._entries.pop(key)
+        while self._used + size > self.capacity:
+            victim, vsize = next(iter(self._entries.items()))
+            del self._entries[victim]
+            self._used -= vsize
+            evicted.append(victim)
+            self.stats.evictions += 1
+        self._entries[key] = size
+        self._used += size
+        self.stats.insertions += 1
+        return evicted
+
+    def remove(self, key: Hashable) -> bool:
+        size = self._entries.pop(key, None)
+        if size is None:
+            return False
+        self._used -= size
+        return True
+
+    def __len__(self) -> int:
+        return self._used
+
+    def keys(self) -> Iterator[Hashable]:
+        return iter(self._entries)
+
+    def lru_order(self) -> list[Hashable]:
+        """Keys from least- to most-recently used (test/diagnostic aid)."""
+        return list(self._entries)

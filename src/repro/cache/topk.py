@@ -1,0 +1,95 @@
+"""Top-K membership tracking over a dynamic valued set.
+
+FC-EC needs to know, for every cached copy in a cluster, whether it sits
+in the *proxy tier* (the cluster's S most valuable copies, hits at
+``Tl``) or in the *client tier* (the rest, hits at ``Tl + Tp2p``), while
+the copy set and copy values change as the coordinated replacement runs.
+
+:class:`TopKTracker` maintains exactly that partition with two lazy
+heaps: a min-heap over the top-K ("who gets demoted first") and a
+max-heap over the rest ("who gets promoted first").  All operations are
+O(log n); the balance invariant ``len(top) == min(k, total)`` is restored
+after every mutation.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from .heapdict import HeapDict
+
+__all__ = ["TopKTracker"]
+
+
+class TopKTracker:
+    """Partition a dynamic ``{key: value}`` set into top-K and rest."""
+
+    def __init__(self, k: int) -> None:
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        self.k = k
+        self._top = HeapDict()  # min-heap by value
+        self._rest = HeapDict()  # min-heap by -value (max access)
+
+    def __len__(self) -> int:
+        return len(self._top) + len(self._rest)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._top or key in self._rest
+
+    def __iter__(self) -> Iterator[Hashable]:
+        yield from self._top
+        yield from self._rest
+
+    def in_top(self, key: Hashable) -> bool:
+        return key in self._top
+
+    @property
+    def top_count(self) -> int:
+        """Current size of the top partition (== min(k, len(self)))."""
+        return len(self._top)
+
+    def value(self, key: Hashable) -> float:
+        if key in self._top:
+            return self._top.priority(key)
+        return -self._rest.priority(key)
+
+    def _rebalance(self) -> None:
+        while len(self._top) > self.k:
+            key, value = self._top.pop_min()
+            self._rest.push(key, -value)
+        while len(self._top) < self.k and len(self._rest):
+            key, neg = self._rest.pop_min()
+            self._top.push(key, -neg)
+        if self.k and len(self._top) and len(self._rest):
+            # Swap while the best of the rest beats the worst of the top.
+            while True:
+                top_key, top_val = self._top.peek_min()
+                rest_key, rest_neg = self._rest.peek_min()
+                if -rest_neg <= top_val:
+                    break
+                self._top.pop_min()
+                self._rest.pop_min()
+                self._top.push(rest_key, -rest_neg)
+                self._rest.push(top_key, -top_val)
+
+    def add(self, key: Hashable, value: float) -> None:
+        """Insert or update ``key`` at ``value``."""
+        self._top.discard(key)
+        self._rest.discard(key)
+        if len(self._top) < self.k:
+            self._top.push(key, value)
+        else:
+            self._rest.push(key, -value)
+        self._rebalance()
+
+    def update(self, key: Hashable, value: float) -> None:
+        if key not in self:
+            raise KeyError(key)
+        self.add(key, value)
+
+    def remove(self, key: Hashable) -> bool:
+        removed = self._top.discard(key) or self._rest.discard(key)
+        if removed:
+            self._rebalance()
+        return removed

@@ -1,0 +1,116 @@
+"""Proxy-side lookup directory for the P2P client cache (paper §4.2).
+
+"The local proxy needs to maintain a directory of cached objects in its
+P2P client cache for lookup."  The paper proposes two representations:
+
+* **Exact-Directory** — "a hashtable composed of the objectIds of all the
+  cached objects in a P2P client cache"; precise, memory ∝ 16 bytes per
+  entry (a 128-bit objectId), no false positives.
+* **Bloom Filter** — "a tradeoff between the memory requirement and the
+  false positive ratio (which induces false indications that the
+  requested objects are in the P2P client cache)".  False positives make
+  the proxy redirect a request into the P2P cache for nothing — a wasted
+  ``Tp2p`` round the simulator charges explicitly.
+
+Both are updated by the same events (store receipts add entries, client
+eviction notices delete them, §4.3), so the directory never *misses* an
+object that is present — only the Bloom variant can claim presence
+falsely.  Deletion support is why the Bloom variant uses a *counting*
+filter.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Hashable
+
+from ..bloom import CountingBloomFilter
+
+__all__ = ["LookupDirectory", "ExactDirectory", "BloomDirectory", "make_directory"]
+
+#: Bytes per Exact-Directory entry: one SHA-1-derived 128-bit objectId.
+_OBJECT_ID_BYTES = 16
+
+
+class LookupDirectory(ABC):
+    """Interface the proxy queries before redirecting into the P2P cache."""
+
+    @abstractmethod
+    def add(self, obj: Hashable) -> None:
+        """Record a store receipt for ``obj``."""
+
+    @abstractmethod
+    def remove(self, obj: Hashable) -> None:
+        """Process an eviction notice for ``obj``."""
+
+    @abstractmethod
+    def __contains__(self, obj: Hashable) -> bool:
+        """May the P2P cache hold ``obj``? (Bloom: possibly falsely yes.)"""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Entries currently tracked."""
+
+    @abstractmethod
+    def memory_bytes(self) -> int:
+        """Memory footprint of the representation (the §4.2 tradeoff)."""
+
+
+class ExactDirectory(LookupDirectory):
+    """Precise hashtable of objectIds."""
+
+    def __init__(self) -> None:
+        self._entries: set[Hashable] = set()
+
+    def add(self, obj: Hashable) -> None:
+        self._entries.add(obj)
+
+    def remove(self, obj: Hashable) -> None:
+        self._entries.discard(obj)
+
+    def __contains__(self, obj: Hashable) -> bool:
+        return obj in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def memory_bytes(self) -> int:
+        return _OBJECT_ID_BYTES * len(self._entries)
+
+
+class BloomDirectory(LookupDirectory):
+    """Counting-Bloom-filter directory: smaller, occasionally over-claims."""
+
+    def __init__(self, capacity: int, fp_rate: float = 0.01) -> None:
+        self._filter = CountingBloomFilter(capacity=max(1, capacity), fp_rate=fp_rate)
+        self._count = 0
+
+    def add(self, obj: Hashable) -> None:
+        self._filter.add(obj)
+        self._count += 1
+
+    def remove(self, obj: Hashable) -> None:
+        if self._filter.discard(obj):
+            self._count -= 1
+
+    def __contains__(self, obj: Hashable) -> bool:
+        return obj in self._filter
+
+    def __len__(self) -> int:
+        return self._count
+
+    def memory_bytes(self) -> int:
+        return self._filter.memory_bytes()
+
+    @property
+    def design_fp_rate(self) -> float:
+        return self._filter.false_positive_rate(self._count)
+
+
+def make_directory(kind: str, capacity: int, fp_rate: float = 0.01) -> LookupDirectory:
+    """Directory factory keyed by :attr:`SimulationConfig.directory`."""
+    if kind == "exact":
+        return ExactDirectory()
+    if kind == "bloom":
+        return BloomDirectory(capacity=capacity, fp_rate=fp_rate)
+    raise ValueError(f"unknown directory kind {kind!r}")

@@ -1,0 +1,359 @@
+"""Hier-GD — the paper's cooperative hierarchical greedy-dual algorithm.
+
+Unlike the upper-bound schemes, Hier-GD is simulated *mechanistically*,
+i.e. with every moving part of §§3–4 actually running:
+
+* the proxy and every individual client cache run the local greedy-dual
+  algorithm (efficient O(log n) implementation);
+* each client cluster's cooperative client caches form a real Pastry
+  overlay (:mod:`repro.overlay`); objects are mapped to client caches by
+  SHA-1 objectIds and DHT placement (§4.1);
+* a proxy eviction ``d1`` is passed down per the Figure 1 pseudo-code:
+  route to the destination cache A; if A has free space it stores d1;
+  otherwise **object diversion** tries a leaf-set member B with free
+  space (A keeps a pointer, §4.3); otherwise A runs greedy-dual, stores
+  d1, discards its own eviction d2, and the proxy's **lookup directory**
+  (Exact or Bloom, §4.2) is updated for both d1 and d2 via store
+  receipts / eviction notices;
+* destaged objects are **piggybacked** on HTTP responses (§4.4) — the
+  simulator counts the connections this saves;
+* a cooperating proxy reaches objects in this cluster's P2P cache
+  through the **push protocol** (§4.5), because client caches sit behind
+  the firewall: request → owner proxy → Pastry-routed push request →
+  client pushes to its proxy → forwarded to the requesting proxy.
+
+Inter-proxy cooperation is SC-style (serve each other's misses) — the
+point of Hier-GD is that full replacement coordination is *not* needed:
+greedy-dual provides implicit coordination (§3).
+
+Latency/cost coupling: the greedy-dual ``cost`` of an object is the
+latency the proxy actually paid to fetch it (``Tp2p``, ``Tc``,
+``Tc+Tp2p`` or ``Ts``) — this is what makes GD cost-aware and is why it
+approaches the cost-benefit upper bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cache import Cache, GreedyDualCache, LfuCache, LruCache
+from ..netmodel import (
+    TIER_COOP_P2P,
+    TIER_COOP_PROXY,
+    TIER_LOCAL_P2P,
+    TIER_LOCAL_PROXY,
+    TIER_SERVER,
+)
+from ..overlay import Dht, IdSpace, Overlay
+from ..workload import Trace, object_url
+from .config import SimulationConfig
+from .directory import LookupDirectory, make_directory
+from .simulator import CachingScheme
+
+__all__ = ["HierGdScheme"]
+
+
+@dataclass
+class _ClusterState:
+    """Everything one proxy + its P2P client cache carries at runtime."""
+
+    proxy: Cache
+    clients: list[Cache]
+    overlay: Overlay
+    dht: Dht
+    idx_of_node: dict[int, int]
+    node_of_idx: list[int]
+    directory: LookupDirectory
+    #: Ground truth: objects currently stored somewhere in the P2P cache.
+    p2p_present: set[int] = field(default_factory=set)
+    #: Owner-side diversion pointers: owner idx -> {obj -> holder idx}.
+    pointers: dict[int, dict[int, int]] = field(default_factory=dict)
+    #: PAST-style extra copies: obj -> replica holder idxs (primary excluded).
+    replicas: dict[int, set[int]] = field(default_factory=dict)
+    #: Last retrieval cost per object (greedy-dual's cost input).
+    costs: dict[int, float] = field(default_factory=dict)
+    #: Memoised DHT owner per object (overlay is churn-free during a run).
+    owner_memo: dict[int, int] = field(default_factory=dict)
+
+
+class HierGdScheme(CachingScheme):
+    """The practical scheme: GD caches + Pastry P2P tier + directories."""
+
+    name = "hier-gd"
+
+    def __init__(self, config: SimulationConfig, traces: list[Trace]) -> None:
+        super().__init__(config, traces)
+        net = config.network
+        self._t_server = net.t_server
+        self._t_coop = net.t_coop
+        self._t_p2p = net.t_p2p
+        self._msg: dict[str, int] = {
+            "passdowns": 0,
+            "piggybacked_destages": 0,
+            "dedicated_destage_connections": 0,
+            "store_receipts": 0,
+            "diversions": 0,
+            "client_evictions": 0,
+            "p2p_lookups": 0,
+            "push_requests": 0,
+            "directory_false_positives": 0,
+            "replicas_stored": 0,
+        }
+        space = IdSpace(b=config.pastry_b)
+        self.states: list[_ClusterState] = []
+        for ci, sizing in enumerate(self.sizings):
+            overlay = Overlay(space=space, leaf_size=config.leaf_set_size)
+            node_of_idx: list[int] = []
+            idx_of_node: dict[int, int] = {}
+            for k in range(sizing.n_clients):
+                node = overlay.add_named(f"cluster{ci}/cache{k}")
+                node_of_idx.append(node.node_id)
+                idx_of_node[node.node_id] = k
+            state = _ClusterState(
+                proxy=self._make_cache(sizing.proxy_size),
+                clients=[
+                    self._make_cache(sizing.client_size)
+                    for _ in range(sizing.n_clients)
+                ],
+                overlay=overlay,
+                dht=Dht(overlay, hop_sample_rate=config.hop_sample_rate),
+                idx_of_node=idx_of_node,
+                node_of_idx=node_of_idx,
+                directory=make_directory(
+                    config.directory,
+                    capacity=max(1, sizing.p2p_size),
+                    fp_rate=config.bloom_fp_rate,
+                ),
+            )
+            self.states.append(state)
+
+    def _make_cache(self, capacity: int) -> Cache:
+        """Local replacement policy per :attr:`SimulationConfig.hiergd_policy`.
+
+        The default is greedy-dual (the algorithm's namesake); LRU and
+        LFU exist to measure the paper's §3 claim that GD's implicit
+        coordination beats both.
+        """
+        policy = self.config.hiergd_policy
+        if policy == "gd":
+            return GreedyDualCache(capacity, default_cost=self._t_server)
+        if policy == "lru":
+            return LruCache(capacity)
+        return LfuCache(capacity, reset_on_evict=self.config.lfu_reset_on_evict)
+
+    # -- DHT placement ------------------------------------------------------
+
+    def _owner(self, state: _ClusterState, obj: int) -> int:
+        """Client index of the DHT owner of ``obj`` in this cluster."""
+        idx = state.owner_memo.get(obj)
+        if idx is None:
+            object_id = state.dht.object_id(object_url(obj))
+            idx = state.idx_of_node[state.dht.owner(object_id)]
+            state.owner_memo[obj] = idx
+        return idx
+
+    def _locate(self, state: _ClusterState, obj: int) -> int | None:
+        """Actual holder of ``obj``: owner, divertee, or a live replica."""
+        owner = self._owner(state, obj)
+        if state.clients[owner].contains(obj):
+            return owner
+        holder = state.pointers.get(owner, {}).get(obj)
+        if holder is not None and state.clients[holder].contains(obj):
+            return holder
+        reps = state.replicas.get(obj)
+        if reps:
+            for idx in list(reps):
+                if state.clients[idx].contains(obj):
+                    return idx
+                reps.discard(idx)  # lazily drop dead replica entries
+            if not reps:
+                del state.replicas[obj]
+        return None
+
+    # -- Figure 1: pass-down with object diversion -----------------------------
+
+    def _pass_down(self, state: _ClusterState, obj: int) -> None:
+        """Destage a proxy-evicted object into the P2P client cache."""
+        self._msg["passdowns"] += 1
+        if self.config.piggyback:
+            self._msg["piggybacked_destages"] += 1
+        else:
+            self._msg["dedicated_destage_connections"] += 1
+
+        cost = state.costs.get(obj, self._t_server)
+        holder = self._locate(state, obj)
+        if holder is not None:
+            # Already stored (e.g. destaged before and later promoted back
+            # up): refresh its greedy-dual credit instead of duplicating.
+            state.clients[holder].lookup(obj)
+            return
+
+        owner_idx = self._owner(state, obj)
+        owner_cache = state.clients[owner_idx]
+
+        # (3)-(5): free space at the destination — store directly.
+        if owner_cache.free_space >= 1:
+            owner_cache.insert(obj, cost=cost)
+            self._record_store(state, obj)
+            self._replicate(state, obj, cost, primary_idx=owner_idx)
+            return
+
+        # (7)-(10): object diversion to a leaf-set member with free space.
+        if self.config.object_diversion:
+            divertee = self._pick_divertee(state, owner_idx)
+            if divertee is not None:
+                state.clients[divertee].insert(obj, cost=cost)
+                state.pointers.setdefault(owner_idx, {})[obj] = divertee
+                self._msg["diversions"] += 1
+                self._record_store(state, obj)
+                self._replicate(state, obj, cost, primary_idx=divertee)
+                return
+
+        # (12)-(14): replacement at the destination; its eviction d2 is
+        # simply discarded (§3) after notifying the proxy's directory.
+        evicted = owner_cache.insert(obj, cost=cost)
+        stored = True
+        for d2 in evicted:
+            if d2 == obj:
+                stored = False  # zero-capacity client caches reject
+                continue
+            self._on_client_eviction(state, owner_idx, d2)
+        if stored:
+            self._record_store(state, obj)
+            self._replicate(state, obj, cost, primary_idx=owner_idx)
+
+    def _replicate(self, state: _ClusterState, obj: int, cost: float, primary_idx: int) -> None:
+        """Best-effort PAST-style replication in the owner's leaf set.
+
+        Extra copies (``p2p_replicas - 1``) go to the leaf-set members
+        with free space — never displacing cached objects, so replication
+        costs no capacity under pressure, only spare space.  Replicas are
+        availability insurance: under client churn an object survives as
+        long as one copy does (see :mod:`repro.core.churn`).
+        """
+        extra = self.config.p2p_replicas - 1
+        if extra <= 0:
+            return
+        owner_idx = self._owner(state, obj)
+        owner_node = state.overlay.node(state.node_of_idx[owner_idx])
+        existing = state.replicas.get(obj, set())
+        for leaf in owner_node.leaves.members():
+            if extra <= 0:
+                break
+            idx = state.idx_of_node[leaf]
+            if idx == primary_idx or idx in existing:
+                continue
+            cache = state.clients[idx]
+            if cache.free_space >= 1 and not cache.contains(obj):
+                cache.insert(obj, cost=cost)
+                state.replicas.setdefault(obj, set()).add(idx)
+                self._msg["replicas_stored"] += 1
+                extra -= 1
+
+    def _pick_divertee(self, state: _ClusterState, owner_idx: int) -> int | None:
+        """Leaf-set member with the most free space (storage balancing)."""
+        owner_node = state.overlay.node(state.node_of_idx[owner_idx])
+        best: int | None = None
+        best_free = 0
+        for leaf in owner_node.leaves.members():
+            idx = state.idx_of_node[leaf]
+            free = state.clients[idx].free_space
+            if free > best_free:
+                best, best_free = idx, free
+        return best
+
+    def _record_store(self, state: _ClusterState, obj: int) -> None:
+        """Store receipt: destination confirms, proxy updates directory."""
+        self._msg["store_receipts"] += 1
+        if obj not in state.p2p_present:
+            state.p2p_present.add(obj)
+            state.directory.add(obj)
+
+    def _on_client_eviction(self, state: _ClusterState, holder_idx: int, obj: int) -> None:
+        """Eviction notice: clean pointers/replicas and the directory.
+
+        With replication, the object only leaves the directory when its
+        *last* copy dies — a surviving replica keeps it reachable via
+        :meth:`_locate`.
+        """
+        self._msg["client_evictions"] += 1
+        owner = self._owner(state, obj)
+        if owner != holder_idx:
+            ptrs = state.pointers.get(owner)
+            if ptrs and ptrs.get(obj) == holder_idx:
+                del ptrs[obj]
+        reps = state.replicas.get(obj)
+        if reps:
+            reps.discard(holder_idx)
+            if not reps:
+                del state.replicas[obj]
+        if obj in state.p2p_present and self._locate(state, obj) is None:
+            state.p2p_present.discard(obj)
+            state.directory.remove(obj)
+
+    # -- proxy-side insert (GD on each fetched object) -------------------------
+
+    def _proxy_insert(self, state: _ClusterState, obj: int, cost: float) -> None:
+        state.costs[obj] = cost
+        evicted = state.proxy.insert(obj, cost=cost)
+        for d1 in evicted:
+            if d1 != obj:
+                self._pass_down(state, d1)
+
+    # -- request path -----------------------------------------------------------
+
+    def process(self, cluster: int, client: int, obj: int) -> str:
+        state = self.states[cluster]
+        # 1. Local proxy cache (greedy-dual bookkeeping on hit).
+        if state.proxy.lookup(obj):
+            return TIER_LOCAL_PROXY
+
+        # 2. Own P2P client cache, via the lookup directory.
+        if obj in state.directory:
+            self._msg["p2p_lookups"] += 1
+            holder = self._locate(state, obj)
+            if holder is not None:
+                state.clients[holder].lookup(obj)  # GD credit refresh
+                if self.config.promote_on_p2p_hit:
+                    self._proxy_insert(state, obj, cost=self._t_p2p)
+                return TIER_LOCAL_P2P
+            # Bloom false positive: a wasted LAN round into the overlay.
+            self._msg["directory_false_positives"] += 1
+            self.add_extra_latency(self._t_p2p)
+
+        # 3. Cooperating proxies: their proxy caches first (cheaper) ...
+        for other, other_state in enumerate(self.states):
+            if other != cluster and other_state.proxy.contains(obj):
+                self._proxy_insert(state, obj, cost=self._t_coop)
+                return TIER_COOP_PROXY
+
+        # ... then their P2P client caches through the push protocol.
+        for other, other_state in enumerate(self.states):
+            if other == cluster or obj not in other_state.directory:
+                continue
+            self._msg["push_requests"] += 1
+            holder = self._locate(other_state, obj)
+            if holder is not None:
+                other_state.clients[holder].lookup(obj)
+                self._proxy_insert(state, obj, cost=self._t_coop + self._t_p2p)
+                return TIER_COOP_P2P
+            self._msg["directory_false_positives"] += 1
+            self.add_extra_latency(self._t_coop + self._t_p2p)
+
+        # 4. Origin server.
+        self._proxy_insert(state, obj, cost=self._t_server)
+        return TIER_SERVER
+
+    # -- reporting ------------------------------------------------------------------
+
+    def finalize(self) -> tuple[dict[str, int], dict[str, float]]:
+        extras: dict[str, float] = {"extra_latency": self.extra_latency}
+        total_msgs = sum(s.overlay.stats.messages for s in self.states)
+        total_hops = sum(s.overlay.stats.total_hops for s in self.states)
+        if total_msgs:
+            extras["mean_pastry_hops"] = total_hops / total_msgs
+        extras["directory_bytes"] = float(
+            sum(s.directory.memory_bytes() for s in self.states)
+        )
+        extras["p2p_objects"] = float(sum(len(s.p2p_present) for s in self.states))
+        return dict(self._msg), extras

@@ -1,0 +1,120 @@
+"""Result containers and the paper's evaluation metric.
+
+The paper's single headline metric is **latency gain** (§5.1): the
+relative reduction in mean access latency with respect to the NC
+baseline, ``1 − L_scheme / L_NC``.  Every figure plots it, so
+:func:`latency_gain` is the quantity the whole benchmark harness reports.
+
+:class:`SchemeResult` additionally keeps per-tier hit counts (where each
+request was served) and the Hier-GD protocol's message accounting
+(piggybacks, diversions, pushes, Bloom false positives, Pastry hops) so
+the design-issue discussion of §4 is quantifiable, not just narrated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..netmodel import ALL_TIERS
+
+__all__ = ["SchemeResult", "latency_gain"]
+
+
+@dataclass
+class SchemeResult:
+    """Outcome of simulating one scheme over one workload."""
+
+    scheme: str
+    n_requests: int
+    total_latency: float
+    #: Requests served per tier (keys from :data:`repro.netmodel.ALL_TIERS`).
+    tier_counts: dict[str, int] = field(default_factory=dict)
+    #: Protocol message counters (Hier-GD only; empty for upper bounds).
+    messages: dict[str, int] = field(default_factory=dict)
+    #: Free-form extras (mean Pastry hops, directory memory, etc.).
+    extras: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_requests < 0 or self.total_latency < 0:
+            raise ValueError("n_requests and total_latency must be non-negative")
+        counted = sum(self.tier_counts.values())
+        if self.tier_counts and counted != self.n_requests:
+            raise ValueError(
+                f"tier counts sum to {counted}, expected {self.n_requests}"
+            )
+        unknown = set(self.tier_counts) - set(ALL_TIERS)
+        if unknown:
+            raise ValueError(f"unknown tiers {sorted(unknown)}")
+
+    @property
+    def mean_latency(self) -> float:
+        """Average client-perceived access latency."""
+        return self.total_latency / self.n_requests if self.n_requests else 0.0
+
+    def hit_rate(self, tier: str) -> float:
+        """Fraction of requests served from ``tier``."""
+        if tier not in ALL_TIERS:
+            raise KeyError(f"unknown tier {tier!r}")
+        if not self.n_requests:
+            return 0.0
+        return self.tier_counts.get(tier, 0) / self.n_requests
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of requests that went all the way to the server."""
+        return self.hit_rate("server")
+
+    def latency_distribution(self, network) -> list[tuple[float, int]]:
+        """Exact latency distribution as sorted ``(latency, count)`` pairs.
+
+        With equal-size objects every request's latency is fully
+        determined by its serving tier, so the distribution is exact (no
+        sampling).  ``network`` is the :class:`~repro.netmodel.
+        NetworkConfig` the run used.
+        """
+        pairs = [
+            (network.latency(tier), count)
+            for tier, count in self.tier_counts.items()
+        ]
+        pairs.sort()
+        return pairs
+
+    def percentile(self, p: float, network) -> float:
+        """Latency percentile ``p`` (0 < p <= 100) of the distribution.
+
+        Useful beyond the paper's mean-latency metric: tail latency shows
+        how often clients still pay the full server round trip.
+        """
+        if not 0 < p <= 100:
+            raise ValueError("p must be in (0, 100]")
+        if not self.n_requests:
+            return 0.0
+        target = p / 100 * self.n_requests
+        seen = 0
+        for latency, count in self.latency_distribution(network):
+            seen += count
+            if seen >= target:
+                return latency
+        return self.latency_distribution(network)[-1][0]
+
+    def summary(self) -> str:
+        """Compact human-readable report line."""
+        tiers = " ".join(
+            f"{t}={self.hit_rate(t):.1%}" for t in ALL_TIERS if self.tier_counts.get(t)
+        )
+        return (
+            f"{self.scheme}: mean latency {self.mean_latency:.3f} "
+            f"over {self.n_requests} requests ({tiers})"
+        )
+
+
+def latency_gain(result: SchemeResult, baseline: SchemeResult) -> float:
+    """The paper's latency gain: ``1 − L_scheme / L_baseline`` (§5.1).
+
+    ``baseline`` is the NC scheme in every figure.  Positive values mean
+    the scheme beats NC; the gain is expressed as a fraction (multiply by
+    100 for the figures' percent axes).
+    """
+    if baseline.mean_latency <= 0:
+        raise ValueError("baseline mean latency must be positive")
+    return 1.0 - result.mean_latency / baseline.mean_latency

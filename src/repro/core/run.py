@@ -1,0 +1,81 @@
+"""High-level entry points: generate workloads, run schemes, compute gains.
+
+This is the layer the examples and the benchmark harness talk to::
+
+    cfg = SimulationConfig()
+    traces = generate_workloads(cfg, seed=1)
+    results = run_all_schemes(cfg, traces)
+    gains = gains_vs_nc(results)
+
+Traces are generated once per workload configuration and shared across
+schemes (the paper compares schemes on *the same* trace), so a sweep
+over schemes costs one workload generation.
+"""
+
+from __future__ import annotations
+
+from ..workload import Trace, generate_cluster_traces
+from .config import SimulationConfig
+from .metrics import SchemeResult, latency_gain
+from .schemes import SCHEME_REGISTRY
+
+__all__ = [
+    "available_schemes",
+    "generate_workloads",
+    "run_scheme",
+    "run_all_schemes",
+    "gains_vs_nc",
+]
+
+
+def available_schemes() -> list[str]:
+    """Registry names in the paper's presentation order."""
+    return list(SCHEME_REGISTRY)
+
+
+def generate_workloads(config: SimulationConfig, seed: int = 0) -> list[Trace]:
+    """One statistically identical trace per client cluster (§5.1)."""
+    return generate_cluster_traces(config.workload, config.n_proxies, seed=seed)
+
+
+def run_scheme(
+    name: str,
+    config: SimulationConfig,
+    traces: list[Trace] | None = None,
+    seed: int = 0,
+) -> SchemeResult:
+    """Simulate one scheme; generates the workload if none is supplied."""
+    try:
+        scheme_cls = SCHEME_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheme {name!r}; available: {', '.join(SCHEME_REGISTRY)}"
+        ) from None
+    if traces is None:
+        traces = generate_workloads(config, seed=seed)
+    return scheme_cls(config, traces).run()
+
+
+def run_all_schemes(
+    config: SimulationConfig,
+    traces: list[Trace] | None = None,
+    schemes: list[str] | None = None,
+    seed: int = 0,
+) -> dict[str, SchemeResult]:
+    """Run several schemes over the same workload; keyed by scheme name."""
+    if traces is None:
+        traces = generate_workloads(config, seed=seed)
+    names = schemes if schemes is not None else available_schemes()
+    return {name: run_scheme(name, config, traces) for name in names}
+
+
+def gains_vs_nc(results: dict[str, SchemeResult]) -> dict[str, float]:
+    """Latency gain of every scheme vs the NC baseline (must be present)."""
+    if "nc" not in results:
+        raise KeyError("results must include the 'nc' baseline")
+    baseline = results["nc"]
+    return {
+        name: latency_gain(res, baseline)
+        for name, res in results.items()
+        if name != "nc"
+    }

@@ -1,0 +1,49 @@
+"""The seven caching schemes of the paper (§2, §3).
+
+=========  ==========================================  ====================
+name       cooperation                                 replacement
+=========  ==========================================  ====================
+nc         none                                        LFU
+sc         serve each other's misses                   LFU
+fc         misses + coordinated replacement            cost-benefit
+nc-ec      none; unified proxy+P2P cache               unified LFU
+sc-ec      misses; unified proxy+P2P caches            unified LFU
+fc-ec      misses + coordination over proxy+P2P        cost-benefit
+hier-gd    misses; P2P tier via real Pastry mechanism  greedy-dual (Hier-GD)
+=========  ==========================================  ====================
+"""
+
+from ..hiergd import HierGdScheme
+from ..simulator import CachingScheme
+from .baselines import NcScheme, ScScheme
+from .exploit import NcEcScheme, ScEcScheme
+from .full import FcScheme
+from .full_ec import FcEcScheme
+from .squirrel import SquirrelScheme
+
+#: Registry used by :mod:`repro.core.run` and the experiment harness,
+#: in the paper's presentation order; "squirrel" is the §6 related-work
+#: baseline (not part of the paper's figures).
+SCHEME_REGISTRY: dict[str, type[CachingScheme]] = {
+    NcScheme.name: NcScheme,
+    ScScheme.name: ScScheme,
+    FcScheme.name: FcScheme,
+    NcEcScheme.name: NcEcScheme,
+    ScEcScheme.name: ScEcScheme,
+    FcEcScheme.name: FcEcScheme,
+    HierGdScheme.name: HierGdScheme,
+    SquirrelScheme.name: SquirrelScheme,
+}
+
+__all__ = [
+    "SCHEME_REGISTRY",
+    "CachingScheme",
+    "NcScheme",
+    "ScScheme",
+    "FcScheme",
+    "NcEcScheme",
+    "ScEcScheme",
+    "FcEcScheme",
+    "HierGdScheme",
+    "SquirrelScheme",
+]

@@ -1,0 +1,83 @@
+"""NC and SC — the classical schemes without client caches (§2).
+
+* **NC (No Cache Cooperation)** — every proxy runs a private LFU cache;
+  a proxy miss always goes to the origin server.  NC is the baseline of
+  the paper's latency-gain metric.
+* **SC (Simple Cache Cooperation)** — proxies serve each other's misses:
+  a proxy that misses locally probes its cooperating proxies and fetches
+  from one that holds the object (at ``Tc``), then caches the object
+  locally ("once a proxy fetches an object from another proxy, it caches
+  the object locally" — duplication allowed, replacement uncoordinated).
+
+Both use LFU replacement per §2, perfect-counting variant (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from ...cache import LfuCache
+from ...netmodel import TIER_COOP_PROXY, TIER_LOCAL_PROXY, TIER_SERVER
+from ...workload import Trace
+from ..config import SimulationConfig
+from ..simulator import CachingScheme
+
+__all__ = ["NcScheme", "ScScheme"]
+
+
+class NcScheme(CachingScheme):
+    """No cache cooperation: isolated per-proxy LFU caches."""
+
+    name = "nc"
+
+    def __init__(self, config: SimulationConfig, traces: list[Trace]) -> None:
+        super().__init__(config, traces)
+        self.caches = [
+            LfuCache(s.proxy_size, reset_on_evict=config.lfu_reset_on_evict)
+            for s in self.sizings
+        ]
+
+    def process(self, cluster: int, client: int, obj: int) -> str:
+        cache = self.caches[cluster]
+        if cache.lookup(obj):
+            return TIER_LOCAL_PROXY
+        cache.insert(obj)
+        return TIER_SERVER
+
+
+class ScScheme(CachingScheme):
+    """Simple cooperation: serve each other's misses, no coordination.
+
+    Message accounting (for the overhead-vs-benefit discussion): every
+    local miss probes the cooperating proxies ICP-style — one probe per
+    co-proxy until a hit — and every remote hit costs one fetch.
+    """
+
+    name = "sc"
+
+    def __init__(self, config: SimulationConfig, traces: list[Trace]) -> None:
+        super().__init__(config, traces)
+        self.caches = [
+            LfuCache(s.proxy_size, reset_on_evict=config.lfu_reset_on_evict)
+            for s in self.sizings
+        ]
+        self._probes = 0
+        self._coop_fetches = 0
+
+    def process(self, cluster: int, client: int, obj: int) -> str:
+        cache = self.caches[cluster]
+        if cache.lookup(obj):
+            return TIER_LOCAL_PROXY
+        # Probe cooperating proxies (membership only: a remote probe is
+        # not a local reference at the remote cache).
+        tier = TIER_SERVER
+        for other, remote in enumerate(self.caches):
+            if other != cluster:
+                self._probes += 1
+                if remote.contains(obj):
+                    tier = TIER_COOP_PROXY
+                    self._coop_fetches += 1
+                    break
+        cache.insert(obj)
+        return tier
+
+    def finalize(self) -> tuple[dict[str, int], dict[str, float]]:
+        return {"coop_probes": self._probes, "coop_fetches": self._coop_fetches}, {}

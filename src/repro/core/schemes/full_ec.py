@@ -1,0 +1,136 @@
+"""FC-EC — full coordination over proxy *and* P2P client caches (§2).
+
+The strongest upper bound in the paper: "all proxies and P2P client
+caches not only share their cached objects but also coordinate object
+replacement decisions", with cost-benefit replacement under perfect
+frequency knowledge.
+
+Implementation composes the two building blocks already proven out:
+
+* the **global coordinated copy store** of :class:`FcScheme` (primary /
+  duplicate copy values, greedy admission against the global minimum),
+  with per-cluster capacity ``proxy_size + p2p_size``;
+* a per-cluster :class:`~repro.cache.topk.TopKTracker` that partitions
+  each cluster's copies into the proxy tier (the ``proxy_size`` most
+  valuable copies, hits at ``Tl``) and the client tier (the rest, hits
+  at ``Tl + Tp2p``) — the same hottest-objects-at-the-proxy discipline
+  the unified -EC model uses, driven by copy values instead of raw
+  frequency.
+
+Serving a remote hit prefers a cluster holding the object in its proxy
+tier (``Tc``) over one that must push it out of a client cache
+(``Tc + Tp2p``).
+"""
+
+from __future__ import annotations
+
+from ...cache import HeapDict
+from ...cache.topk import TopKTracker
+from ...netmodel import (
+    TIER_COOP_P2P,
+    TIER_COOP_PROXY,
+    TIER_LOCAL_P2P,
+    TIER_LOCAL_PROXY,
+    TIER_SERVER,
+)
+from ...workload import Trace
+from ..config import SimulationConfig
+from ..simulator import CachingScheme
+
+__all__ = ["FcEcScheme"]
+
+
+class FcEcScheme(CachingScheme):
+    """Full coordination across proxy caches and P2P client caches."""
+
+    name = "fc-ec"
+
+    def __init__(self, config: SimulationConfig, traces: list[Trace]) -> None:
+        super().__init__(config, traces)
+        self._freq = [t.reference_counts() for t in traces]
+        self._freq_total = sum(self._freq)
+        self.capacity = sum(s.proxy_size + s.p2p_size for s in self.sizings)
+        net = config.network
+        self._benefit_remote = net.benefit_first_copy_remote
+        self._benefit_local = net.benefit_local_copy
+        self._copies = HeapDict()
+        self._holders: dict[int, set[int]] = {}
+        self._primary: dict[int, int] = {}
+        self._local: list[set[int]] = [set() for _ in traces]
+        self._placement_updates = 0
+        self._tiers = [TopKTracker(s.proxy_size) for s in self.sizings]
+
+    def _value(self, obj: int, cluster: int, primary: bool) -> float:
+        v = float(self._freq[cluster][obj]) * self._benefit_local
+        if primary:
+            v += float(self._freq_total[obj]) * self._benefit_remote
+        return v
+
+    def _add_copy(self, obj: int, cluster: int) -> None:
+        holders = self._holders.setdefault(obj, set())
+        primary = not holders
+        holders.add(cluster)
+        if primary:
+            self._primary[obj] = cluster
+        self._local[cluster].add(obj)
+        self._placement_updates += 1
+        value = self._value(obj, cluster, primary)
+        self._copies.push((obj, cluster), value)
+        self._tiers[cluster].add(obj, value)
+
+    def _evict_min(self) -> None:
+        self._placement_updates += 1
+        (obj, cluster), _value = self._copies.pop_min()
+        self._local[cluster].discard(obj)
+        self._tiers[cluster].remove(obj)
+        holders = self._holders[obj]
+        holders.discard(cluster)
+        if not holders:
+            del self._holders[obj]
+            del self._primary[obj]
+            return
+        if self._primary[obj] == cluster:
+            new_primary = max(holders, key=lambda q: self._freq[q][obj])
+            self._primary[obj] = new_primary
+            value = self._value(obj, new_primary, True)
+            self._copies.push((obj, new_primary), value)
+            self._tiers[new_primary].update(obj, value)
+
+    def _consider_copy(self, obj: int, cluster: int) -> None:
+        if obj in self._local[cluster]:
+            return
+        primary = obj not in self._holders
+        value = self._value(obj, cluster, primary)
+        if len(self._copies) < self.capacity:
+            self._add_copy(obj, cluster)
+            return
+        if self.capacity == 0:
+            return
+        _victim, min_value = self._copies.peek_min()
+        if value > min_value:
+            self._evict_min()
+            self._add_copy(obj, cluster)
+
+    def process(self, cluster: int, client: int, obj: int) -> str:
+        if obj in self._local[cluster]:
+            return (
+                TIER_LOCAL_PROXY
+                if self._tiers[cluster].in_top(obj)
+                else TIER_LOCAL_P2P
+            )
+        holders = self._holders.get(obj)
+        if holders:
+            # Prefer a remote proxy-tier copy over a remote P2P push.
+            tier = TIER_COOP_P2P
+            for q in holders:
+                if self._tiers[q].in_top(obj):
+                    tier = TIER_COOP_PROXY
+                    break
+        else:
+            tier = TIER_SERVER
+        self._consider_copy(obj, cluster)
+        return tier
+
+    def finalize(self) -> tuple[dict[str, int], dict[str, float]]:
+        """Coordination cost: one update message per placement change."""
+        return {"placement_updates": self._placement_updates}, {}

@@ -1,0 +1,120 @@
+"""Trace-driven simulation engine.
+
+The paper evaluates every scheme by replaying request traces against the
+cache hierarchy and accumulating client-perceived latency (§5.1).  This
+module provides the engine those schemes plug into:
+
+* :class:`CachingScheme` — the per-scheme contract: given (cluster,
+  client, object), decide which tier serves the request, mutating cache
+  state along the way.
+* :meth:`CachingScheme.run` — replays the per-cluster traces round-robin
+  (request i of every cluster before request i+1 of any; the traces carry
+  no timestamps because the paper's clusters are statistically
+  identical), maps each served tier to its latency, and assembles the
+  :class:`~repro.core.metrics.SchemeResult`.
+
+The engine is deliberately minimal: all intelligence lives in the
+schemes, so the simulator core stays identical for the upper-bound
+models and the mechanism-level Hier-GD, and a measured difference between
+two schemes can only come from the schemes themselves.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..netmodel import ALL_TIERS
+from ..workload import Trace
+from .config import ClusterSizing, SimulationConfig
+from .metrics import SchemeResult
+
+__all__ = ["CachingScheme"]
+
+
+class CachingScheme(ABC):
+    """Base class for all caching schemes (NC … FC-EC, Hier-GD)."""
+
+    #: Registry name; subclasses must override.
+    name = "abstract"
+
+    def __init__(self, config: SimulationConfig, traces: list[Trace]) -> None:
+        if len(traces) != config.n_proxies:
+            raise ValueError(
+                f"{config.n_proxies} proxies need {config.n_proxies} traces, "
+                f"got {len(traces)}"
+            )
+        if not traces:
+            raise ValueError("at least one trace required")
+        self.config = config
+        self.traces = traces
+        self.sizings: list[ClusterSizing] = [config.sizing_for(t) for t in traces]
+        #: Latency not attributable to a serving tier (e.g. wasted rounds
+        #: caused by Bloom-directory false positives); added to the total.
+        #: Schemes must report it through :meth:`add_extra_latency` so it
+        #: respects the warmup window.
+        self.extra_latency = 0.0
+        self._in_warmup = False
+
+    def add_extra_latency(self, amount: float) -> None:
+        """Record off-tier latency (ignored during the warmup window)."""
+        if not self._in_warmup:
+            self.extra_latency += amount
+
+    # -- scheme contract ----------------------------------------------------
+
+    @abstractmethod
+    def process(self, cluster: int, client: int, obj: int) -> str:
+        """Serve one request; return the serving tier (see netmodel)."""
+
+    def finalize(self) -> tuple[dict[str, int], dict[str, float]]:
+        """(messages, extras) accounting collected during the run.
+
+        Upper-bound schemes have no protocol messages; Hier-GD overrides.
+        """
+        return {}, {}
+
+    # -- engine ----------------------------------------------------------------
+
+    def run(self) -> SchemeResult:
+        """Replay all traces and return the aggregated result."""
+        net = self.config.network
+        latency_of = {tier: net.latency(tier) for tier in ALL_TIERS}
+        tier_counts = dict.fromkeys(ALL_TIERS, 0)
+        total_latency = 0.0
+        n_requests = 0
+
+        # Materialise per-cluster python lists once: element access on
+        # numpy scalars inside the hot loop costs ~3x a list index.
+        streams = [
+            (t.object_ids.tolist(), t.client_ids.tolist()) for t in self.traces
+        ]
+        process = self.process
+        longest = max(len(objs) for objs, _ in streams)
+        active = [c for c, (objs, _) in enumerate(streams) if objs]
+        total_expected = sum(len(objs) for objs, _ in streams)
+        warmup_n = int(self.config.warmup_fraction * total_expected)
+        self._in_warmup = warmup_n > 0
+        processed = 0
+        for i in range(longest):
+            for c in active:
+                objs, clients = streams[c]
+                if i < len(objs):
+                    tier = process(c, clients[i], objs[i])
+                    processed += 1
+                    if processed <= warmup_n:
+                        if processed == warmup_n:
+                            self._in_warmup = False
+                        continue  # caches warm, statistics excluded
+                    tier_counts[tier] += 1
+                    total_latency += latency_of[tier]
+                    n_requests += 1
+
+        messages, extras = self.finalize()
+        return SchemeResult(
+            scheme=self.name,
+            n_requests=n_requests,
+            total_latency=total_latency + self.extra_latency,
+            tier_counts={t: n for t, n in tier_counts.items() if n},
+            messages=messages,
+            extras=extras,
+        )

@@ -1,0 +1,46 @@
+"""Experiment harness: one module per paper figure + sweep infrastructure.
+
+- :mod:`repro.experiments.runner` — scales, base configs, the cache-size
+  sweep primitive.
+- :mod:`repro.experiments.figure2` — Fig 2(a)/(b): all schemes vs cache
+  size, synthetic and UCB-like workloads.
+- :mod:`repro.experiments.figure3` — Fig 3: Zipf α sensitivity.
+- :mod:`repro.experiments.figure4` — Fig 4: temporal-locality sensitivity.
+- :mod:`repro.experiments.figure5` — Fig 5(a)-(d): network ratios, client
+  cluster size, proxy cluster size.
+- :mod:`repro.experiments.cli` — the ``repro-experiments`` command.
+"""
+
+from .figure2 import figure2a, figure2b
+from .figure3 import figure3
+from .figure4 import figure4
+from .figure5 import figure5a, figure5b, figure5c, figure5d
+from .runner import (
+    DEFAULT_FRACTIONS,
+    PAPER_SCHEMES,
+    SCALES,
+    Scale,
+    base_config,
+    base_workload,
+    cache_size_sweep,
+    current_scale,
+)
+
+__all__ = [
+    "figure2a",
+    "figure2b",
+    "figure3",
+    "figure4",
+    "figure5a",
+    "figure5b",
+    "figure5c",
+    "figure5d",
+    "DEFAULT_FRACTIONS",
+    "PAPER_SCHEMES",
+    "SCALES",
+    "Scale",
+    "base_config",
+    "base_workload",
+    "cache_size_sweep",
+    "current_scale",
+]

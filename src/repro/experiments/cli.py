@@ -1,0 +1,105 @@
+"""``repro-experiments`` — regenerate the paper's figures from the CLI.
+
+Usage::
+
+    repro-experiments all                 # every figure at REPRO_SCALE
+    repro-experiments fig2a fig5c         # a subset
+    repro-experiments fig3 --scale smoke  # quick shape check
+    repro-experiments fig2a --out results # also write CSVs
+
+Each figure prints the data table (the same rows the paper plots) and an
+ASCII rendering of the curves; ``--out`` additionally saves one CSV per
+panel for external plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+from ..analysis.plots import ascii_plot
+from ..analysis.results import SweepResult
+from .figure2 import figure2a, figure2b
+from .figure3 import figure3
+from .figure4 import figure4
+from .figure5 import figure5a, figure5b, figure5c, figure5d
+from .runner import SCALES, current_scale
+
+__all__ = ["main", "FIGURES"]
+
+#: Figure id -> callable returning SweepResult or dict[str, SweepResult].
+FIGURES = {
+    "fig2a": figure2a,
+    "fig2b": figure2b,
+    "fig3": figure3,
+    "fig4": figure4,
+    "fig5a": figure5a,
+    "fig5b": figure5b,
+    "fig5c": figure5c,
+    "fig5d": figure5d,
+}
+
+
+def _emit(name: str, result: SweepResult | dict, out_dir: Path | None) -> None:
+    sweeps = result if isinstance(result, dict) else {name: result}
+    for key, sweep in sweeps.items():
+        print()
+        print(sweep.to_table())
+        print()
+        print(ascii_plot(sweep))
+        if out_dir is not None:
+            path = out_dir / f"{name}_{key}.csv" if key != name else out_dir / f"{name}.csv"
+            sweep.save_csv(path)
+            print(f"[saved {path}]")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the figures of Zhu & Hu (ICPP 2003).",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="+",
+        choices=[*FIGURES, "all"],
+        help="figure ids to run ('all' for every figure)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=list(SCALES),
+        default=None,
+        help="override REPRO_SCALE for this invocation",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="directory to write per-panel CSV files into",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.scale is not None:
+        os.environ["REPRO_SCALE"] = args.scale
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    names = list(FIGURES) if "all" in args.figures else list(dict.fromkeys(args.figures))
+    scale = current_scale()
+    print(f"scale={scale.label} ({scale.n_requests} requests, "
+          f"{scale.n_objects} objects, {scale.n_clients} clients per cluster)")
+    for name in names:
+        started = time.time()
+        print(f"\n### {name} ...", flush=True)
+        result = FIGURES[name](seed=args.seed)
+        _emit(name, result, args.out)
+        print(f"[{name} done in {time.time() - started:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Figure 2 — latency gain vs. proxy cache size, all schemes.
+
+Panel (a): the default synthetic ProWGen workload (§5.1).
+Panel (b): the UCB Home-IP trace (substituted by the UCB-like synthetic
+workload, DESIGN.md §5 — lower absolute gains, same scheme ordering).
+
+Expected shapes (paper §5.2): FC/FC-EC above SC/SC-EC above NC-EC; every
+-EC scheme above its base scheme; Hier-GD above SC-EC/SC/NC-EC and above
+FC at small cache sizes; all gains shrink as the proxy cache approaches
+the object universe.
+"""
+
+from __future__ import annotations
+
+from ..analysis.results import SweepResult
+from ..workload import ucb_like_config
+from .runner import (
+    DEFAULT_FRACTIONS,
+    PAPER_SCHEMES,
+    Scale,
+    base_config,
+    cache_size_sweep,
+    current_scale,
+)
+
+__all__ = ["figure2a", "figure2b"]
+
+
+def figure2a(
+    scale: Scale | None = None,
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+    seed: int = 0,
+) -> SweepResult:
+    """Latency gain vs proxy cache size, synthetic workload (Fig 2a)."""
+    config = base_config(scale)
+    sweep = cache_size_sweep(
+        config,
+        schemes=PAPER_SCHEMES,
+        fractions=fractions,
+        seed=seed,
+        title="Figure 2(a): latency gain vs cache size (synthetic)",
+    )
+    sweep.notes = config.describe()
+    return sweep
+
+
+def figure2b(
+    scale: Scale | None = None,
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+    seed: int = 0,
+) -> SweepResult:
+    """Latency gain vs proxy cache size, UCB-like workload (Fig 2b)."""
+    scale = scale or current_scale()
+    workload = ucb_like_config(
+        n_requests=scale.n_requests, n_clients=scale.n_clients
+    )
+    config = base_config(scale, workload=workload)
+    sweep = cache_size_sweep(
+        config,
+        schemes=PAPER_SCHEMES,
+        fractions=fractions,
+        seed=seed,
+        title="Figure 2(b): latency gain vs cache size (UCB-like trace)",
+    )
+    sweep.notes = "UCB Home-IP substitute; " + config.describe()
+    return sweep

@@ -1,0 +1,56 @@
+"""Figure 3 — sensitivity to the object popularity distribution (Zipf α).
+
+Four panels (FC/NC, SC-EC/NC, FC-EC/NC, Hier-GD/NC), each plotting the
+scheme's latency gain vs proxy cache size for α ∈ {0.5, 0.7, 1.0}.
+
+Expected shape (paper §5.2): smaller α ⇒ larger latency gains — less
+skew means a larger working set, and "cooperation is most effective when
+the working set is large" (for the most popular objects only the first
+access can benefit from a cooperating cache).
+"""
+
+from __future__ import annotations
+
+from ..analysis.results import SweepResult
+from .runner import (
+    DEFAULT_FRACTIONS,
+    Scale,
+    base_config,
+    base_workload,
+    cache_size_sweep,
+)
+
+__all__ = ["PANEL_SCHEMES", "figure3"]
+
+#: The four panels the paper shows (it observes similar behaviour on the
+#: remaining schemes).
+PANEL_SCHEMES = ("fc", "sc-ec", "fc-ec", "hier-gd")
+
+DEFAULT_ALPHAS = (0.5, 0.7, 1.0)
+
+
+def figure3(
+    scale: Scale | None = None,
+    alphas: tuple[float, ...] = DEFAULT_ALPHAS,
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+    seed: int = 0,
+) -> dict[str, SweepResult]:
+    """One sweep per panel scheme; series are the α values."""
+    panels = {
+        scheme: SweepResult(
+            title=f"Figure 3: latency gain vs cache size — {scheme}/nc",
+            x_label="cache size (%)",
+            x_values=[100.0 * f for f in fractions],
+        )
+        for scheme in PANEL_SCHEMES
+    }
+    for alpha in alphas:
+        config = base_config(scale, workload=base_workload(scale, alpha=alpha))
+        sweep = cache_size_sweep(
+            config, schemes=PANEL_SCHEMES, fractions=fractions, seed=seed
+        )
+        for scheme in PANEL_SCHEMES:
+            panels[scheme].add(f"alpha={alpha:g}", sweep.get(scheme).values)
+    for panel in panels.values():
+        panel.notes = "object popularity sweep; remaining parameters at defaults"
+    return panels

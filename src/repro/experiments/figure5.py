@@ -1,0 +1,136 @@
+"""Figure 5 — Hier-GD sensitivity panels.
+
+(a) proxy-to-proxy latency: latency gain vs cache size for
+    ``Ts/Tc`` ∈ {2, 5, 10} — gain increases with the ratio;
+(b) client-to-proxy latency: ``Ts/Tl`` ∈ {5, 10, 20} — same direction;
+(c) client cluster size ∈ {100, 400, 800, 1000} (plus SC and FC
+    reference curves) — more client caches, more gain, especially at
+    small proxy caches;
+(d) proxy cluster size ∈ {2, 5, 10} — more proxies, more gain,
+    especially at small proxy caches.
+"""
+
+from __future__ import annotations
+
+from ..analysis.results import SweepResult
+from .runner import (
+    DEFAULT_FRACTIONS,
+    Scale,
+    base_config,
+    base_workload,
+    cache_size_sweep,
+)
+
+__all__ = ["figure5a", "figure5b", "figure5c", "figure5d"]
+
+DEFAULT_TC_RATIOS = (2.0, 5.0, 10.0)
+DEFAULT_TL_RATIOS = (5.0, 10.0, 20.0)
+DEFAULT_CLUSTER_SIZES = (100, 400, 800, 1000)
+DEFAULT_PROXY_COUNTS = (2, 5, 10)
+
+
+def figure5a(
+    scale: Scale | None = None,
+    ratios: tuple[float, ...] = DEFAULT_TC_RATIOS,
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+    seed: int = 0,
+) -> SweepResult:
+    """Hier-GD latency gain vs cache size for Ts/Tc ratios (Fig 5a)."""
+    sweep = SweepResult(
+        title="Figure 5(a): Hier-GD/NC gain vs Ts/Tc",
+        x_label="cache size (%)",
+        x_values=[100.0 * f for f in fractions],
+    )
+    base = base_config(scale)
+    for ratio in ratios:
+        config = base.with_changes(network=base.network.with_ratios(ts_over_tc=ratio))
+        inner = cache_size_sweep(
+            config, schemes=("hier-gd",), fractions=fractions, seed=seed
+        )
+        sweep.add(f"Ts/Tc={ratio:g}", inner.get("hier-gd").values)
+    sweep.notes = "inter-proxy latency sweep"
+    return sweep
+
+
+def figure5b(
+    scale: Scale | None = None,
+    ratios: tuple[float, ...] = DEFAULT_TL_RATIOS,
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+    seed: int = 0,
+) -> SweepResult:
+    """Hier-GD latency gain vs cache size for Ts/Tl ratios (Fig 5b)."""
+    sweep = SweepResult(
+        title="Figure 5(b): Hier-GD/NC gain vs Ts/Tl",
+        x_label="cache size (%)",
+        x_values=[100.0 * f for f in fractions],
+    )
+    base = base_config(scale)
+    for ratio in ratios:
+        config = base.with_changes(network=base.network.with_ratios(ts_over_tl=ratio))
+        inner = cache_size_sweep(
+            config, schemes=("hier-gd",), fractions=fractions, seed=seed
+        )
+        sweep.add(f"Ts/Tl={ratio:g}", inner.get("hier-gd").values)
+    sweep.notes = "client-to-proxy latency sweep"
+    return sweep
+
+
+def figure5c(
+    scale: Scale | None = None,
+    cluster_sizes: tuple[int, ...] = DEFAULT_CLUSTER_SIZES,
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+    seed: int = 0,
+) -> SweepResult:
+    """Hier-GD gain vs client cluster size, with SC/FC references (Fig 5c).
+
+    Larger clusters contribute more client caches (each 0.1 % of the
+    ICS), so the P2P tier grows from 10 % to 100 % of the infinite cache
+    size across the paper's 100→1000 sweep.
+    """
+    sweep = SweepResult(
+        title="Figure 5(c): Hier-GD/NC gain vs client cluster size",
+        x_label="cache size (%)",
+        x_values=[100.0 * f for f in fractions],
+    )
+    # SC and FC references (client-cache free, cluster size irrelevant).
+    ref = cache_size_sweep(
+        base_config(scale), schemes=("sc", "fc"), fractions=fractions, seed=seed
+    )
+    sweep.add("sc", ref.get("sc").values)
+    sweep.add("fc", ref.get("fc").values)
+    for n_clients in cluster_sizes:
+        config = base_config(
+            scale, workload=base_workload(scale, n_clients=n_clients)
+        )
+        inner = cache_size_sweep(
+            config, schemes=("hier-gd",), fractions=fractions, seed=seed
+        )
+        sweep.add(f"hier-gd ({n_clients})", inner.get("hier-gd").values)
+    sweep.notes = "client caches are 0.1% of ICS each; P2P tier grows with the cluster"
+    return sweep
+
+
+def figure5d(
+    scale: Scale | None = None,
+    proxy_counts: tuple[int, ...] = DEFAULT_PROXY_COUNTS,
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+    seed: int = 0,
+) -> SweepResult:
+    """Hier-GD gain vs proxy cluster size (Fig 5d).
+
+    The paper assumes equal latency between every proxy pair; the
+    latency model already does (a single ``Tc``).
+    """
+    sweep = SweepResult(
+        title="Figure 5(d): Hier-GD/NC gain vs proxy cluster size",
+        x_label="cache size (%)",
+        x_values=[100.0 * f for f in fractions],
+    )
+    for n_proxies in proxy_counts:
+        config = base_config(scale, n_proxies=n_proxies)
+        inner = cache_size_sweep(
+            config, schemes=("hier-gd",), fractions=fractions, seed=seed
+        )
+        sweep.add(f"{n_proxies} proxies", inner.get("hier-gd").values)
+    sweep.notes = "equal pairwise proxy latency Tc"
+    return sweep

@@ -1,0 +1,211 @@
+"""Markdown experiment report generator.
+
+Runs the complete figure suite and renders a self-contained markdown
+report: one section per figure with the measured data table, the list of
+paper claims checked against the curves, and a ✓/✗ verdict per claim.
+``EXPERIMENTS.md`` in this repository is the curated form of this
+output; the generator lets anyone re-derive it at any scale::
+
+    python -m repro.experiments.report --scale smoke --out report.md
+
+Claims are expressed as named predicates over :class:`~repro.analysis.
+results.SweepResult` objects so they are testable in isolation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from ..analysis.results import SweepResult
+from .figure2 import figure2a, figure2b
+from .figure3 import figure3
+from .figure4 import figure4
+from .figure5 import figure5a, figure5b, figure5c, figure5d
+from .runner import current_scale
+
+__all__ = ["Claim", "FIGURE_CLAIMS", "evaluate_claims", "generate_report", "main"]
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values)
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One testable statement the paper makes about a figure."""
+
+    text: str
+    check: Callable[[dict[str, SweepResult]], bool]
+
+
+def _fig2_claims(panel: str) -> list[Claim]:
+    def g(sweeps, label):
+        return sweeps[panel].get(label).values
+
+    return [
+        Claim(
+            "increasing coordination helps: FC > SC and FC-EC > SC-EC > NC-EC",
+            lambda s: _mean(g(s, "fc")) > _mean(g(s, "sc"))
+            and _mean(g(s, "fc-ec")) > _mean(g(s, "sc-ec")) > _mean(g(s, "nc-ec")),
+        ),
+        Claim(
+            "exploiting client caches helps: X-EC > X at the smallest cache",
+            lambda s: g(s, "sc-ec")[0] > g(s, "sc")[0]
+            and g(s, "fc-ec")[0] > g(s, "fc")[0]
+            and g(s, "nc-ec")[0] > 0,
+        ),
+        Claim(
+            "Hier-GD > SC-EC, SC, NC-EC (mean over the sweep)",
+            lambda s: _mean(g(s, "hier-gd")) > _mean(g(s, "sc-ec"))
+            and _mean(g(s, "hier-gd")) > _mean(g(s, "sc"))
+            and _mean(g(s, "hier-gd")) > _mean(g(s, "nc-ec")),
+        ),
+        Claim(
+            "Hier-GD > FC at the smallest proxy cache",
+            lambda s: g(s, "hier-gd")[0] > g(s, "fc")[0],
+        ),
+    ]
+
+
+FIGURE_CLAIMS: dict[str, list[Claim]] = {
+    "fig2a": _fig2_claims("fig2a"),
+    "fig2b": _fig2_claims("fig2b")[:3],  # decay/crossover differ on UCB
+    "fig3": [
+        Claim(
+            "smaller alpha gives larger gains for FC and FC-EC",
+            lambda s: _mean(s["fc"].get("alpha=0.5").values)
+            > _mean(s["fc"].get("alpha=1").values)
+            and _mean(s["fc-ec"].get("alpha=0.5").values)
+            > _mean(s["fc-ec"].get("alpha=1").values),
+        ),
+    ],
+    "fig4": [
+        Claim(
+            "smaller stacks give larger gains for FC and FC-EC",
+            lambda s: _mean(s["fc"].get("stack=5%").values)
+            > _mean(s["fc"].get("stack=60%").values)
+            and _mean(s["fc-ec"].get("stack=5%").values)
+            > _mean(s["fc-ec"].get("stack=60%").values),
+        ),
+        Claim(
+            "SC-EC reverses at small proxy caches (larger stack, larger gain)",
+            lambda s: s["sc-ec"].get("stack=60%").values[0]
+            > s["sc-ec"].get("stack=5%").values[0],
+        ),
+    ],
+    "fig5a": [
+        Claim(
+            "gain increases with Ts/Tc",
+            lambda s: _mean(s["fig5a"].get("Ts/Tc=10").values)
+            > _mean(s["fig5a"].get("Ts/Tc=5").values)
+            > _mean(s["fig5a"].get("Ts/Tc=2").values),
+        ),
+    ],
+    "fig5b": [
+        Claim(
+            "gain increases with Ts/Tl",
+            lambda s: _mean(s["fig5b"].get("Ts/Tl=20").values)
+            > _mean(s["fig5b"].get("Ts/Tl=10").values)
+            > _mean(s["fig5b"].get("Ts/Tl=5").values),
+        ),
+    ],
+    "fig5c": [
+        Claim(
+            "more client caches, more gain (monotone in cluster size)",
+            lambda s: _cluster_means(s["fig5c"]) == sorted(_cluster_means(s["fig5c"])),
+        ),
+    ],
+    "fig5d": [
+        Claim(
+            "more proxies, more gain",
+            lambda s: _proxy_means(s["fig5d"]) == sorted(_proxy_means(s["fig5d"])),
+        ),
+    ],
+}
+
+
+def _cluster_means(sweep: SweepResult) -> list[float]:
+    labels = [l for l in sweep.labels if l.startswith("hier-gd")]
+    return [_mean(sweep.get(l).values) for l in labels]
+
+
+def _proxy_means(sweep: SweepResult) -> list[float]:
+    return [_mean(s.values) for s in sweep.series]
+
+
+def evaluate_claims(name: str, sweeps: dict[str, SweepResult]) -> list[tuple[Claim, bool]]:
+    """(claim, verdict) pairs for one figure."""
+    return [(c, bool(c.check(sweeps))) for c in FIGURE_CLAIMS.get(name, [])]
+
+
+def _run_figures(seed: int) -> dict[str, dict[str, SweepResult]]:
+    out: dict[str, dict[str, SweepResult]] = {}
+    out["fig2a"] = {"fig2a": figure2a(seed=seed)}
+    out["fig2b"] = {"fig2b": figure2b(seed=seed)}
+    out["fig3"] = figure3(seed=seed)
+    out["fig4"] = figure4(seed=seed)
+    out["fig5a"] = {"fig5a": figure5a(seed=seed)}
+    out["fig5b"] = {"fig5b": figure5b(seed=seed)}
+    out["fig5c"] = {"fig5c": figure5c(seed=seed)}
+    out["fig5d"] = {"fig5d": figure5d(seed=seed)}
+    return out
+
+
+def render_markdown(all_sweeps: dict[str, dict[str, SweepResult]]) -> str:
+    """Render figures + claim verdicts as a markdown document."""
+    scale = current_scale()
+    lines = [
+        "# Experiment report",
+        "",
+        f"Scale: **{scale.label}** ({scale.n_requests} requests, "
+        f"{scale.n_objects} objects, {scale.n_clients} clients per cluster).",
+        "",
+    ]
+    for name, sweeps in all_sweeps.items():
+        lines.append(f"## {name}")
+        lines.append("")
+        for key, sweep in sweeps.items():
+            lines.append(f"### {sweep.title}")
+            lines.append("")
+            lines.append("```")
+            lines.append(sweep.to_table())
+            lines.append("```")
+            lines.append("")
+        verdicts = evaluate_claims(name, sweeps)
+        if verdicts:
+            lines.append("Paper claims:")
+            lines.append("")
+            for claim, ok in verdicts:
+                lines.append(f"- {'✅' if ok else '❌'} {claim.text}")
+            lines.append("")
+    return "\n".join(lines)
+
+
+def generate_report(seed: int = 0) -> str:
+    return render_markdown(_run_figures(seed))
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover - thin CLI
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("smoke", "default", "paper"))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=Path, default=None)
+    args = parser.parse_args(argv)
+    if args.scale:
+        os.environ["REPRO_SCALE"] = args.scale
+    report = generate_report(seed=args.seed)
+    if args.out:
+        args.out.write_text(report, encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,144 @@
+"""Experiment infrastructure: scales, sweeps, shared workloads.
+
+Every figure in the paper sweeps proxy cache size (10 %–100 % of the
+infinite cache size) for some set of schemes under some workload/network
+variation.  :func:`cache_size_sweep` implements that once; the figure
+modules compose it.
+
+**Scale control.**  The paper's configuration (10⁶ requests over 10⁴
+objects per cluster) takes tens of minutes for the full figure suite in
+pure Python, so the harness supports three scales selected by the
+``REPRO_SCALE`` environment variable:
+
+========  ==========  =========  ========  =========================
+scale     requests    objects    clients   purpose
+========  ==========  =========  ========  =========================
+smoke     20 000      1 000      50        CI / quick shape check
+default   100 000     2 500      100       benchmark harness default
+paper     1 000 000   10 000     100       the paper's §5.1 numbers
+========  ==========  =========  ========  =========================
+
+All scales preserve the paper's *proportions* (requests per object,
+one-timer fraction, 0.1 %-of-ICS client caches), so curve shapes — the
+reproduction target — are stable across scales; only noise shrinks as
+the scale grows.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..core.config import SimulationConfig
+from ..core.metrics import SchemeResult, latency_gain
+from ..core.run import run_scheme
+from ..workload import ProWGenConfig, Trace, generate_cluster_traces
+from ..analysis.results import SweepResult
+
+__all__ = [
+    "Scale",
+    "SCALES",
+    "current_scale",
+    "base_workload",
+    "base_config",
+    "DEFAULT_FRACTIONS",
+    "PAPER_SCHEMES",
+    "cache_size_sweep",
+]
+
+#: The figures' x-axis: proxy cache size as a fraction of the ICS.
+DEFAULT_FRACTIONS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+#: All schemes of Figure 2, in the paper's legend order.
+PAPER_SCHEMES = ("sc", "fc", "nc-ec", "sc-ec", "fc-ec", "hier-gd")
+
+
+@dataclass(frozen=True)
+class Scale:
+    """One row of the scale table above."""
+
+    label: str
+    n_requests: int
+    n_objects: int
+    n_clients: int
+
+
+SCALES = {
+    "smoke": Scale("smoke", 20_000, 1_000, 50),
+    "default": Scale("default", 100_000, 2_500, 100),
+    "paper": Scale("paper", 1_000_000, 10_000, 100),
+}
+
+
+def current_scale() -> Scale:
+    """Scale selected by ``REPRO_SCALE`` (default: ``default``)."""
+    label = os.environ.get("REPRO_SCALE", "default")
+    try:
+        return SCALES[label]
+    except KeyError:
+        raise ValueError(
+            f"REPRO_SCALE={label!r}; expected one of {', '.join(SCALES)}"
+        ) from None
+
+
+def base_workload(scale: Scale | None = None, **overrides) -> ProWGenConfig:
+    """The paper's §5.1 workload at the requested scale."""
+    scale = scale or current_scale()
+    params = dict(
+        n_requests=scale.n_requests,
+        n_objects=scale.n_objects,
+        n_clients=scale.n_clients,
+    )
+    params.update(overrides)
+    return ProWGenConfig(**params)
+
+
+def base_config(scale: Scale | None = None, **overrides) -> SimulationConfig:
+    """The paper's default simulation configuration at the given scale."""
+    workload = overrides.pop("workload", None) or base_workload(scale)
+    return SimulationConfig(workload=workload, **overrides)
+
+
+def cache_size_sweep(
+    config: SimulationConfig,
+    schemes: tuple[str, ...] | list[str] = PAPER_SCHEMES,
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+    seed: int = 0,
+    title: str = "latency gain vs proxy cache size",
+    traces: list[Trace] | None = None,
+) -> SweepResult:
+    """Sweep proxy cache size; report latency gain (%) vs NC per scheme.
+
+    The workload is generated once and shared across every fraction and
+    scheme (the paper compares schemes on identical traces).  NC is run
+    per fraction as the gain baseline and is not itself a series.
+    """
+    if traces is None:
+        traces = generate_cluster_traces(config.workload, config.n_proxies, seed=seed)
+    gains: dict[str, list[float]] = {name: [] for name in schemes}
+    for fraction in fractions:
+        cfg = config.with_changes(proxy_cache_fraction=fraction)
+        baseline = run_scheme("nc", cfg, traces)
+        for name in schemes:
+            result = run_scheme(name, cfg, traces)
+            gains[name].append(100.0 * latency_gain(result, baseline))
+    sweep = SweepResult(
+        title=title,
+        x_label="cache size (%)",
+        x_values=[100.0 * f for f in fractions],
+    )
+    for name in schemes:
+        sweep.add(name, gains[name])
+    return sweep
+
+
+def single_point(
+    config: SimulationConfig,
+    scheme: str,
+    seed: int = 0,
+    traces: list[Trace] | None = None,
+) -> tuple[SchemeResult, SchemeResult]:
+    """(scheme result, NC baseline) at one configuration point."""
+    if traces is None:
+        traces = generate_cluster_traces(config.workload, config.n_proxies, seed=seed)
+    return run_scheme(scheme, config, traces), run_scheme("nc", config, traces)

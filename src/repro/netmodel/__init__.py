@@ -1,0 +1,21 @@
+"""Network latency model (the paper's Ts / Tc / Tl / Tp2p parameters)."""
+
+from .latency import (
+    ALL_TIERS,
+    TIER_COOP_P2P,
+    TIER_COOP_PROXY,
+    TIER_LOCAL_P2P,
+    TIER_LOCAL_PROXY,
+    TIER_SERVER,
+    NetworkConfig,
+)
+
+__all__ = [
+    "ALL_TIERS",
+    "TIER_COOP_P2P",
+    "TIER_COOP_PROXY",
+    "TIER_LOCAL_P2P",
+    "TIER_LOCAL_PROXY",
+    "TIER_SERVER",
+    "NetworkConfig",
+]

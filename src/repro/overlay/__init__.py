@@ -1,0 +1,42 @@
+"""Pastry overlay substrate: id space, per-node state, membership, DHT.
+
+The paper (§4.1) federates the browser caches of a client cluster into one
+P2P client cache using the Pastry overlay; this subpackage implements that
+substrate from scratch:
+
+- :mod:`repro.overlay.id_space` — the circular 128-bit identifier space.
+- :mod:`repro.overlay.pastry` — routing table + leaf set per node.
+- :mod:`repro.overlay.network` — membership, join/failure repair, routing.
+- :mod:`repro.overlay.dht` — objectId → owning cacheId placement.
+"""
+
+from .coords import coords_for_name, path_distance, torus_distance
+from .dht import Dht
+from .id_space import (
+    IdSpace,
+    node_id_from_name,
+    object_id_for_url,
+    ring_distance,
+    shared_prefix_len,
+)
+from .network import Overlay, RouteResult, RouteStats
+from .pastry import DEFAULT_LEAF_SET_SIZE, LeafSet, PastryNode, RoutingTable
+
+__all__ = [
+    "coords_for_name",
+    "path_distance",
+    "torus_distance",
+    "Dht",
+    "IdSpace",
+    "node_id_from_name",
+    "object_id_for_url",
+    "ring_distance",
+    "shared_prefix_len",
+    "Overlay",
+    "RouteResult",
+    "RouteStats",
+    "DEFAULT_LEAF_SET_SIZE",
+    "LeafSet",
+    "PastryNode",
+    "RoutingTable",
+]

@@ -1,0 +1,45 @@
+"""Network-proximity coordinates for the overlay's locality properties.
+
+Pastry's distinguishing feature over plain prefix routing is *locality*:
+among all nodes eligible for a routing-table slot it prefers the one
+closest by a network proximity metric, which keeps the physical distance
+of each hop short and the total route "stretch" (path distance over
+direct distance) low.
+
+The simulation models proximity as positions on a 2-D unit torus —
+the standard stand-in for network round-trip distance in overlay
+studies: it is homogeneous (no edge effects) and cheap to evaluate.
+Coordinates derive deterministically from node names, so experiments are
+reproducible without storing state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+__all__ = ["coords_for_name", "torus_distance", "path_distance"]
+
+
+def coords_for_name(name: str) -> tuple[float, float]:
+    """Deterministic position on the unit torus for a node name."""
+    digest = hashlib.blake2b(name.encode("utf-8"), digest_size=8).digest()
+    x = int.from_bytes(digest[:4], "big") / 2**32
+    y = int.from_bytes(digest[4:], "big") / 2**32
+    return (x, y)
+
+
+def torus_distance(a: tuple[float, float], b: tuple[float, float]) -> float:
+    """Euclidean distance on the unit torus (wrap-around per axis)."""
+    dx = abs(a[0] - b[0])
+    dy = abs(a[1] - b[1])
+    dx = min(dx, 1.0 - dx)
+    dy = min(dy, 1.0 - dy)
+    return math.hypot(dx, dy)
+
+
+def path_distance(points: list[tuple[float, float]]) -> float:
+    """Total torus distance along a hop sequence."""
+    return sum(
+        torus_distance(points[i], points[i + 1]) for i in range(len(points) - 1)
+    )

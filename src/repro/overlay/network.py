@@ -1,0 +1,318 @@
+"""Overlay membership and message routing for the simulated Pastry network.
+
+:class:`Overlay` owns the set of live :class:`~repro.overlay.pastry.PastryNode`
+instances forming one P2P client cache (one per client cluster in the paper)
+and moves messages between them:
+
+* :meth:`Overlay.join` implements the outcome of Pastry's join protocol —
+  the new node initialises its routing table from the nodes on the route
+  from its bootstrap to its id's current root, copies the root's leaf set,
+  and announces itself so existing nodes fold it into their state.
+* :meth:`Overlay.fail` / :meth:`Overlay.leave` remove a node and repair
+  affected leaf sets / routing-table slots (the *result* of Pastry's repair
+  protocol, not its message exchange — the paper's simulator does the
+  same).
+* :meth:`Overlay.route` performs hop-by-hop prefix routing and returns the
+  delivery node with the hop count, feeding the paper's
+  ``ceil(log_{2**b} N)`` hop-efficiency claim (§4.1).
+
+The overlay also maintains a globally sorted id list so tests can check
+each delivery against the ground-truth *numerically closest* node, and so
+the DHT layer can resolve keys in O(log N) on the simulation hot path.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from .coords import coords_for_name, torus_distance
+from .id_space import IdSpace
+from .pastry import DEFAULT_LEAF_SET_SIZE, PastryNode
+
+__all__ = ["RouteResult", "RouteStats", "Overlay"]
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """Outcome of routing one message.
+
+    Attributes
+    ----------
+    root:
+        NodeId of the delivery node (the key's root).
+    hops:
+        Number of forwarding steps taken (0 when the origin is the root).
+    path:
+        NodeIds visited, origin first, root last.
+    """
+
+    root: int
+    hops: int
+    path: tuple[int, ...]
+
+
+@dataclass
+class RouteStats:
+    """Aggregate routing statistics: hops and physical route stretch."""
+
+    messages: int = 0
+    total_hops: int = 0
+    max_hops: int = 0
+    hop_histogram: dict[int, int] = field(default_factory=dict)
+    #: Physical (proximity-metric) distance travelled along all paths.
+    total_path_distance: float = 0.0
+    #: Direct origin→root distance summed over all messages.
+    total_direct_distance: float = 0.0
+
+    def record(self, hops: int, path_distance: float = 0.0, direct: float = 0.0) -> None:
+        self.messages += 1
+        self.total_hops += hops
+        if hops > self.max_hops:
+            self.max_hops = hops
+        self.hop_histogram[hops] = self.hop_histogram.get(hops, 0) + 1
+        self.total_path_distance += path_distance
+        self.total_direct_distance += direct
+
+    @property
+    def mean_hops(self) -> float:
+        return self.total_hops / self.messages if self.messages else 0.0
+
+    @property
+    def mean_stretch(self) -> float:
+        """Route stretch: path distance over direct distance (>= 1).
+
+        Pastry's locality heuristic exists to keep this small; compare an
+        overlay built with ``proximity=True`` against one without.
+        """
+        if self.total_direct_distance <= 0:
+            return 1.0
+        return self.total_path_distance / self.total_direct_distance
+
+
+class Overlay:
+    """A live Pastry overlay: membership, state maintenance, routing."""
+
+    #: Safety bound on forwarding steps; Pastry converges in
+    #: O(log N) hops, so hitting this indicates a routing-state bug.
+    MAX_HOPS = 64
+
+    def __init__(
+        self,
+        space: IdSpace | None = None,
+        leaf_size: int = DEFAULT_LEAF_SET_SIZE,
+        proximity: bool = False,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        proximity:
+            Enable Pastry's locality heuristic: routing-table slots
+            prefer the physically closest eligible node (coordinates on
+            a unit torus derived from node names), reducing route
+            stretch.  Leaf sets are id-space-defined and unaffected.
+        """
+        self.space = space or IdSpace()
+        self.leaf_size = leaf_size
+        self.proximity = proximity
+        self.nodes: dict[int, PastryNode] = {}
+        self.coords: dict[int, tuple[float, float]] = {}
+        self._sorted_ids: list[int] = []
+        self.stats = RouteStats()
+        #: Bumped on every membership change; DHT caches key off this.
+        self.epoch = 0
+
+    def _prefer_for(self, owner_id: int):
+        """Routing-table replacement heuristic for one node (or None)."""
+        if not self.proximity:
+            return None
+        own = self.coords[owner_id]
+
+        def closer(candidate: int, incumbent: int) -> bool:
+            return torus_distance(self.coords[candidate], own) < torus_distance(
+                self.coords[incumbent], own
+            )
+
+        return closer
+
+    def _learn(self, node: PastryNode, other_id: int) -> None:
+        node.learn(other_id, prefer=self._prefer_for(node.node_id))
+
+    # -- membership -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self.nodes
+
+    def node(self, node_id: int) -> PastryNode:
+        return self.nodes[node_id]
+
+    def node_ids(self) -> list[int]:
+        """Live node ids in ascending order (a copy)."""
+        return list(self._sorted_ids)
+
+    def add_named(self, name: str) -> PastryNode:
+        """Create and join a node whose id and coordinates derive from
+        ``name``."""
+        return self.join(self.space.node_id(name), coords=coords_for_name(name))
+
+    def join(
+        self, node_id: int, coords: tuple[float, float] | None = None
+    ) -> PastryNode:
+        """Join a new node, initialising state per Pastry's join protocol.
+
+        The new node X asks a bootstrap A to route a join message to X's
+        id; X builds routing-table row ``i`` from the ``i``-th node on the
+        path, takes its leaf set from the delivery node Z, then announces
+        itself to every node it learned about (and, transitively, the
+        announcement reaches all nodes whose state should include X —
+        simulated here by offering X to all nodes whose leaf set or
+        eligible routing slot it affects).
+        """
+        if node_id in self.nodes:
+            raise ValueError(f"node {self.space.format_id(node_id)} already in overlay")
+        if not self.space.contains(node_id):
+            raise ValueError("node id outside id space")
+        new = PastryNode(node_id, self.space, self.leaf_size)
+        self.coords[node_id] = (
+            coords if coords is not None else coords_for_name(self.space.format_id(node_id))
+        )
+        if self.nodes:
+            bootstrap = self._sorted_ids[0]
+            result = self._route_internal(node_id, start=bootstrap, record=False)
+            # Row-by-row state transfer from the nodes along the join path.
+            for hop_id in result.path:
+                self._learn(new, hop_id)
+                for known in self.nodes[hop_id].known_nodes():
+                    self._learn(new, known)
+            # Leaf set seeded from the root's leaf set.
+            root = self.nodes[result.root]
+            self._learn(new, result.root)
+            for leaf in root.leaves.members():
+                self._learn(new, leaf)
+            # Announce: all live nodes fold the newcomer into their state.
+            # (Pastry sends X's state to the nodes in X's tables; their
+            # repair gossip reaches the rest. We apply the converged
+            # outcome directly.)
+            for other in self.nodes.values():
+                self._learn(other, node_id)
+        self.nodes[node_id] = new
+        bisect.insort(self._sorted_ids, node_id)
+        self.epoch += 1
+        return new
+
+    def leave(self, node_id: int) -> None:
+        """Graceful departure (state repair identical to failure here)."""
+        self.fail(node_id)
+
+    def fail(self, node_id: int) -> None:
+        """Remove a node and repair the survivors' state.
+
+        Leaf-set repair contacts the live nodes adjacent on the ring;
+        routing-table repair refills a vacated slot with any live eligible
+        node (what Pastry's lazy repair converges to).
+        """
+        if node_id not in self.nodes:
+            raise KeyError(f"unknown node {self.space.format_id(node_id)}")
+        del self.nodes[node_id]
+        self.coords.pop(node_id, None)
+        idx = bisect.bisect_left(self._sorted_ids, node_id)
+        self._sorted_ids.pop(idx)
+        self.epoch += 1
+        for survivor in self.nodes.values():
+            in_leaves = node_id in survivor.leaves
+            survivor.forget(node_id)
+            if in_leaves:
+                self._repair_leaves(survivor)
+
+    def _repair_leaves(self, node: PastryNode) -> None:
+        """Refill a node's leaf set from ring-adjacent live nodes."""
+        n = len(self._sorted_ids)
+        if n <= 1:
+            return
+        idx = bisect.bisect_left(self._sorted_ids, node.node_id)
+        # Offer up to leaf_size neighbours on each side; LeafSet.add keeps
+        # only the closest l/2 per side.
+        for off in range(1, min(self.leaf_size + 1, n)):
+            self._learn(node, self._sorted_ids[(idx + off) % n])
+            self._learn(node, self._sorted_ids[(idx - off) % n])
+
+    # -- routing ----------------------------------------------------------
+
+    def numerically_closest(self, key: int) -> int:
+        """Ground-truth root for ``key``: live node minimising ring distance."""
+        if not self._sorted_ids:
+            raise RuntimeError("overlay is empty")
+        ids = self._sorted_ids
+        idx = bisect.bisect_left(ids, key)
+        candidates = {ids[idx % len(ids)], ids[(idx - 1) % len(ids)]}
+        return min(candidates, key=lambda n: (self.space.distance(n, key), n))
+
+    def route(self, key: int, start: int | None = None) -> RouteResult:
+        """Route a message for ``key`` from ``start`` (default: any node)."""
+        result = self._route_internal(key, start, record=True)
+        return result
+
+    def _route_internal(self, key: int, start: int | None, record: bool) -> RouteResult:
+        if not self.nodes:
+            raise RuntimeError("overlay is empty")
+        if start is None:
+            start = self._sorted_ids[0]
+        if start not in self.nodes:
+            raise KeyError(f"start node {self.space.format_id(start)} not live")
+        current = start
+        path = [current]
+        visited = {current}
+        for _ in range(self.MAX_HOPS):
+            action, nxt = self.nodes[current].route_decision(key)
+            if action == "deliver":
+                break
+            assert nxt is not None
+            if nxt not in self.nodes or nxt in visited:
+                # Stale entry (failed node) or loop: local repair — drop the
+                # bad entry and retry the decision from the same node.
+                self.nodes[current].forget(nxt)
+                self._repair_leaves(self.nodes[current])
+                continue
+            current = nxt
+            path.append(current)
+            visited.add(current)
+        else:
+            raise RuntimeError(
+                f"routing for key {self.space.format_id(key)} exceeded "
+                f"{self.MAX_HOPS} hops — corrupt routing state"
+            )
+        result = RouteResult(root=current, hops=len(path) - 1, path=tuple(path))
+        if record:
+            pts = [self.coords[n] for n in path]
+            travelled = sum(
+                torus_distance(pts[i], pts[i + 1]) for i in range(len(pts) - 1)
+            )
+            direct = torus_distance(pts[0], pts[-1]) if len(pts) > 1 else 0.0
+            self.stats.record(result.hops, path_distance=travelled, direct=direct)
+        return result
+
+    # -- convenience ------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        names: list[str] | int,
+        space: IdSpace | None = None,
+        leaf_size: int = DEFAULT_LEAF_SET_SIZE,
+        name_prefix: str = "cache",
+        proximity: bool = False,
+    ) -> "Overlay":
+        """Construct an overlay by joining nodes one at a time.
+
+        ``names`` may be an explicit list of node names or an int N, in
+        which case nodes ``f"{name_prefix}-{i}"`` for i in 0..N-1 join.
+        """
+        overlay = cls(space=space, leaf_size=leaf_size, proximity=proximity)
+        if isinstance(names, int):
+            names = [f"{name_prefix}-{i}" for i in range(names)]
+        for name in names:
+            overlay.add_named(name)
+        return overlay

@@ -1,0 +1,71 @@
+"""Workload substrate: ProWGen-style synthetic traces + UCB-like substitute.
+
+- :mod:`repro.workload.zipf` — Zipf popularity + alias sampling.
+- :mod:`repro.workload.lru_stack` — order-statistic LRU stack (temporal
+  locality model).
+- :mod:`repro.workload.prowgen` — the four-knob trace generator (§5.1).
+- :mod:`repro.workload.ucb` — UCB Home-IP trace substitute for Fig 2(b).
+- :mod:`repro.workload.trace` — compact trace container and IO.
+"""
+
+from .adapters import AdapterReport, from_common_log, from_squid_log
+from .lru_stack import LruStack
+from .stats import (
+    estimate_zipf_alpha,
+    mean_reuse_distance,
+    reuse_distances,
+    summarize,
+    temporal_locality_index,
+)
+from .prowgen import ProWGenConfig, generate_trace, sample_object_sizes
+from .trace import Trace, interleave, object_url
+from .ucb import UCB_TOTAL_REQUESTS, generate_ucb_like_trace, ucb_like_config
+from .zipf import AliasSampler, zipf_pmf, zipf_weights
+
+__all__ = [
+    "AdapterReport",
+    "from_common_log",
+    "from_squid_log",
+    "LruStack",
+    "estimate_zipf_alpha",
+    "mean_reuse_distance",
+    "reuse_distances",
+    "summarize",
+    "temporal_locality_index",
+    "ProWGenConfig",
+    "generate_trace",
+    "sample_object_sizes",
+    "Trace",
+    "interleave",
+    "object_url",
+    "UCB_TOTAL_REQUESTS",
+    "generate_ucb_like_trace",
+    "ucb_like_config",
+    "AliasSampler",
+    "zipf_pmf",
+    "zipf_weights",
+]
+
+
+def generate_cluster_traces(
+    config: ProWGenConfig, n_clusters: int, seed: int = 0
+) -> list[Trace]:
+    """Statistically identical traces for ``n_clusters`` client clusters.
+
+    Same generator parameters and the *same per-object popularity
+    assignment* (it is one Web: the hot objects are hot for everyone),
+    with independently ordered request streams per cluster — the paper's
+    assumption that "clients accessing different proxies are statistically
+    identical in their access pattern" (§5.1).
+    """
+    if n_clusters <= 0:
+        raise ValueError("n_clusters must be positive")
+    return [
+        generate_trace(
+            config,
+            seed=seed + 1000 * (i + 1),
+            name=f"cluster{i}",
+            counts_seed=seed,
+        )
+        for i in range(n_clusters)
+    ]

@@ -1,0 +1,277 @@
+"""ProWGen-style synthetic Web-proxy workload generator.
+
+The paper generates its synthetic traces with ProWGen (Busari &
+Williamson, INFOCOM'01), controlling four characteristics (§5.1):
+
+* **one-time referencing** — a fixed fraction of objects is referenced
+  exactly once (default 50 %);
+* **object popularity** — the remaining objects' reference counts follow
+  a Zipf-like distribution with parameter ``alpha`` (default 0.7);
+* **number of distinct objects** — default 10 000, one million requests;
+* **temporal locality** — modelled with a finite-size LRU stack whose
+  capacity is a percentage of the objects referenced more than once
+  (Figure 4 sweeps 5 %–60 %).
+
+ProWGen's sources are not available offline, so this is a documented
+reimplementation of the published model (DESIGN.md §5).  Generation works
+in two phases:
+
+1. **Counts** — one-timers get one reference each; every multi-reference
+   object gets ``2 + multinomial(budget, Zipf(alpha))`` references (the
+   "+2" enforces *referenced more than once*, which the paper's infinite-
+   cache-size definition depends on).
+2. **Ordering** — the reference stream is emitted one request at a time.
+   A finite LRU stack holds recently referenced, unexhausted objects.
+   Each request draws **from the stack** with probability equal to the
+   stack's share of the remaining reference mass — so a larger stack
+   captures more mass and produces a more temporally local stream, which
+   is exactly the knob direction Figure 4 relies on ("a larger LRU stack
+   means more objects exhibit temporal locality").  In-stack draws pick a
+   stack *position* from a recency-skewed (Zipf ``stack_skew``)
+   distribution; out-of-stack draws pick by residual popularity
+   (alias-method sampling with rejection, tables rebuilt when the
+   acceptance rate degrades).
+
+The emitted trace references each object exactly its assigned count, so
+aggregate popularity is Zipf by construction and temporal locality only
+reorders requests — matching ProWGen's separation of "static" vs
+"temporal" locality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .lru_stack import LruStack
+from .trace import Trace
+from .zipf import AliasSampler, zipf_pmf, zipf_weights
+
+__all__ = ["ProWGenConfig", "generate_trace", "sample_object_sizes"]
+
+
+@dataclass(frozen=True)
+class ProWGenConfig:
+    """Knobs of the synthetic workload (paper defaults, §5.1)."""
+
+    n_requests: int = 1_000_000
+    n_objects: int = 10_000
+    one_timer_fraction: float = 0.5
+    alpha: float = 0.7
+    #: LRU stack capacity as a fraction of multi-reference objects.
+    stack_fraction: float = 0.2
+    #: Skew of the stack-position re-reference distribution (1 = Zipf-1).
+    stack_skew: float = 1.0
+    n_clients: int = 100
+
+    def __post_init__(self) -> None:
+        if self.n_requests <= 0 or self.n_objects <= 0 or self.n_clients <= 0:
+            raise ValueError("n_requests, n_objects and n_clients must be positive")
+        if not 0.0 <= self.one_timer_fraction < 1.0:
+            raise ValueError("one_timer_fraction must be in [0, 1)")
+        if self.alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        if not 0.0 <= self.stack_fraction <= 1.0:
+            raise ValueError("stack_fraction must be in [0, 1]")
+        if self.stack_skew < 0:
+            raise ValueError("stack_skew must be non-negative")
+        n_one = round(self.one_timer_fraction * self.n_objects)
+        n_pop = self.n_objects - n_one
+        if self.n_requests < n_one + 2 * n_pop:
+            raise ValueError(
+                f"n_requests={self.n_requests} cannot reference {n_one} one-timers "
+                f"once and {n_pop} popular objects at least twice"
+            )
+
+    @property
+    def n_one_timers(self) -> int:
+        return round(self.one_timer_fraction * self.n_objects)
+
+    @property
+    def n_popular(self) -> int:
+        return self.n_objects - self.n_one_timers
+
+    @property
+    def stack_capacity(self) -> int:
+        return round(self.stack_fraction * self.n_popular)
+
+    def scaled(self, factor: float) -> "ProWGenConfig":
+        """A proportionally smaller/larger workload (same shape)."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return replace(
+            self,
+            n_requests=max(1, round(self.n_requests * factor)),
+            n_objects=max(1, round(self.n_objects * factor)),
+        )
+
+
+class _UniformPool:
+    """Batched uniform variates (one RNG call per 2¹⁶ draws)."""
+
+    __slots__ = ("_rng", "_buf", "_pos")
+    _BATCH = 1 << 16
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._buf = rng.random(self._BATCH)
+        self._pos = 0
+
+    def next(self) -> float:
+        if self._pos == self._BATCH:
+            self._buf = self._rng.random(self._BATCH)
+            self._pos = 0
+        v = self._buf[self._pos]
+        self._pos += 1
+        return v
+
+
+def _assign_counts(config: ProWGenConfig, rng: np.random.Generator) -> np.ndarray:
+    """Phase 1: per-object reference counts (one-timers + Zipf populars)."""
+    counts = np.zeros(config.n_objects, dtype=np.int64)
+    n_one, n_pop = config.n_one_timers, config.n_popular
+    # Object indices are a random permutation so id order carries no
+    # popularity signal (cache policies must not be able to cheat on ids).
+    perm = rng.permutation(config.n_objects)
+    one_ids, pop_ids = perm[:n_one], perm[n_one:]
+    counts[one_ids] = 1
+    if n_pop:
+        extra = config.n_requests - n_one - 2 * n_pop
+        pop_counts = np.full(n_pop, 2, dtype=np.int64)
+        if extra > 0:
+            pop_counts += rng.multinomial(extra, zipf_pmf(n_pop, config.alpha))
+        counts[pop_ids] = pop_counts
+    return counts
+
+
+def _emit_stream(
+    config: ProWGenConfig, counts: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Phase 2: order the references with the LRU-stack locality model."""
+    n_requests = int(counts.sum())
+    remaining = counts.copy()
+    in_stack = np.zeros(config.n_objects, dtype=bool)
+    stack = LruStack(config.stack_capacity)
+    uniforms = _UniformPool(rng)
+
+    # Recency-skewed stack-position distribution (prefix sums for search).
+    pos_cum = np.cumsum(zipf_weights(max(1, config.stack_capacity), config.stack_skew))
+
+    # Residual-popularity sampler for out-of-stack draws; rebuilt when the
+    # rejection rate shows the base table has drifted from the residuals.
+    def build_outside_sampler() -> AliasSampler | None:
+        weights = np.where(in_stack, 0, remaining).astype(np.float64)
+        if weights.sum() <= 0:
+            return None
+        return AliasSampler(weights)
+
+    outside = build_outside_sampler()
+    rejects = 0
+
+    out = np.empty(n_requests, dtype=np.int64)
+    mass_total = n_requests
+    mass_stack = 0
+
+    for i in range(n_requests):
+        obj = -1
+        from_stack = False
+        if len(stack) and uniforms.next() * mass_total < mass_stack:
+            # Draw a stack position by recency skew, clipped to occupancy.
+            total_w = pos_cum[len(stack) - 1]
+            p = int(np.searchsorted(pos_cum, uniforms.next() * total_w, side="right"))
+            obj = stack.object_at(min(p + 1, len(stack)))
+            from_stack = True
+        else:
+            # Out-of-stack: residual popularity with rejection.
+            while True:
+                if outside is None:
+                    # Unreachable while masses are consistent: outside mass
+                    # zero forces the stack branch above.  Guard loudly.
+                    raise RuntimeError("workload generator mass accounting broke")
+                cand = outside.sample(rng)
+                if remaining[cand] > 0 and not in_stack[cand]:
+                    obj = cand
+                    rejects = 0
+                    break
+                rejects += 1
+                if rejects >= 256:
+                    outside = build_outside_sampler()
+                    rejects = 0
+
+        out[i] = obj
+        remaining[obj] -= 1
+        mass_total -= 1
+        if from_stack:
+            mass_stack -= 1
+
+        if remaining[obj] == 0:
+            if from_stack:
+                stack.remove(obj)
+                in_stack[obj] = False
+        elif config.stack_capacity:
+            if from_stack:
+                stack.push(obj)  # move to top; no mass change
+            else:
+                evicted = stack.push(obj)
+                in_stack[obj] = True
+                mass_stack += remaining[obj]
+                if evicted is not None:
+                    in_stack[evicted] = False
+                    mass_stack -= remaining[evicted]
+    return out
+
+
+def generate_trace(
+    config: ProWGenConfig,
+    seed: int,
+    name: str | None = None,
+    counts_seed: int | None = None,
+) -> Trace:
+    """Generate one client cluster's trace.
+
+    Different proxies' clusters use the same config with different seeds —
+    the paper's "statistically identical" clients assumption (§5.1).
+    ``counts_seed`` fixes the per-object popularity assignment separately
+    from the request ordering: clusters of one experiment share it, so the
+    same objects are hot everywhere (it is one Web), while each cluster
+    orders its own references independently.  Without a shared popularity
+    assignment, cooperation would have almost nothing to share.
+    """
+    rng = np.random.default_rng(seed)
+    counts_rng = rng if counts_seed is None else np.random.default_rng(counts_seed)
+    counts = _assign_counts(config, counts_rng)
+    object_ids = _emit_stream(config, counts, rng)
+    client_ids = rng.integers(config.n_clients, size=len(object_ids), dtype=np.int32)
+    return Trace(
+        object_ids=object_ids,
+        client_ids=client_ids,
+        n_objects=config.n_objects,
+        n_clients=config.n_clients,
+        name=name or f"prowgen(a={config.alpha},stack={config.stack_fraction},seed={seed})",
+    )
+
+
+def sample_object_sizes(
+    n: int,
+    rng: np.random.Generator,
+    body_mean_log: float = 9.357,
+    body_sigma_log: float = 1.318,
+    tail_fraction: float = 0.07,
+    pareto_alpha: float = 1.1,
+    pareto_scale: float = 10_000.0,
+) -> np.ndarray:
+    """Object sizes: lognormal body + heavy Pareto tail (ProWGen's model).
+
+    Unused by the paper's experiments (equal-size assumption, §5.1) but
+    provided for workload realism in user studies; defaults approximate
+    published proxy-trace fits (sizes in bytes).
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if not 0 <= tail_fraction <= 1:
+        raise ValueError("tail_fraction must be in [0, 1]")
+    sizes = rng.lognormal(body_mean_log, body_sigma_log, size=n)
+    tail = rng.random(n) < tail_fraction
+    sizes[tail] = pareto_scale * (1.0 + rng.pareto(pareto_alpha, size=int(tail.sum())))
+    return np.maximum(sizes, 64).astype(np.int64)

@@ -1,0 +1,174 @@
+"""Compact request-trace container and IO.
+
+A trace is the sequence of HTTP requests one *client cluster* (the clients
+behind one proxy) issues: for each request, which client issued it and
+which object it addresses.  Objects are dense integer indices (the
+simulator's hot-path currency); URL strings exist only at the overlay
+boundary where SHA-1 objectIds are required, via :func:`object_url`.
+
+The container is numpy-backed (two parallel int arrays), so a paper-scale
+trace (10⁶ requests) is ~12 MB and trace statistics (reference counts,
+one-timer fraction, the paper's *infinite cache size*) are vectorised.
+
+The paper defines **infinite cache size** as "the number of distinct
+objects that are accessed more than once by clients in a client cluster"
+(§5.1); proxy cache sizes in every figure are percentages of this
+quantity, so it is computed here, per trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["Trace", "object_url", "interleave"]
+
+
+def object_url(object_id: int) -> str:
+    """Canonical URL for a simulated object (stable across the run)."""
+    return f"http://origin.example/obj/{object_id}"
+
+
+@dataclass
+class Trace:
+    """One client cluster's request stream.
+
+    Attributes
+    ----------
+    object_ids:
+        Requested object index per request (int64, dense in [0, n_objects)).
+    client_ids:
+        Issuing client index per request (int32, dense in [0, n_clients)).
+    n_objects:
+        Size of the object universe the ids are drawn from.
+    n_clients:
+        Number of clients in the cluster.
+    name:
+        Free-form label (workload family, seed) for reports.
+    """
+
+    object_ids: np.ndarray
+    client_ids: np.ndarray
+    n_objects: int
+    n_clients: int
+    name: str = ""
+    _counts: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.object_ids = np.ascontiguousarray(self.object_ids, dtype=np.int64)
+        self.client_ids = np.ascontiguousarray(self.client_ids, dtype=np.int32)
+        if self.object_ids.shape != self.client_ids.shape:
+            raise ValueError("object_ids and client_ids must have equal length")
+        if self.object_ids.ndim != 1:
+            raise ValueError("trace arrays must be 1-D")
+        if len(self.object_ids) and (
+            self.object_ids.min() < 0 or self.object_ids.max() >= self.n_objects
+        ):
+            raise ValueError("object ids out of range")
+        if len(self.client_ids) and (
+            self.client_ids.min() < 0 or self.client_ids.max() >= self.n_clients
+        ):
+            raise ValueError("client ids out of range")
+
+    def __len__(self) -> int:
+        return len(self.object_ids)
+
+    # -- statistics ---------------------------------------------------------
+
+    def reference_counts(self) -> np.ndarray:
+        """Per-object reference counts over the whole trace (cached)."""
+        if self._counts is None:
+            self._counts = np.bincount(self.object_ids, minlength=self.n_objects)
+        return self._counts
+
+    @property
+    def distinct_objects(self) -> int:
+        return int((self.reference_counts() > 0).sum())
+
+    @property
+    def infinite_cache_size(self) -> int:
+        """Distinct objects referenced more than once (paper §5.1)."""
+        return int((self.reference_counts() > 1).sum())
+
+    @property
+    def one_timer_fraction(self) -> float:
+        """Fraction of *referenced* objects that are referenced exactly once."""
+        counts = self.reference_counts()
+        referenced = counts > 0
+        total = int(referenced.sum())
+        if total == 0:
+            return 0.0
+        return float((counts == 1).sum() / total)
+
+    def frequency_table(self) -> dict[int, int]:
+        """Reference counts as a dict (the FC frequency oracle's input)."""
+        counts = self.reference_counts()
+        nz = np.nonzero(counts)[0]
+        return {int(o): int(counts[o]) for o in nz}
+
+    # -- IO -------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write as a small self-describing text format (one request/line)."""
+        path = Path(path)
+        with path.open("w", encoding="ascii") as fh:
+            fh.write(f"# repro-trace v1 name={self.name or '-'}\n")
+            fh.write(f"# n_objects={self.n_objects} n_clients={self.n_clients}\n")
+            for cid, oid in zip(self.client_ids, self.object_ids):
+                fh.write(f"{cid} {oid}\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        path = Path(path)
+        with path.open("r", encoding="ascii") as fh:
+            header = fh.readline()
+            if not header.startswith("# repro-trace v1"):
+                raise ValueError(f"{path} is not a repro trace file")
+            name = header.split("name=", 1)[1].strip()
+            meta = fh.readline().replace("#", "").split()
+            kv = dict(item.split("=") for item in meta)
+            body = fh.read()
+        if body.strip():
+            pairs = np.loadtxt(body.splitlines(), dtype=np.int64, ndmin=2)
+        else:
+            pairs = np.empty((0, 2), dtype=np.int64)
+        return cls(
+            object_ids=pairs[:, 1],
+            client_ids=pairs[:, 0].astype(np.int32),
+            n_objects=int(kv["n_objects"]),
+            n_clients=int(kv["n_clients"]),
+            name="" if name == "-" else name,
+        )
+
+    # -- transformations --------------------------------------------------------
+
+    def head(self, n: int) -> "Trace":
+        """First ``n`` requests (for smoke tests / scaled-down runs)."""
+        return Trace(
+            object_ids=self.object_ids[:n],
+            client_ids=self.client_ids[:n],
+            n_objects=self.n_objects,
+            n_clients=self.n_clients,
+            name=self.name,
+        )
+
+
+def interleave(traces: list[Trace]) -> list[tuple[int, int, int]]:
+    """Round-robin merge of per-cluster traces into one global stream.
+
+    Yields ``(cluster_index, client_id, object_id)`` triples in the order
+    the simulator processes them — request i of every cluster before
+    request i+1 of any (the paper's statistically-identical clusters have
+    no timestamps, so round-robin is the faithful interleaving).
+    """
+    out: list[tuple[int, int, int]] = []
+    if not traces:
+        return out
+    longest = max(len(t) for t in traces)
+    for i in range(longest):
+        for ci, t in enumerate(traces):
+            if i < len(t):
+                out.append((ci, int(t.client_ids[i]), int(t.object_ids[i])))
+    return out

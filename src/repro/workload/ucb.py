@@ -1,0 +1,69 @@
+"""UCB Home-IP trace substitute.
+
+Figure 2(b) of the paper uses the UC Berkeley Home-IP HTTP trace: "18
+days' worth of HTTP traces from the University of California at Berkeley
+Dial-IP service ... a total of 9,244,728 HTTP requests" (§5.1, [1]).  The
+original trace is not redistributable and unavailable offline, so per the
+substitution policy (DESIGN.md §5) this module synthesises a trace with
+the *published characteristics of Home-IP-class workloads* that drive the
+figure's shape:
+
+==========================  ==================  =========================
+characteristic              UCB Home-IP (lit.)  substitute default
+==========================  ==================  =========================
+requests                    9 244 728           scaled by the caller
+distinct objects/requests   high (≈ 0.3)        0.3 × n_requests
+one-timer fraction          ≈ 0.6 of objects    0.60
+Zipf alpha                  ≈ 0.8               0.80
+temporal locality           weak (dial-up mix)  stack_fraction 0.05
+clients                     ≈ 8 000 home hosts  600 per cluster (scaled)
+==========================  ==================  =========================
+
+What Figure 2(b) needs from the trace is (i) a much larger object
+universe relative to the request budget than the synthetic default —
+which depresses all hit rates and therefore all latency gains — and
+(ii) the same *ordering* of schemes.  Both survive this substitution; see
+EXPERIMENTS.md for the measured comparison.
+"""
+
+from __future__ import annotations
+
+from .prowgen import ProWGenConfig, generate_trace
+from .trace import Trace
+
+__all__ = ["UCB_TOTAL_REQUESTS", "ucb_like_config", "generate_ucb_like_trace"]
+
+#: Size of the real UCB Home-IP trace (paper §5.1), for scale reference.
+UCB_TOTAL_REQUESTS = 9_244_728
+
+
+def ucb_like_config(
+    n_requests: int = 1_000_000,
+    n_clients: int = 600,
+    objects_per_request: float = 0.3,
+) -> ProWGenConfig:
+    """ProWGen parameters tuned to UCB-Home-IP-like characteristics."""
+    if not 0 < objects_per_request <= 1:
+        raise ValueError("objects_per_request must be in (0, 1]")
+    n_objects = max(10, round(n_requests * objects_per_request))
+    # Keep the count-assignment feasible: one-timers once + populars twice.
+    # 0.6·N·1 + 0.4·N·2 = 1.4·N ≤ n_requests holds for N ≤ 0.71·n_requests.
+    return ProWGenConfig(
+        n_requests=n_requests,
+        n_objects=n_objects,
+        one_timer_fraction=0.60,
+        alpha=0.80,
+        stack_fraction=0.05,
+        n_clients=n_clients,
+    )
+
+
+def generate_ucb_like_trace(
+    n_requests: int = 1_000_000,
+    n_clients: int = 600,
+    seed: int = 0,
+) -> Trace:
+    """Synthesise one cluster's UCB-like trace (see module docstring)."""
+    config = ucb_like_config(n_requests=n_requests, n_clients=n_clients)
+    trace = generate_trace(config, seed=seed, name=f"ucb-like(seed={seed})")
+    return trace

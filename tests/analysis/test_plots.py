@@ -1,0 +1,61 @@
+"""Tests for the ASCII line-chart renderer."""
+
+import pytest
+
+from repro.analysis.plots import ascii_plot
+from repro.analysis.results import SweepResult
+
+
+def mk_sweep(n_series=2):
+    s = SweepResult(title="plot", x_label="x", x_values=[0, 50, 100])
+    for i in range(n_series):
+        s.add(f"s{i}", [float(i), 10.0 + i, 5.0 + i])
+    return s
+
+
+def test_contains_title_and_legend():
+    out = ascii_plot(mk_sweep())
+    assert out.splitlines()[0] == "plot"
+    assert "o=s0" in out and "x=s1" in out
+
+
+def test_axis_labels_present():
+    out = ascii_plot(mk_sweep())
+    assert "11.0" in out  # y max (10 + 1)
+    assert "0.0" in out  # y min
+
+
+def test_empty_series():
+    s = SweepResult(title="none", x_label="x", x_values=[1])
+    assert "(no series)" in ascii_plot(s)
+
+
+def test_dimension_validation():
+    with pytest.raises(ValueError):
+        ascii_plot(mk_sweep(), width=4)
+    with pytest.raises(ValueError):
+        ascii_plot(mk_sweep(), height=2)
+
+
+def test_flat_series_does_not_divide_by_zero():
+    s = SweepResult(title="flat", x_label="x", x_values=[1, 2])
+    s.add("const", [3.0, 3.0])
+    out = ascii_plot(s)
+    assert "const" in out
+
+
+def test_single_x_value():
+    s = SweepResult(title="pt", x_label="x", x_values=[5])
+    s.add("a", [1.0])
+    assert "pt" in ascii_plot(s)
+
+
+def test_marker_count_matches_series():
+    out = ascii_plot(mk_sweep(3))
+    assert "#=s2" not in out  # third marker is '+'
+    assert "+=s2" in out
+
+
+def test_explicit_y_bounds():
+    out = ascii_plot(mk_sweep(), y_min=0, y_max=100)
+    assert "100.0" in out

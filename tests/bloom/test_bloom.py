@@ -1,0 +1,215 @@
+"""Unit and property tests for the Bloom-filter substrate."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bloom import (
+    BloomFilter,
+    CountingBloomFilter,
+    optimal_num_bits,
+    optimal_num_hashes,
+)
+
+keys = st.one_of(
+    st.integers(min_value=0, max_value=(1 << 128) - 1),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+
+
+class TestSizing:
+    def test_optimal_bits_formula(self):
+        # n=1000, p=0.01 -> m ~ 9585.06 bits
+        assert optimal_num_bits(1000, 0.01) == math.ceil(
+            -1000 * math.log(0.01) / math.log(2) ** 2
+        )
+
+    def test_optimal_hashes_formula(self):
+        m = optimal_num_bits(1000, 0.01)
+        assert optimal_num_hashes(m, 1000) == round((m / 1000) * math.log(2))
+
+    def test_lower_fp_needs_more_bits(self):
+        assert optimal_num_bits(1000, 0.001) > optimal_num_bits(1000, 0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_num_bits(0, 0.01)
+        with pytest.raises(ValueError):
+            optimal_num_bits(10, 0.0)
+        with pytest.raises(ValueError):
+            optimal_num_bits(10, 1.0)
+        with pytest.raises(ValueError):
+            optimal_num_hashes(100, 0)
+
+
+@pytest.mark.parametrize("cls", [BloomFilter, CountingBloomFilter])
+class TestCommonBehaviour:
+    def test_no_false_negatives(self, cls):
+        bf = cls(capacity=500, fp_rate=0.01)
+        items = [f"http://site/{i}" for i in range(500)]
+        for it in items:
+            bf.add(it)
+        assert all(it in bf for it in items)
+
+    def test_empty_filter_contains_nothing(self, cls):
+        bf = cls(capacity=100)
+        assert "x" not in bf
+        assert bf.false_positive_rate() == 0.0
+
+    def test_fp_rate_near_target(self, cls):
+        bf = cls(capacity=2000, fp_rate=0.02)
+        for i in range(2000):
+            bf.add(i)
+        probes = [f"absent-{i}" for i in range(5000)]
+        fp = sum(1 for p in probes if p in bf) / len(probes)
+        # Within 3x of the design point is fine for 5000 probes.
+        assert fp < 0.06, f"observed fp {fp}"
+        # Analytic estimate close to design target as well.
+        assert bf.false_positive_rate() < 0.05
+
+    def test_clear(self, cls):
+        bf = cls(capacity=10)
+        bf.add("a")
+        bf.clear()
+        assert "a" not in bf
+        assert bf.count == 0
+
+    def test_int_str_bytes_keys_independent(self, cls):
+        bf = cls(capacity=100)
+        bf.add(7)
+        # int 7 encodes differently from "7": no cross-contamination
+        # guaranteed in general, but at least int lookups work.
+        assert 7 in bf
+
+    def test_negative_int_rejected(self, cls):
+        bf = cls(capacity=10)
+        with pytest.raises(ValueError):
+            bf.add(-1)
+
+    def test_unsupported_key_type(self, cls):
+        bf = cls(capacity=10)
+        with pytest.raises(TypeError):
+            bf.add(3.14)
+
+    def test_memory_reporting(self, cls):
+        bf = cls(capacity=1000, fp_rate=0.01)
+        assert bf.memory_bytes() > 0
+
+    def test_explicit_sizing(self, cls):
+        bf = cls(num_bits=64, num_hashes=3)
+        assert bf.num_bits == 64 and bf.num_hashes == 3
+
+    def test_invalid_explicit_sizing(self, cls):
+        with pytest.raises(ValueError):
+            cls(num_bits=0, num_hashes=3)
+        with pytest.raises(ValueError):
+            cls(num_bits=64, num_hashes=0)
+
+
+class TestBloomSpecific:
+    def test_bits_set_grows_then_stable(self):
+        bf = BloomFilter(capacity=100, fp_rate=0.01)
+        assert bf.bits_set == 0
+        bf.add("a")
+        first = bf.bits_set
+        assert 1 <= first <= bf.num_hashes
+        bf.add("a")  # same key sets no new bits
+        assert bf.bits_set == first
+
+    def test_memory_smaller_than_exact_directory(self):
+        # The paper's motivation: a Bloom directory is far smaller than a
+        # hashtable of 128-bit objectIds.
+        n = 10_000
+        bf = BloomFilter(capacity=n, fp_rate=0.01)
+        exact_bytes = n * 16  # 128-bit ids alone, ignoring bucket overhead
+        assert bf.memory_bytes() < exact_bytes / 2
+
+
+class TestCountingSpecific:
+    def test_remove_restores_absence(self):
+        cbf = CountingBloomFilter(capacity=100)
+        cbf.add("obj")
+        cbf.remove("obj")
+        assert "obj" not in cbf
+        assert cbf.count == 0
+
+    def test_remove_absent_raises(self):
+        cbf = CountingBloomFilter(capacity=100)
+        with pytest.raises(KeyError):
+            cbf.remove("never-added")
+
+    def test_discard(self):
+        cbf = CountingBloomFilter(capacity=100)
+        cbf.add("a")
+        assert cbf.discard("a") is True
+        assert cbf.discard("a") is False
+
+    def test_duplicate_adds_need_matching_removes(self):
+        cbf = CountingBloomFilter(capacity=100)
+        cbf.add("x")
+        cbf.add("x")
+        cbf.remove("x")
+        assert "x" in cbf  # one copy still accounted
+        cbf.remove("x")
+        assert "x" not in cbf
+
+    def test_interleaved_add_remove_no_false_negatives(self):
+        cbf = CountingBloomFilter(capacity=1000, fp_rate=0.01)
+        live = set()
+        for i in range(2000):
+            k = f"obj-{i % 700}"
+            if k in live:
+                cbf.remove(k)
+                live.remove(k)
+            else:
+                cbf.add(k)
+                live.add(k)
+        assert all(k in cbf for k in live)
+
+    def test_saturation_is_sticky_not_wrapping(self):
+        cbf = CountingBloomFilter(num_bits=8, num_hashes=1)
+        assert CountingBloomFilter.MAX_COUNT == 15  # Summary Cache's 4 bits
+        # Saturate every 4-bit slot artificially (two nibbles per byte).
+        cbf._slots[:] = 0xFF
+        cbf.add("y")  # no overflow
+        assert all(cbf._get(i) == 15 for i in range(cbf.num_bits))
+        cbf.remove("y")  # saturated slots don't decrement
+        assert all(cbf._get(i) == 15 for i in range(cbf.num_bits))
+
+    def test_nibble_packing_isolated(self):
+        cbf = CountingBloomFilter(num_bits=8, num_hashes=1)
+        cbf._set(0, 5)
+        cbf._set(1, 9)
+        assert cbf._get(0) == 5 and cbf._get(1) == 9
+        cbf._set(0, 0)
+        assert cbf._get(0) == 0 and cbf._get(1) == 9
+
+    def test_memory_half_byte_per_slot(self):
+        cbf = CountingBloomFilter(num_bits=1000, num_hashes=3)
+        assert cbf.memory_bytes() == 500
+
+
+class TestProperties:
+    @given(st.lists(keys, max_size=60, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_membership_invariant(self, items):
+        bf = BloomFilter(capacity=max(1, len(items)), fp_rate=0.01)
+        for it in items:
+            bf.add(it)
+        assert all(it in bf for it in items)
+
+    @given(st.lists(keys, max_size=40, unique=True), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_counting_remove_subset(self, items, data):
+        cbf = CountingBloomFilter(capacity=max(1, len(items)), fp_rate=0.01)
+        for it in items:
+            cbf.add(it)
+        if items:
+            to_remove = data.draw(st.lists(st.sampled_from(items), unique=True))
+            for it in to_remove:
+                cbf.remove(it)
+            remaining = [it for it in items if it not in to_remove]
+            assert all(it in cbf for it in remaining)

@@ -1,0 +1,115 @@
+"""Tests for the LFU policy (both counting modes)."""
+
+import pytest
+
+from repro.cache import LfuCache
+
+
+class TestPerfectLfu:
+    def test_evicts_least_frequent(self):
+        c = LfuCache(2)
+        c.insert("hot")
+        for _ in range(5):
+            c.lookup("hot")
+        c.insert("cold")
+        evicted = c.insert("new")
+        assert evicted == ["cold"]
+        assert c.contains("hot")
+
+    def test_miss_counts_as_reference(self):
+        c = LfuCache(2)
+        # Reference "x" three times before it is ever cached.
+        for _ in range(3):
+            assert c.lookup("x") is False
+        c.insert("x")
+        assert c.frequency("x") == 3
+
+    def test_frequency_survives_eviction(self):
+        c = LfuCache(1)
+        c.insert("a")
+        c.lookup("a")
+        c.insert("b")  # evicts a
+        assert not c.contains("a")
+        assert c.frequency("a") == 2  # perfect counting persists
+
+    def test_tie_broken_by_least_recent_update(self):
+        c = LfuCache(2)
+        c.insert("a")
+        c.insert("b")  # equal freq 1; a is older
+        assert c.insert("c") == ["a"]
+
+    def test_insert_without_prior_lookup(self):
+        c = LfuCache(2)
+        c.insert("direct")
+        assert c.frequency("direct") == 1
+
+    def test_reinsert_keeps_single_slot(self):
+        c = LfuCache(2)
+        c.insert("a")
+        c.insert("a")
+        assert len(c) == 1
+
+
+class TestInCacheLfu:
+    def test_count_resets_on_eviction(self):
+        c = LfuCache(1, reset_on_evict=True)
+        c.insert("a")
+        c.lookup("a")
+        c.insert("b")  # evicts a, dropping its count
+        assert c.frequency("a") == 0
+
+    def test_miss_does_not_count(self):
+        c = LfuCache(2, reset_on_evict=True)
+        c.lookup("x")
+        c.lookup("x")
+        assert c.frequency("x") == 0
+        c.insert("x")
+        assert c.frequency("x") == 1
+
+    def test_remove_clears_count(self):
+        c = LfuCache(2, reset_on_evict=True)
+        c.insert("a")
+        c.remove("a")
+        assert c.frequency("a") == 0
+
+
+class TestCommon:
+    def test_zero_capacity(self):
+        c = LfuCache(0)
+        assert c.insert("a") == ["a"]
+
+    def test_oversized_rejected(self):
+        c = LfuCache(2)
+        assert c.insert("x", size=3) == ["x"]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            LfuCache(2).insert("x", size=-1)
+
+    def test_variable_sizes_capacity_respected(self):
+        c = LfuCache(5)
+        c.insert("a", size=3)
+        c.insert("b", size=2)
+        evicted = c.insert("c", size=4)
+        assert len(c) <= 5
+        assert evicted  # something had to go
+
+    def test_contains_no_side_effect(self):
+        c = LfuCache(2)
+        c.insert("a")
+        f = c.frequency("a")
+        assert c.contains("a")
+        assert c.frequency("a") == f
+
+    def test_remove(self):
+        c = LfuCache(2)
+        c.insert("a")
+        assert c.remove("a") and not c.remove("a")
+
+    def test_hit_rate_stats(self):
+        c = LfuCache(2)
+        c.insert("a")
+        c.lookup("a")
+        c.lookup("b")
+        assert c.stats.hits == 1 and c.stats.misses == 1
+        assert c.stats.as_dict()["insertions"] == 1

@@ -1,0 +1,150 @@
+"""Tests for the unified two-tier (proxy + P2P client) cache model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CLIENT_TIER, PROXY_TIER, TieredCache
+
+
+class TestBasics:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            TieredCache(-1, 4)
+        with pytest.raises(ValueError):
+            TieredCache(4, -1)
+
+    def test_new_object_enters_proxy_tier(self):
+        c = TieredCache(2, 4)
+        c.insert("a")
+        assert c.tier_of("a") == PROXY_TIER
+
+    def test_new_insert_does_not_displace_proxy_resident(self):
+        c = TieredCache(1, 4)
+        c.insert("a")
+        c.insert("b")  # equal value: the incumbent keeps the proxy slot
+        assert c.tier_of("a") == PROXY_TIER
+        assert c.tier_of("b") == CLIENT_TIER
+
+    def test_hot_proxy_resident_not_demoted(self):
+        c = TieredCache(1, 4)
+        c.insert("hot")
+        for _ in range(5):
+            c.lookup_tier("hot")
+        c.insert("new")  # freq 1 < hot's 6: "new" itself goes down
+        assert c.tier_of("hot") == PROXY_TIER
+        assert c.tier_of("new") == CLIENT_TIER
+
+    def test_global_min_evicted_on_client_overflow(self):
+        c = TieredCache(1, 1)
+        c.insert("a")
+        c.insert("b")  # a demoted to client
+        evicted = c.insert("c")  # client overflow: min freq leaves
+        assert len(evicted) == 1
+        assert len(c) == 2
+
+    def test_promotion_on_access(self):
+        c = TieredCache(1, 2)
+        c.insert("a")  # takes the proxy slot
+        c.insert("b")  # client tier
+        # One access heats "b" (freq 2) past "a" (freq 1): the hit is served
+        # from the client tier, and the promotion swap happens afterwards.
+        tier = c.lookup_tier("b")
+        assert tier == CLIENT_TIER
+        assert c.tier_of("b") == PROXY_TIER
+        assert c.tier_of("a") == CLIENT_TIER
+
+    def test_lookup_tier_counts_stats(self):
+        c = TieredCache(1, 1)
+        assert c.lookup_tier("x") is None
+        c.insert("x")
+        assert c.lookup_tier("x") == PROXY_TIER
+        assert c.stats.hits == 1 and c.stats.misses == 1
+
+    def test_zero_proxy_tier(self):
+        c = TieredCache(0, 2)
+        c.insert("a")
+        assert c.tier_of("a") == CLIENT_TIER
+
+    def test_zero_total_capacity(self):
+        c = TieredCache(0, 0)
+        assert c.insert("a") == ["a"]
+        assert len(c) == 0
+
+    def test_duplicate_insert_noop(self):
+        c = TieredCache(1, 1)
+        c.insert("a")
+        assert c.insert("a") == []
+        assert len(c) == 1
+
+    def test_remove_from_either_tier(self):
+        c = TieredCache(1, 2)
+        c.insert("a")
+        c.insert("b")
+        assert c.remove("a") and c.remove("b")
+        assert not c.remove("a")
+        assert len(c) == 0
+
+    def test_unit_sizes_only(self):
+        with pytest.raises(ValueError):
+            TieredCache(1, 1).insert("a", size=2)
+
+    def test_custom_value_fn(self):
+        # Benefit-weighted ordering: key "vip" always outranks others.
+        c = TieredCache(1, 1, value_fn=lambda k, f: f * (100.0 if k == "vip" else 1.0))
+        c.insert("vip")
+        c.insert("plain")
+        assert c.tier_of("vip") == PROXY_TIER
+
+
+class TestInvariants:
+    def test_occupancy_never_exceeds_tier_capacities(self):
+        c = TieredCache(3, 5)
+        for i in range(100):
+            key = f"k{i % 17}"
+            if c.lookup_tier(key) is None:
+                c.insert(key)
+            assert c.proxy_len <= 3
+            assert c.client_len <= 5
+            assert len(c) == c.proxy_len + c.client_len
+
+    def test_proxy_tier_holds_hottest_in_steady_state(self):
+        c = TieredCache(2, 4)
+        # Skewed access: keys 0,1 hot; 2..5 cold.
+        pattern = [0, 1] * 30 + list(range(2, 6))
+        import random
+
+        rng = random.Random(7)
+        seq = pattern * 10
+        rng.shuffle(seq)
+        for k in seq:
+            if c.lookup_tier(k) is None:
+                c.insert(k)
+        # After plenty of accesses the two hottest keys occupy the proxy tier.
+        for hot in (0, 1):
+            c.lookup_tier(hot)
+        assert c.tier_of(0) == PROXY_TIER
+        assert c.tier_of(1) == PROXY_TIER
+
+    @given(st.lists(st.integers(min_value=0, max_value=12), max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_total_capacity_respected(self, refs):
+        c = TieredCache(2, 3)
+        for k in refs:
+            if c.lookup_tier(k) is None:
+                c.insert(k)
+        assert len(c) <= 5
+        assert c.proxy_len <= 2 and c.client_len <= 3
+
+    @given(st.lists(st.integers(min_value=0, max_value=6), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_frequency_counts_every_reference(self, refs):
+        c = TieredCache(2, 2)
+        for k in refs:
+            if c.lookup_tier(k) is None:
+                c.insert(k)
+        from collections import Counter
+
+        counts = Counter(refs)
+        for k, n in counts.items():
+            assert c.frequency(k) == n

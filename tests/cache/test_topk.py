@@ -1,0 +1,122 @@
+"""Tests for the top-K membership tracker."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.topk import TopKTracker
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TopKTracker(-1)
+
+    def test_fills_top_first(self):
+        t = TopKTracker(2)
+        t.add("a", 1.0)
+        assert t.in_top("a")
+        t.add("b", 0.5)
+        assert t.in_top("b")
+        assert t.top_count == 2
+
+    def test_third_item_partitions_by_value(self):
+        t = TopKTracker(2)
+        t.add("a", 3.0)
+        t.add("b", 1.0)
+        t.add("c", 2.0)
+        assert t.in_top("a") and t.in_top("c")
+        assert not t.in_top("b")
+
+    def test_update_can_promote(self):
+        t = TopKTracker(1)
+        t.add("a", 2.0)
+        t.add("b", 1.0)
+        t.update("b", 5.0)
+        assert t.in_top("b") and not t.in_top("a")
+
+    def test_update_unknown_raises(self):
+        with pytest.raises(KeyError):
+            TopKTracker(1).update("x", 1.0)
+
+    def test_remove_promotes_best_of_rest(self):
+        t = TopKTracker(1)
+        t.add("a", 3.0)
+        t.add("b", 2.0)
+        t.add("c", 1.0)
+        assert t.remove("a") is True
+        assert t.in_top("b")  # best remaining
+        assert t.remove("a") is False
+
+    def test_k_zero_tracks_but_never_tops(self):
+        t = TopKTracker(0)
+        t.add("a", 9.0)
+        assert not t.in_top("a")
+        assert "a" in t and len(t) == 1
+
+    def test_value_lookup(self):
+        t = TopKTracker(1)
+        t.add("a", 3.0)
+        t.add("b", 1.0)
+        assert t.value("a") == 3.0
+        assert t.value("b") == 1.0
+
+    def test_iter_and_len(self):
+        t = TopKTracker(2)
+        for i, k in enumerate("abc"):
+            t.add(k, float(i))
+        assert set(t) == {"a", "b", "c"}
+        assert len(t) == 3
+
+
+class TestAgainstModel:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["add", "remove"]),
+                st.integers(min_value=0, max_value=7),
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+            ),
+            max_size=150,
+        ),
+        st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_top_partition_matches_sorted_model(self, ops, k):
+        t = TopKTracker(k)
+        model: dict[int, float] = {}
+        for op, key, value in ops:
+            if op == "add":
+                t.add(key, value)
+                model[key] = value
+            else:
+                assert t.remove(key) == (key in model)
+                model.pop(key, None)
+            assert len(t) == len(model)
+            assert t.top_count == min(k, len(model))
+            if model and k:
+                # Every top member's value >= every rest member's value.
+                top = [key for key in model if t.in_top(key)]
+                rest = [key for key in model if not t.in_top(key)]
+                if top and rest:
+                    assert min(model[x] for x in top) >= max(model[x] for x in rest)
+
+    def test_randomized_long_run(self):
+        rng = random.Random(3)
+        t = TopKTracker(10)
+        model: dict[int, float] = {}
+        for _ in range(5000):
+            key = rng.randrange(40)
+            if rng.random() < 0.8:
+                v = rng.random() * 100
+                t.add(key, v)
+                model[key] = v
+            else:
+                assert t.remove(key) == (key in model)
+                model.pop(key, None)
+        top = {key for key in model if t.in_top(key)}
+        want = set(sorted(model, key=model.__getitem__, reverse=True)[:10])
+        # Ties may differ; compare value multisets instead of keys.
+        assert sorted(model[k] for k in top) == sorted(model[k] for k in want)

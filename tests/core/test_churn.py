@@ -1,0 +1,152 @@
+"""Tests for Hier-GD under client churn (failure injection)."""
+
+import numpy as np
+import pytest
+
+from repro.core.churn import ChurnEvent, HierGdChurnScheme
+from repro.core.config import SimulationConfig
+from repro.core.hiergd import HierGdScheme
+from repro.workload import ProWGenConfig, Trace, generate_cluster_traces
+
+
+def cfg(n_clients=10, **kw):
+    kw.setdefault("leaf_set_size", 4)
+    return SimulationConfig(
+        workload=ProWGenConfig(n_requests=8000, n_objects=400, n_clients=n_clients),
+        n_proxies=1,
+        proxy_cache_fraction=0.1,
+        client_cache_fraction=0.01,
+        **kw,
+    )
+
+
+def workload(n_clients=10, seed=0):
+    return generate_cluster_traces(
+        ProWGenConfig(n_requests=8000, n_objects=400, n_clients=n_clients), 1, seed=seed
+    )
+
+
+class TestEventValidation:
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            ChurnEvent(at_request=0, kind="pause", cluster=0)
+
+    def test_negative_time(self):
+        with pytest.raises(ValueError):
+            ChurnEvent(at_request=-1, kind="fail", cluster=0)
+
+    def test_cluster_out_of_range(self):
+        with pytest.raises(ValueError):
+            HierGdChurnScheme(
+                cfg(), workload(), [ChurnEvent(at_request=0, kind="fail", cluster=3)]
+            )
+
+    def test_double_failure_rejected(self):
+        events = [
+            ChurnEvent(at_request=10, kind="fail", cluster=0, client=2),
+            ChurnEvent(at_request=20, kind="fail", cluster=0, client=2),
+        ]
+        scheme = HierGdChurnScheme(cfg(), workload(), events)
+        with pytest.raises(ValueError):
+            scheme.run()
+
+    def test_failed_client_index_out_of_range(self):
+        scheme = HierGdChurnScheme(
+            cfg(), workload(), [ChurnEvent(at_request=1, kind="fail", cluster=0, client=99)]
+        )
+        with pytest.raises(ValueError):
+            scheme.run()
+
+
+class TestFailure:
+    def test_run_completes_and_counts(self):
+        events = [
+            ChurnEvent(at_request=2000, kind="fail", cluster=0, client=3),
+            ChurnEvent(at_request=4000, kind="fail", cluster=0, client=7),
+        ]
+        scheme = HierGdChurnScheme(cfg(), workload(), events)
+        r = scheme.run()
+        assert r.n_requests == 8000
+        assert r.messages["client_failures"] == 2
+        assert r.messages["objects_lost"] >= 0
+        assert r.extras["live_clients"] == 8
+
+    def test_failure_loses_objects_and_repairs_directory(self):
+        events = [ChurnEvent(at_request=4000, kind="fail", cluster=0, client=0)]
+        scheme = HierGdChurnScheme(cfg(), workload(seed=2), events)
+        r = scheme.run()
+        # Something was cached on the failed client by mid-run.
+        assert r.messages["objects_lost"] > 0
+        # Stale directory entries get repaired on subsequent lookups.
+        assert r.messages["directory_repairs"] >= 0
+        state = scheme.states[0]
+        # Post-run consistency: everything the truth-set lists is reachable.
+        for obj in list(state.p2p_present):
+            assert scheme._locate(state, obj) is not None
+
+    def test_overlay_membership_shrinks(self):
+        events = [ChurnEvent(at_request=100, kind="fail", cluster=0, client=5)]
+        scheme = HierGdChurnScheme(cfg(), workload(), events)
+        scheme.run()
+        assert len(scheme.states[0].overlay) == 9
+
+    def test_dead_cache_receives_nothing(self):
+        events = [ChurnEvent(at_request=100, kind="fail", cluster=0, client=5)]
+        scheme = HierGdChurnScheme(cfg(), workload(seed=3), events)
+        scheme.run()
+        assert len(scheme.states[0].clients[5]) == 0
+
+    def test_latency_degrades_gracefully_not_catastrophically(self):
+        traces = workload(seed=4)
+        baseline = HierGdScheme(cfg(), traces).run()
+        half_dead = HierGdChurnScheme(
+            cfg(),
+            traces,
+            [
+                ChurnEvent(at_request=2000 + 500 * i, kind="fail", cluster=0, client=i)
+                for i in range(5)
+            ],
+        ).run()
+        assert half_dead.mean_latency >= baseline.mean_latency * 0.999
+        # Losing half the P2P tier must not cost more than the whole
+        # P2P benefit (sanity bound: still far below the NC latency).
+        assert half_dead.mean_latency < baseline.mean_latency * 2
+
+
+class TestJoin:
+    def test_join_expands_overlay_and_clients(self):
+        events = [ChurnEvent(at_request=1000, kind="join", cluster=0)]
+        scheme = HierGdChurnScheme(cfg(), workload(), events)
+        r = scheme.run()
+        assert r.messages["client_joins"] == 1
+        assert len(scheme.states[0].clients) == 11
+        assert len(scheme.states[0].overlay) == 11
+        assert r.extras["live_clients"] == 11
+
+    def test_newcomer_receives_objects(self):
+        events = [ChurnEvent(at_request=500, kind="join", cluster=0)]
+        scheme = HierGdChurnScheme(cfg(), workload(seed=5), events)
+        scheme.run()
+        newcomer = scheme.states[0].clients[10]
+        assert len(newcomer) > 0  # it owns a slice of the id space
+
+    def test_fail_then_join_recovers_capacity(self):
+        events = [
+            ChurnEvent(at_request=1000, kind="fail", cluster=0, client=2),
+            ChurnEvent(at_request=2000, kind="join", cluster=0),
+        ]
+        scheme = HierGdChurnScheme(cfg(), workload(seed=6), events)
+        r = scheme.run()
+        assert r.extras["live_clients"] == 10
+        state = scheme.states[0]
+        for obj in list(state.p2p_present):
+            assert scheme._locate(state, obj) is not None
+
+
+class TestNoChurnEquivalence:
+    def test_empty_schedule_matches_plain_hiergd(self):
+        traces = workload(seed=7)
+        plain = HierGdScheme(cfg(), traces).run()
+        churny = HierGdChurnScheme(cfg(), traces, []).run()
+        assert churny.total_latency == plain.total_latency
+        assert churny.tier_counts == plain.tier_counts

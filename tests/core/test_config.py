@@ -1,0 +1,97 @@
+"""Tests for SimulationConfig and per-cluster cache sizing."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.workload import ProWGenConfig, Trace
+
+
+def trace_with_counts(counts):
+    objs = np.repeat(np.arange(len(counts)), counts)
+    return Trace(
+        object_ids=objs,
+        client_ids=np.zeros(len(objs), dtype=np.int32),
+        n_objects=len(counts),
+        n_clients=1,
+    )
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        cfg = SimulationConfig()
+        assert cfg.n_proxies == 2
+        assert cfg.client_cache_fraction == pytest.approx(0.001)
+        assert cfg.clients_per_cluster == 100
+        assert cfg.directory == "exact"
+        assert cfg.leaf_set_size == 16
+        assert cfg.pastry_b == 4
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            SimulationConfig().n_proxies = 5
+
+    def test_with_changes(self):
+        cfg = SimulationConfig().with_changes(proxy_cache_fraction=0.1)
+        assert cfg.proxy_cache_fraction == pytest.approx(0.1)
+        assert cfg.n_proxies == 2
+
+
+class TestValidation:
+    def test_bad_values(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(n_proxies=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(proxy_cache_fraction=0.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(proxy_cache_fraction=1.5)
+        with pytest.raises(ValueError):
+            SimulationConfig(client_cache_fraction=-0.1)
+        with pytest.raises(ValueError):
+            SimulationConfig(directory="hash")
+        with pytest.raises(ValueError):
+            SimulationConfig(bloom_fp_rate=0.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(leaf_set_size=3)
+        with pytest.raises(ValueError):
+            SimulationConfig(pastry_b=3)
+        with pytest.raises(ValueError):
+            SimulationConfig(hop_sample_rate=-1)
+
+
+class TestSizing:
+    def test_paper_rule_10_percent_p2p(self):
+        # 100 clients x 0.1% each => P2P cache is 10% of the infinite size.
+        cfg = SimulationConfig(proxy_cache_fraction=0.5)
+        # Trace with ICS=1000 (1000 objects referenced twice, 500 once).
+        t = trace_with_counts([2] * 1000 + [1] * 500)
+        sizing = cfg.sizing_for(t)
+        assert sizing.infinite_cache_size == 1000
+        assert sizing.proxy_size == 500
+        assert sizing.client_size == 1
+        assert sizing.p2p_size == 100  # 10% of ICS
+
+    def test_client_cache_never_zero_when_enabled(self):
+        cfg = SimulationConfig()
+        t = trace_with_counts([2] * 10)  # tiny ICS
+        assert cfg.sizing_for(t).client_size == 1
+
+    def test_zero_client_fraction_disables_p2p(self):
+        cfg = SimulationConfig(client_cache_fraction=0.0)
+        t = trace_with_counts([2] * 100)
+        sizing = cfg.sizing_for(t)
+        assert sizing.client_size == 0 and sizing.p2p_size == 0
+
+    def test_proxy_size_scales_with_fraction(self):
+        t = trace_with_counts([2] * 1000)
+        small = SimulationConfig(proxy_cache_fraction=0.1).sizing_for(t)
+        large = SimulationConfig(proxy_cache_fraction=1.0).sizing_for(t)
+        assert small.proxy_size == 100 and large.proxy_size == 1000
+
+
+def test_describe_mentions_key_parameters():
+    cfg = SimulationConfig(workload=ProWGenConfig(n_requests=1000, n_objects=100))
+    desc = cfg.describe()
+    assert "P=2" in desc and "Ts/Tc=10" in desc and "alpha=0.7" in desc

@@ -1,0 +1,72 @@
+"""Tests for Hier-GD's local-policy knob — the §3 design-choice claim.
+
+The paper builds Hier-GD on greedy-dual "because the greedy-dual
+algorithm provides some implicit coordination among caches" and beats
+LRU and LFU as local policies (Korupolu & Dahlin).  With the knob we can
+measure that instead of citing it.
+"""
+
+import pytest
+
+from repro.cache import GreedyDualCache, LfuCache, LruCache
+from repro.core.config import SimulationConfig
+from repro.core.hiergd import HierGdScheme
+from repro.core.run import run_scheme
+from repro.workload import ProWGenConfig, generate_cluster_traces
+
+
+def cfg(policy="gd", **kw):
+    return SimulationConfig(
+        workload=ProWGenConfig(n_requests=20_000, n_objects=1_000, n_clients=20),
+        n_proxies=2,
+        proxy_cache_fraction=0.2,
+        client_cache_fraction=0.005,
+        hiergd_policy=policy,
+        **kw,
+    )
+
+
+@pytest.fixture(scope="module")
+def traces():
+    wl = ProWGenConfig(n_requests=20_000, n_objects=1_000, n_clients=20)
+    return generate_cluster_traces(wl, 2, seed=8)
+
+
+class TestKnob:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(hiergd_policy="fifo")
+
+    @pytest.mark.parametrize(
+        "policy,cache_cls",
+        [("gd", GreedyDualCache), ("lru", LruCache), ("lfu", LfuCache)],
+    )
+    def test_policy_selects_cache_class(self, policy, cache_cls, traces):
+        scheme = HierGdScheme(cfg(policy), traces)
+        assert isinstance(scheme.states[0].proxy, cache_cls)
+        assert isinstance(scheme.states[0].clients[0], cache_cls)
+
+    def test_all_policies_complete_runs(self, traces):
+        for policy in ("gd", "lru", "lfu"):
+            r = run_scheme("hier-gd", cfg(policy), traces)
+            assert r.n_requests == 40_000
+
+
+class TestPaperClaim:
+    def test_gd_beats_lru_and_lfu(self, traces):
+        """§3: greedy-dual is the right local policy for Hier-GD."""
+        latency = {
+            policy: HierGdScheme(cfg(policy), traces).run().mean_latency
+            for policy in ("gd", "lru", "lfu")
+        }
+        assert latency["gd"] < latency["lru"]
+        assert latency["gd"] < latency["lfu"]
+
+    def test_gd_cost_awareness_is_the_differentiator(self, traces):
+        """GD's advantage persists because fetch cost feeds its credits:
+        expensive (server-fetched) objects outlive cheap (P2P-refetchable)
+        ones, which LRU/LFU cannot express."""
+        gd = HierGdScheme(cfg("gd"), traces).run()
+        lru = HierGdScheme(cfg("lru"), traces).run()
+        # GD sends fewer requests all the way to the server.
+        assert gd.tier_counts["server"] <= lru.tier_counts["server"]

@@ -1,0 +1,80 @@
+"""Tests for SchemeResult and the latency-gain metric."""
+
+import pytest
+
+from repro.core.metrics import SchemeResult, latency_gain
+
+
+def result(mean, n=100, scheme="x", tiers=None):
+    return SchemeResult(
+        scheme=scheme,
+        n_requests=n,
+        total_latency=mean * n,
+        tier_counts=tiers or {},
+    )
+
+
+class TestSchemeResult:
+    def test_mean_latency(self):
+        assert result(2.5).mean_latency == pytest.approx(2.5)
+
+    def test_empty_run(self):
+        r = SchemeResult(scheme="x", n_requests=0, total_latency=0.0)
+        assert r.mean_latency == 0.0
+        assert r.hit_rate("server") == 0.0
+
+    def test_tier_counts_must_sum(self):
+        with pytest.raises(ValueError):
+            SchemeResult(
+                scheme="x",
+                n_requests=10,
+                total_latency=1.0,
+                tier_counts={"server": 3},
+            )
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError):
+            SchemeResult(
+                scheme="x",
+                n_requests=1,
+                total_latency=1.0,
+                tier_counts={"moon": 1},
+            )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SchemeResult(scheme="x", n_requests=-1, total_latency=0.0)
+        with pytest.raises(ValueError):
+            SchemeResult(scheme="x", n_requests=1, total_latency=-2.0)
+
+    def test_hit_and_miss_rates(self):
+        r = result(5.0, n=10, tiers={"local_proxy": 7, "server": 3})
+        assert r.hit_rate("local_proxy") == pytest.approx(0.7)
+        assert r.miss_rate == pytest.approx(0.3)
+        with pytest.raises(KeyError):
+            r.hit_rate("bogus")
+
+    def test_summary_readable(self):
+        r = result(5.0, n=10, scheme="hier-gd", tiers={"local_proxy": 7, "server": 3})
+        s = r.summary()
+        assert "hier-gd" in s and "5.000" in s and "70.0%" in s
+
+
+class TestLatencyGain:
+    def test_definition(self):
+        nc = result(10.0, scheme="nc")
+        better = result(6.0)
+        assert latency_gain(better, nc) == pytest.approx(0.4)
+
+    def test_zero_for_equal(self):
+        nc = result(10.0)
+        assert latency_gain(result(10.0), nc) == pytest.approx(0.0)
+
+    def test_negative_when_worse(self):
+        nc = result(10.0)
+        assert latency_gain(result(12.0), nc) < 0
+
+    def test_requires_positive_baseline(self):
+        empty = SchemeResult(scheme="nc", n_requests=0, total_latency=0.0)
+        with pytest.raises(ValueError):
+            latency_gain(result(1.0), empty)

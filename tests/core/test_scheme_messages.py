@@ -1,0 +1,102 @@
+"""Tests for the cooperation-overhead message accounting of the schemes."""
+
+from repro.core.config import SimulationConfig
+from repro.core.run import run_scheme
+from repro.workload import ProWGenConfig, generate_cluster_traces
+
+
+def setup(n_proxies=2, seed=0):
+    cfg = SimulationConfig(
+        workload=ProWGenConfig(n_requests=5000, n_objects=300, n_clients=8),
+        n_proxies=n_proxies,
+        proxy_cache_fraction=0.3,
+        client_cache_fraction=0.0125,
+    )
+    traces = generate_cluster_traces(cfg.workload, n_proxies, seed=seed)
+    return cfg, traces
+
+
+class TestNc:
+    def test_no_messages(self):
+        cfg, traces = setup()
+        assert run_scheme("nc", cfg, traces).messages == {}
+
+
+class TestSc:
+    def test_probe_and_fetch_counters(self):
+        cfg, traces = setup()
+        r = run_scheme("sc", cfg, traces)
+        assert r.messages["coop_probes"] > 0
+        assert r.messages["coop_fetches"] == r.tier_counts.get("coop_proxy", 0)
+        # With P=2, every local miss probes exactly one co-proxy.
+        misses = r.n_requests - r.tier_counts.get("local_proxy", 0)
+        assert r.messages["coop_probes"] == misses
+
+    def test_probes_scale_with_proxy_count(self):
+        cfg2, traces2 = setup(n_proxies=2)
+        cfg5, traces5 = setup(n_proxies=5)
+        r2 = run_scheme("sc", cfg2, traces2)
+        r5 = run_scheme("sc", cfg5, traces5)
+        # More co-proxies: more probes per miss (probing stops at a hit).
+        assert (
+            r5.messages["coop_probes"] / r5.n_requests
+            > r2.messages["coop_probes"] / r2.n_requests
+        )
+
+
+class TestScEc:
+    def test_push_requests_match_coop_p2p_hits(self):
+        cfg, traces = setup(seed=3)
+        r = run_scheme("sc-ec", cfg, traces)
+        assert r.messages["push_requests"] == r.tier_counts.get("coop_p2p", 0)
+        assert r.messages["coop_fetches"] == (
+            r.tier_counts.get("coop_proxy", 0) + r.tier_counts.get("coop_p2p", 0)
+        )
+
+
+class TestFc:
+    def test_placement_updates_counted(self):
+        cfg, traces = setup()
+        r = run_scheme("fc", cfg, traces)
+        assert r.messages["placement_updates"] > 0
+        # At least one update per object ever cached.
+        assert r.messages["placement_updates"] >= len(
+            set()
+        )  # trivially true; the real bound follows
+        # Updates are bounded by 3x the number of requests (add + evict +
+        # promote per miss at most).
+        assert r.messages["placement_updates"] <= 3 * r.n_requests
+
+    def test_fc_ec_updates_exceed_zero_and_are_bounded(self):
+        cfg, traces = setup(seed=5)
+        r = run_scheme("fc-ec", cfg, traces)
+        assert 0 < r.messages["placement_updates"] <= 3 * r.n_requests
+
+
+class TestHierGd:
+    def test_message_keys_complete(self):
+        cfg, traces = setup(seed=6)
+        r = run_scheme("hier-gd", cfg, traces)
+        for key in (
+            "passdowns",
+            "piggybacked_destages",
+            "store_receipts",
+            "diversions",
+            "client_evictions",
+            "p2p_lookups",
+            "push_requests",
+            "directory_false_positives",
+        ):
+            assert key in r.messages
+
+    def test_hiergd_needs_no_global_coordination(self):
+        # The paper's practicality argument: Hier-GD has no coordinated
+        # placement protocol at all — its traffic is local destaging and
+        # point-to-point pushes, all intra-organisation except the pushes.
+        cfg, traces = setup(seed=7)
+        fc = run_scheme("fc", cfg, traces)
+        hier = run_scheme("hier-gd", cfg, traces)
+        assert "placement_updates" in fc.messages
+        assert "placement_updates" not in hier.messages
+        # Every Hier-GD destage rides an existing HTTP response.
+        assert hier.messages["piggybacked_destages"] == hier.messages["passdowns"]

@@ -1,0 +1,106 @@
+"""Tests for the trace-replay engine (with an instrumented dummy scheme)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import CachingScheme
+from repro.netmodel import TIER_LOCAL_PROXY, TIER_SERVER
+from repro.workload import ProWGenConfig, Trace
+
+
+def mk_trace(objs, clients=None, n_objects=10, n_clients=4):
+    objs = np.asarray(objs, dtype=np.int64)
+    clients = (
+        np.zeros(len(objs), dtype=np.int32) if clients is None else np.asarray(clients)
+    )
+    return Trace(objs, clients, n_objects=n_objects, n_clients=n_clients)
+
+
+def small_config(n_proxies=2):
+    return SimulationConfig(
+        workload=ProWGenConfig(n_requests=100, n_objects=10, n_clients=4),
+        n_proxies=n_proxies,
+    )
+
+
+class Recorder(CachingScheme):
+    """Scheme that records the exact request order it sees."""
+
+    name = "recorder"
+
+    def __init__(self, config, traces, tier=TIER_SERVER):
+        super().__init__(config, traces)
+        self.seen: list[tuple[int, int, int]] = []
+        self.tier = tier
+
+    def process(self, cluster, client, obj):
+        self.seen.append((cluster, client, obj))
+        return self.tier
+
+
+class TestValidation:
+    def test_trace_count_must_match_proxies(self):
+        with pytest.raises(ValueError):
+            Recorder(small_config(n_proxies=2), [mk_trace([1, 2])])
+
+    def test_empty_trace_list_rejected(self):
+        with pytest.raises(ValueError):
+            Recorder(small_config(n_proxies=1), [])
+
+
+class TestEngine:
+    def test_round_robin_interleaving(self):
+        a = mk_trace([1, 2], clients=[0, 1])
+        b = mk_trace([3, 4, 5], clients=[2, 3, 2])
+        s = Recorder(small_config(), [a, b])
+        s.run()
+        assert s.seen == [
+            (0, 0, 1), (1, 2, 3),
+            (0, 1, 2), (1, 3, 4),
+            (1, 2, 5),
+        ]
+
+    def test_latency_accumulation(self):
+        t = mk_trace([1, 2, 3])
+        s = Recorder(small_config(n_proxies=1), [t], tier=TIER_SERVER)
+        r = s.run()
+        net = small_config().network
+        assert r.total_latency == pytest.approx(3 * net.latency(TIER_SERVER))
+        assert r.n_requests == 3
+        assert r.tier_counts == {TIER_SERVER: 3}
+        assert r.scheme == "recorder"
+
+    def test_extra_latency_added(self):
+        t = mk_trace([1])
+
+        class Extra(Recorder):
+            def process(self, cluster, client, obj):
+                self.extra_latency += 5.0
+                return TIER_LOCAL_PROXY
+
+        r = Extra(small_config(n_proxies=1), [t]).run()
+        assert r.total_latency == pytest.approx(1.0 + 5.0)
+
+    def test_finalize_hooks_propagated(self):
+        t = mk_trace([1])
+
+        class WithMessages(Recorder):
+            def finalize(self):
+                return {"pings": 7}, {"note": 1.5}
+
+        r = WithMessages(small_config(n_proxies=1), [t]).run()
+        assert r.messages == {"pings": 7}
+        assert r.extras == {"note": 1.5}
+
+    def test_empty_traces_produce_empty_result(self):
+        t = mk_trace([])
+        r = Recorder(small_config(n_proxies=1), [t]).run()
+        assert r.n_requests == 0
+        assert r.mean_latency == 0.0
+
+    def test_uneven_trace_lengths(self):
+        a = mk_trace([1])
+        b = mk_trace([2, 3, 4])
+        r = Recorder(small_config(), [a, b]).run()
+        assert r.n_requests == 4

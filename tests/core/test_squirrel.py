@@ -1,0 +1,101 @@
+"""Tests for the Squirrel home-store baseline (§6 comparison)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.run import run_scheme
+from repro.core.schemes import SquirrelScheme
+from repro.netmodel import (
+    TIER_COOP_P2P,
+    TIER_COOP_PROXY,
+    TIER_LOCAL_P2P,
+    TIER_LOCAL_PROXY,
+    TIER_SERVER,
+)
+from repro.workload import ProWGenConfig, Trace, generate_cluster_traces
+
+
+def cfg(n_proxies=1, n_clients=8, **kw):
+    kw.setdefault("leaf_set_size", 4)
+    return SimulationConfig(
+        workload=ProWGenConfig(n_requests=6000, n_objects=400, n_clients=n_clients),
+        n_proxies=n_proxies,
+        proxy_cache_fraction=0.2,
+        client_cache_fraction=0.0125,
+        **kw,
+    )
+
+
+def workload(n_proxies=1, seed=0, n_clients=8):
+    return generate_cluster_traces(
+        ProWGenConfig(n_requests=6000, n_objects=400, n_clients=n_clients),
+        n_proxies,
+        seed=seed,
+    )
+
+
+class TestMechanism:
+    def test_home_hit_after_first_fetch(self):
+        objs = np.array([7, 7, 7], dtype=np.int64)
+        t = Trace(objs, np.zeros(3, dtype=np.int32), n_objects=400, n_clients=8)
+        scheme = SquirrelScheme(cfg(), [t])
+        r = scheme.run()
+        assert r.tier_counts[TIER_SERVER] == 1
+        assert r.tier_counts[TIER_LOCAL_P2P] == 2
+
+    def test_miss_pays_extra_lan_detour(self):
+        objs = np.array([7], dtype=np.int64)
+        t = Trace(objs, np.zeros(1, dtype=np.int32), n_objects=400, n_clients=8)
+        scheme = SquirrelScheme(cfg(), [t])
+        r = scheme.run()
+        net = cfg().network
+        assert r.total_latency == pytest.approx(net.latency(TIER_SERVER) + net.t_p2p)
+
+    def test_no_proxy_tier_ever(self):
+        r = run_scheme("squirrel", cfg(), workload())
+        assert TIER_LOCAL_PROXY not in r.tier_counts
+
+    def test_no_cross_organisation_sharing(self):
+        # The paper's §6 point: Squirrel cannot share across firewalls.
+        r = run_scheme("squirrel", cfg(n_proxies=2), workload(n_proxies=2))
+        assert TIER_COOP_PROXY not in r.tier_counts
+        assert TIER_COOP_P2P not in r.tier_counts
+
+    def test_single_object_lives_at_single_home(self):
+        traces = workload(seed=2)
+        scheme = SquirrelScheme(cfg(), traces)
+        scheme.run()
+        for obj in range(50):
+            holders = [
+                1 for cache in scheme.homes[0] if cache.contains(obj)
+            ]
+            assert sum(holders) <= 1
+
+    def test_proxy_budget_folded_into_pool(self):
+        traces = workload(seed=3)
+        scheme = SquirrelScheme(cfg(), traces)
+        sizing = scheme.sizings[0]
+        per_client = scheme.homes[0][0].capacity
+        assert per_client == sizing.client_size + sizing.proxy_size // sizing.n_clients
+
+
+class TestComparison:
+    def test_hier_gd_beats_squirrel_with_cooperating_proxies(self):
+        # Two organisations: Hier-GD shares across them, Squirrel cannot.
+        traces = workload(n_proxies=2, seed=4)
+        config = cfg(n_proxies=2)
+        squirrel = run_scheme("squirrel", config, traces)
+        hier = run_scheme("hier-gd", config, traces)
+        assert hier.mean_latency < squirrel.mean_latency
+
+    def test_squirrel_still_beats_no_caching(self):
+        traces = workload(seed=5)
+        config = cfg()
+        squirrel = run_scheme("squirrel", config, traces)
+        no_cache_latency = config.network.latency(TIER_SERVER)
+        assert squirrel.mean_latency < no_cache_latency
+
+    def test_hop_stats_reported(self):
+        r = run_scheme("squirrel", cfg(hop_sample_rate=8), workload(seed=6))
+        assert "mean_pastry_hops" in r.extras

@@ -1,0 +1,86 @@
+"""Smoke tests for the figure modules and the CLI at tiny scale.
+
+The full-scale numbers come from the benchmark harness; here we verify
+that each figure function produces the right panels/series and that the
+CLI wires everything together.
+"""
+
+import pytest
+
+from repro.experiments.cli import FIGURES, main
+from repro.experiments.figure2 import figure2a, figure2b
+from repro.experiments.figure3 import figure3
+from repro.experiments.figure4 import figure4
+from repro.experiments.figure5 import figure5a, figure5c, figure5d
+from repro.experiments.runner import SCALES
+
+TINY = SCALES["smoke"]
+FRACS = (0.2, 0.8)
+
+
+@pytest.fixture(autouse=True)
+def smoke_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "smoke")
+
+
+class TestFigure2:
+    def test_fig2a_series(self):
+        sweep = figure2a(scale=TINY, fractions=FRACS)
+        assert sweep.labels == ["sc", "fc", "nc-ec", "sc-ec", "fc-ec", "hier-gd"]
+        assert sweep.x_values == [20.0, 80.0]
+        assert "alpha=0.7" in sweep.notes
+
+    def test_fig2b_uses_ucb_workload(self):
+        sweep = figure2b(scale=TINY, fractions=(0.5,))
+        assert "UCB" in sweep.notes
+        assert len(sweep.x_values) == 1
+
+
+class TestFigure34:
+    def test_fig3_panels_and_series(self):
+        panels = figure3(scale=TINY, alphas=(0.5, 1.0), fractions=FRACS)
+        assert set(panels) == {"fc", "sc-ec", "fc-ec", "hier-gd"}
+        for sweep in panels.values():
+            assert sweep.labels == ["alpha=0.5", "alpha=1"]
+
+    def test_fig4_panels_and_series(self):
+        panels = figure4(scale=TINY, stacks=(0.05, 0.6), fractions=FRACS)
+        for sweep in panels.values():
+            assert sweep.labels == ["stack=5%", "stack=60%"]
+
+
+class TestFigure5:
+    def test_fig5a_series(self):
+        sweep = figure5a(scale=TINY, ratios=(2.0, 10.0), fractions=(0.3,))
+        assert sweep.labels == ["Ts/Tc=2", "Ts/Tc=10"]
+
+    def test_fig5c_includes_references(self):
+        sweep = figure5c(scale=TINY, cluster_sizes=(20, 50), fractions=(0.3,))
+        assert sweep.labels[:2] == ["sc", "fc"]
+        assert sweep.labels[2:] == ["hier-gd (20)", "hier-gd (50)"]
+
+    def test_fig5d_series(self):
+        sweep = figure5d(scale=TINY, proxy_counts=(2, 3), fractions=(0.3,))
+        assert sweep.labels == ["2 proxies", "3 proxies"]
+
+
+class TestCli:
+    def test_registry_covers_every_figure(self):
+        assert set(FIGURES) == {
+            "fig2a", "fig2b", "fig3", "fig4", "fig5a", "fig5b", "fig5c", "fig5d"
+        }
+
+    def test_cli_runs_and_saves_csv(self, tmp_path, capsys, monkeypatch):
+        # Patch the figure to a tiny variant so the CLI test stays fast.
+        monkeypatch.setitem(
+            FIGURES, "fig2a", lambda seed=0: figure2a(scale=TINY, fractions=(0.5,))
+        )
+        rc = main(["fig2a", "--out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 2(a)" in out
+        assert (tmp_path / "fig2a.csv").exists()
+
+    def test_cli_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["figZ"])

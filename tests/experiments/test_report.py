@@ -1,0 +1,76 @@
+"""Tests for the markdown report generator and its claim predicates."""
+
+import pytest
+
+from repro.analysis.results import SweepResult
+from repro.experiments.report import FIGURE_CLAIMS, evaluate_claims, render_markdown
+
+
+def sweep_with(labels_values, title="t", x=(10.0, 100.0)):
+    s = SweepResult(title=title, x_label="cache size (%)", x_values=list(x))
+    for label, values in labels_values.items():
+        s.add(label, values)
+    return s
+
+
+def fig2_like(hier_first=40.0):
+    return sweep_with(
+        {
+            "sc": [10, 20],
+            "fc": [20, 40],
+            "nc-ec": [8, 5],
+            "sc-ec": [25, 22],
+            "fc-ec": [45, 44],
+            "hier-gd": [hier_first, 30],
+        }
+    )
+
+
+class TestClaimPredicates:
+    def test_fig2a_claims_pass_on_paper_shape(self):
+        verdicts = evaluate_claims("fig2a", {"fig2a": fig2_like()})
+        assert len(verdicts) == 4
+        assert all(ok for _, ok in verdicts)
+
+    def test_fig2a_hier_vs_fc_claim_fails_when_violated(self):
+        verdicts = evaluate_claims("fig2a", {"fig2a": fig2_like(hier_first=5.0)})
+        last_claim, ok = verdicts[-1]
+        assert "Hier-GD > FC" in last_claim.text
+        assert ok is False
+
+    def test_fig3_claim(self):
+        panels = {
+            scheme: sweep_with({"alpha=0.5": [30, 20], "alpha=0.7": [25, 15],
+                                "alpha=1": [20, 10]})
+            for scheme in ("fc", "sc-ec", "fc-ec", "hier-gd")
+        }
+        assert all(ok for _, ok in evaluate_claims("fig3", panels))
+
+    def test_fig5a_claim_direction(self):
+        good = {"fig5a": sweep_with({"Ts/Tc=2": [5, 5], "Ts/Tc=5": [10, 10],
+                                     "Ts/Tc=10": [15, 15]})}
+        bad = {"fig5a": sweep_with({"Ts/Tc=2": [15, 15], "Ts/Tc=5": [10, 10],
+                                    "Ts/Tc=10": [5, 5]})}
+        assert evaluate_claims("fig5a", good)[0][1] is True
+        assert evaluate_claims("fig5a", bad)[0][1] is False
+
+    def test_unknown_figure_has_no_claims(self):
+        assert evaluate_claims("fig99", {}) == []
+
+    def test_every_registered_figure_has_claims(self):
+        assert set(FIGURE_CLAIMS) == {
+            "fig2a", "fig2b", "fig3", "fig4", "fig5a", "fig5b", "fig5c", "fig5d"
+        }
+
+
+class TestRendering:
+    def test_markdown_contains_tables_and_verdicts(self):
+        doc = render_markdown({"fig2a": {"fig2a": fig2_like()}})
+        assert "# Experiment report" in doc
+        assert "## fig2a" in doc
+        assert "cache size (%)" in doc
+        assert "✅" in doc
+
+    def test_failed_claim_rendered_as_cross(self):
+        doc = render_markdown({"fig2a": {"fig2a": fig2_like(hier_first=5.0)}})
+        assert "❌" in doc

@@ -1,0 +1,64 @@
+"""Tests for the experiment runner (scales, sweeps) at tiny scale."""
+
+import pytest
+
+from repro.experiments.runner import (
+    DEFAULT_FRACTIONS,
+    PAPER_SCHEMES,
+    SCALES,
+    base_config,
+    base_workload,
+    cache_size_sweep,
+    current_scale,
+)
+
+
+class TestScales:
+    def test_registry(self):
+        assert set(SCALES) == {"smoke", "default", "paper"}
+        assert SCALES["paper"].n_requests == 1_000_000
+        assert SCALES["paper"].n_objects == 10_000
+        assert SCALES["paper"].n_clients == 100
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert current_scale().label == "smoke"
+        monkeypatch.delenv("REPRO_SCALE")
+        assert current_scale().label == "default"
+
+    def test_invalid_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(ValueError):
+            current_scale()
+
+    def test_base_workload_overrides(self):
+        wl = base_workload(SCALES["smoke"], alpha=0.9)
+        assert wl.alpha == 0.9
+        assert wl.n_requests == SCALES["smoke"].n_requests
+
+    def test_base_config_paper_defaults(self):
+        cfg = base_config(SCALES["smoke"])
+        assert cfg.n_proxies == 2
+        assert cfg.network.ts_over_tc == 10
+
+
+class TestSweep:
+    def test_cache_size_sweep_structure(self):
+        from repro.workload import ProWGenConfig
+
+        cfg = base_config(
+            workload=ProWGenConfig(n_requests=4000, n_objects=300, n_clients=10)
+        )
+        sweep = cache_size_sweep(
+            cfg, schemes=("sc", "hier-gd"), fractions=(0.2, 0.8), seed=1
+        )
+        assert sweep.x_values == [20.0, 80.0]
+        assert sweep.labels == ["sc", "hier-gd"]
+        assert all(len(s.values) == 2 for s in sweep.series)
+        # Gains are percentages of the NC baseline.
+        assert all(-100 < v < 100 for s in sweep.series for v in s.values)
+
+    def test_default_constants_match_paper(self):
+        assert DEFAULT_FRACTIONS[0] == 0.1 and DEFAULT_FRACTIONS[-1] == 1.0
+        assert len(DEFAULT_FRACTIONS) == 10
+        assert PAPER_SCHEMES == ("sc", "fc", "nc-ec", "sc-ec", "fc-ec", "hier-gd")

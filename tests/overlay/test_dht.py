@@ -1,0 +1,78 @@
+"""Tests for DHT key placement and memoization."""
+
+from repro.overlay.dht import Dht
+from repro.overlay.network import Overlay
+
+
+def test_owner_matches_ground_truth():
+    ov = Overlay.build(25)
+    dht = Dht(ov)
+    for i in range(100):
+        key = dht.object_id(f"http://a/{i}")
+        assert dht.owner(key) == ov.numerically_closest(key)
+
+
+def test_owner_for_url_stable():
+    ov = Overlay.build(10)
+    dht = Dht(ov)
+    assert dht.owner_for_url("http://x/y") == dht.owner_for_url("http://x/y")
+
+
+def test_memo_populated_and_hit():
+    ov = Overlay.build(10)
+    dht = Dht(ov)
+    key = dht.object_id("u")
+    dht.owner(key)
+    assert dht.memo_size == 1
+    dht.owner(key)  # memo hit: size unchanged
+    assert dht.memo_size == 1
+
+
+def test_memo_invalidated_on_membership_change():
+    ov = Overlay.build(10)
+    dht = Dht(ov)
+    key = dht.object_id("u")
+    first = dht.owner(key)
+    ov.add_named("newcomer")
+    assert dht.memo_size in (0, 1)  # cleared lazily on next call
+    second = dht.owner(key)
+    assert second == ov.numerically_closest(key)
+    # The new node may or may not take over the key, but the memo must
+    # have been rebuilt against the new epoch.
+    assert dht._memo_epoch == ov.epoch
+    assert isinstance(first, int)
+
+
+def test_remapping_after_failure():
+    ov = Overlay.build(12)
+    dht = Dht(ov)
+    key = dht.object_id("hot-object")
+    owner = dht.owner(key)
+    ov.fail(owner)
+    new_owner = dht.owner(key)
+    assert new_owner != owner
+    assert new_owner == ov.numerically_closest(key)
+
+
+def test_hop_sampling_records_stats():
+    ov = Overlay.build(20)
+    dht = Dht(ov, hop_sample_rate=2)
+    before = ov.stats.messages
+    for i in range(10):
+        dht.owner(dht.object_id(f"k{i}"))  # 10 distinct keys -> 5 samples
+    assert ov.stats.messages == before + 5
+
+
+def test_hop_sampling_disabled_by_default():
+    ov = Overlay.build(20)
+    dht = Dht(ov)
+    for i in range(10):
+        dht.owner(dht.object_id(f"k{i}"))
+    assert ov.stats.messages == 0
+
+
+def test_route_delegates_and_agrees_with_owner():
+    ov = Overlay.build(30)
+    dht = Dht(ov)
+    key = dht.object_id("agree")
+    assert dht.route(key).root == dht.owner(key)

@@ -1,0 +1,168 @@
+"""Integration-level tests for overlay membership, routing and repair."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.overlay.id_space import IdSpace
+from repro.overlay.network import Overlay
+
+
+def build(n, leaf_size=16, bits=128, b=4):
+    return Overlay.build(n, space=IdSpace(bits=bits, b=b), leaf_size=leaf_size)
+
+
+class TestMembership:
+    def test_build_by_count(self):
+        ov = build(20)
+        assert len(ov) == 20
+        assert len(ov.node_ids()) == 20
+        assert ov.node_ids() == sorted(ov.node_ids())
+
+    def test_build_by_names(self):
+        ov = Overlay.build(["a", "b", "c"])
+        assert len(ov) == 3
+
+    def test_duplicate_join_rejected(self):
+        ov = build(3)
+        nid = ov.node_ids()[0]
+        with pytest.raises(ValueError):
+            ov.join(nid)
+
+    def test_join_out_of_space_rejected(self):
+        ov = Overlay(space=IdSpace(bits=16, b=4))
+        with pytest.raises(ValueError):
+            ov.join(1 << 16)
+
+    def test_fail_unknown_raises(self):
+        ov = build(3)
+        with pytest.raises(KeyError):
+            ov.fail(12345)
+
+    def test_epoch_bumps_on_membership_change(self):
+        ov = build(3)
+        e = ov.epoch
+        ov.add_named("extra")
+        assert ov.epoch == e + 1
+        ov.fail(ov.node_ids()[0])
+        assert ov.epoch == e + 2
+
+
+class TestRoutingCorrectness:
+    def test_single_node_delivers_to_itself(self):
+        ov = build(1)
+        only = ov.node_ids()[0]
+        r = ov.route(key=123)
+        assert r.root == only and r.hops == 0
+
+    def test_empty_overlay_raises(self):
+        ov = Overlay()
+        with pytest.raises(RuntimeError):
+            ov.route(1)
+        with pytest.raises(RuntimeError):
+            ov.numerically_closest(1)
+
+    def test_route_from_dead_start_raises(self):
+        ov = build(4)
+        with pytest.raises(KeyError):
+            ov.route(1, start=999999)
+
+    @pytest.mark.parametrize("n", [2, 5, 16, 64, 150])
+    def test_delivery_matches_numerically_closest(self, n):
+        ov = build(n)
+        space = ov.space
+        starts = ov.node_ids()
+        for i in range(200):
+            key = space.object_id(f"http://host/obj{i}")
+            want = ov.numerically_closest(key)
+            got = ov.route(key, start=starts[i % len(starts)])
+            assert got.root == want, f"key {i}: {got.root:x} != {want:x}"
+
+    def test_path_starts_at_origin_ends_at_root(self):
+        ov = build(50)
+        start = ov.node_ids()[7]
+        r = ov.route(ov.space.object_id("u"), start=start)
+        assert r.path[0] == start and r.path[-1] == r.root
+        assert r.hops == len(r.path) - 1
+
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_random_keys_delivered_to_closest(self, key):
+        ov = _SHARED[0]
+        assert ov.route(key).root == ov.numerically_closest(key)
+
+
+# A moderately sized shared overlay for the hypothesis test (building one
+# per example would dominate runtime).
+_SHARED = [Overlay.build(40)]
+
+
+class TestHopEfficiency:
+    @pytest.mark.parametrize("n,b", [(64, 4), (200, 4), (128, 2)])
+    def test_hops_logarithmic(self, n, b):
+        bits = 128 if b == 4 else 64
+        ov = build(n, bits=bits, b=b)
+        starts = ov.node_ids()
+        hops = []
+        for i in range(300):
+            key = ov.space.object_id(f"k{i}")
+            hops.append(ov.route(key, start=starts[i % n]).hops)
+        bound = math.ceil(math.log(n, 2**b))
+        mean = sum(hops) / len(hops)
+        # Pastry guarantees ceil(log_2^b N) hops *in expectation* with
+        # well-formed tables; allow slack of +2 for small-overlay edges.
+        assert mean <= bound + 1, f"mean hops {mean} vs bound {bound}"
+        assert max(hops) <= bound + 3
+
+    def test_stats_accumulate(self):
+        ov = build(30)
+        before = ov.stats.messages
+        ov.route(ov.space.object_id("x"))
+        assert ov.stats.messages == before + 1
+        assert ov.stats.total_hops >= 0
+        assert sum(ov.stats.hop_histogram.values()) == ov.stats.messages
+        assert ov.stats.mean_hops <= ov.stats.max_hops or ov.stats.max_hops == 0
+
+
+class TestChurn:
+    def test_routing_survives_failures(self):
+        ov = build(60)
+        # Fail 20 nodes, then every key must still reach the *new* closest.
+        for nid in ov.node_ids()[::3]:
+            ov.fail(nid)
+        starts = ov.node_ids()
+        for i in range(150):
+            key = ov.space.object_id(f"churn{i}")
+            want = ov.numerically_closest(key)
+            got = ov.route(key, start=starts[i % len(starts)])
+            assert got.root == want
+
+    def test_routing_survives_joins_after_failures(self):
+        ov = build(30)
+        for nid in ov.node_ids()[:10]:
+            ov.fail(nid)
+        for i in range(15):
+            ov.add_named(f"late-{i}")
+        for i in range(100):
+            key = ov.space.object_id(f"j{i}")
+            assert ov.route(key).root == ov.numerically_closest(key)
+
+    def test_leaf_sets_repaired_after_failure(self):
+        ov = build(40, leaf_size=8)
+        victim = ov.node_ids()[5]
+        ov.fail(victim)
+        live = set(ov.node_ids())
+        for node in ov.nodes.values():
+            for leaf in node.leaves.members():
+                assert leaf in live
+            # With 39 live nodes every node should have a full leaf set.
+            assert len(node.leaves) == 8
+
+    def test_fail_down_to_one_node(self):
+        ov = build(5)
+        for nid in ov.node_ids()[1:]:
+            ov.fail(nid)
+        assert len(ov) == 1
+        assert ov.route(12345).root == ov.node_ids()[0]

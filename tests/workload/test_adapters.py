@@ -1,0 +1,108 @@
+"""Tests for the Squid / Common Log Format trace adapters."""
+
+import numpy as np
+import pytest
+
+from repro.workload.adapters import from_common_log, from_squid_log
+
+SQUID = """\
+1157689324.156   5006 10.0.0.1 TCP_MISS/200 19763 GET http://a.com/x.html - DIRECT/1.2.3.4 text/html
+1157689324.496    100 10.0.0.2 TCP_HIT/200 500 GET http://a.com/x.html - NONE/- text/html
+1157689325.000    200 10.0.0.1 TCP_MISS/200 900 GET http://b.com/y.png - DIRECT/2.3.4.5 image/png
+1157689326.000    300 10.0.0.3 TCP_MISS/404 0 GET http://a.com/missing - DIRECT/1.2.3.4 text/html
+1157689327.000    300 10.0.0.1 TCP_MISS/200 100 POST http://a.com/form - DIRECT/1.2.3.4 text/html
+1157689328.000    300 10.0.0.2 TCP_MISS/200 100 GET http://a.com/cgi?q=1 - DIRECT/1.2.3.4 text/html
+garbage line that does not parse
+1157689329.000    300 10.0.0.2 TCP_MISS/200 100 GET http://a.com/x.html#frag - NONE/- text/html
+"""
+
+CLF = """\
+10.0.0.1 - - [10/Oct/2000:13:55:36 -0700] "GET /apache_pb.gif HTTP/1.0" 200 2326
+10.0.0.2 - alice [10/Oct/2000:13:55:37 -0700] "GET /apache_pb.gif HTTP/1.0" 304 -
+10.0.0.1 - - [10/Oct/2000:13:55:38 -0700] "GET /index.html HTTP/1.0" 200 100
+10.0.0.1 - - [10/Oct/2000:13:55:39 -0700] "POST /submit HTTP/1.0" 200 10
+10.0.0.3 - - [10/Oct/2000:13:55:40 -0700] "GET /broken HTTP/1.0" 500 0
+not a log line
+"""
+
+
+class TestSquidAdapter:
+    def test_parses_and_filters(self):
+        trace, report = from_squid_log(SQUID)
+        assert report.total_lines == 8
+        assert report.malformed == 1
+        assert report.dropped_status == 1  # the 404
+        assert report.dropped_method == 1  # the POST
+        assert report.dropped_query == 1  # the cgi?q=1
+        assert report.kept == 4
+        assert len(trace) == 4
+
+    def test_url_and_client_densification(self):
+        trace, _ = from_squid_log(SQUID)
+        # Objects: a.com/x.html (3 refs incl. the #frag one), b.com/y.png.
+        assert trace.n_objects == 2
+        counts = trace.reference_counts()
+        assert sorted(counts.tolist()) == [1, 3]
+        assert trace.n_clients == 2  # 10.0.0.1 and 10.0.0.2 survive filters
+
+    def test_fragment_stripped(self):
+        trace, _ = from_squid_log(SQUID)
+        # The #frag request maps onto the same object id as x.html:
+        assert trace.infinite_cache_size == 1
+
+    def test_client_cap_folds_round_robin(self):
+        trace, _ = from_squid_log(SQUID, n_clients=1)
+        assert trace.n_clients == 1
+        assert (trace.client_ids == 0).all()
+
+    def test_keep_queries_option(self):
+        _, strict = from_squid_log(SQUID)
+        trace, relaxed = from_squid_log(SQUID, keep_queries=True)
+        assert relaxed.kept == strict.kept + 1
+
+    def test_file_source(self, tmp_path):
+        p = tmp_path / "access.log"
+        p.write_text(SQUID)
+        trace, report = from_squid_log(p)
+        assert len(trace) == 4
+
+    def test_empty_input(self):
+        trace, report = from_squid_log("")
+        assert len(trace) == 0 and report.total_lines == 0
+
+    def test_trace_runs_through_a_scheme(self):
+        from repro.core.config import SimulationConfig
+        from repro.core.schemes import NcScheme
+        from repro.workload import ProWGenConfig
+
+        trace, _ = from_squid_log(SQUID)
+        cfg = SimulationConfig(
+            workload=ProWGenConfig(n_requests=100, n_objects=10,
+                                   n_clients=trace.n_clients),
+            n_proxies=1,
+        )
+        result = NcScheme(cfg, [trace]).run()
+        assert result.n_requests == len(trace)
+
+
+class TestCommonLogAdapter:
+    def test_parses_and_filters(self):
+        trace, report = from_common_log(CLF)
+        assert report.total_lines == 6
+        assert report.malformed == 1
+        assert report.dropped_method == 1
+        assert report.dropped_status == 1  # the 500; 304 is kept (< 400)
+        assert report.kept == 3
+        assert trace.n_objects == 2  # apache_pb.gif, index.html
+
+    def test_304_counts_as_success(self):
+        _, report = from_common_log(CLF)
+        assert report.dropped_status == 1
+
+    def test_methods_override(self):
+        _, report = from_common_log(CLF, methods=("GET", "POST"))
+        assert report.dropped_method == 0
+
+    def test_iterable_source(self):
+        trace, _ = from_common_log(CLF.splitlines())
+        assert len(trace) == 3

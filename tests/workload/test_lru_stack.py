@@ -1,0 +1,148 @@
+"""Tests for the order-statistic LRU stack, including a model check."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.lru_stack import LruStack
+
+
+class TestBasics:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LruStack(-1)
+
+    def test_zero_capacity_absorbs_nothing(self):
+        s = LruStack(0)
+        assert s.push("a") is None
+        assert len(s) == 0
+
+    def test_push_orders_most_recent_first(self):
+        s = LruStack(5)
+        for x in "abc":
+            s.push(x)
+        assert s.as_list() == ["c", "b", "a"]
+
+    def test_touch_moves_to_top(self):
+        s = LruStack(5)
+        for x in "abc":
+            s.push(x)
+        s.push("a")
+        assert s.as_list() == ["a", "c", "b"]
+        assert len(s) == 3
+
+    def test_overflow_evicts_lru(self):
+        s = LruStack(2)
+        s.push("a")
+        s.push("b")
+        evicted = s.push("c")
+        assert evicted == "a"
+        assert s.as_list() == ["c", "b"]
+
+    def test_object_at_positions(self):
+        s = LruStack(4)
+        for x in "wxyz":
+            s.push(x)
+        assert s.object_at(1) == "z"
+        assert s.object_at(4) == "w"
+        with pytest.raises(IndexError):
+            s.object_at(0)
+        with pytest.raises(IndexError):
+            s.object_at(5)
+
+    def test_position_of(self):
+        s = LruStack(4)
+        for x in "abc":
+            s.push(x)
+        assert s.position_of("c") == 1
+        assert s.position_of("a") == 3
+        with pytest.raises(KeyError):
+            s.position_of("nope")
+
+    def test_remove(self):
+        s = LruStack(4)
+        for x in "abc":
+            s.push(x)
+        assert s.remove("b") is True
+        assert s.remove("b") is False
+        assert s.as_list() == ["c", "a"]
+
+    def test_evict_lru_empty(self):
+        assert LruStack(2).evict_lru() is None
+
+    def test_contains(self):
+        s = LruStack(2)
+        s.push(1)
+        assert 1 in s and 2 not in s
+
+
+class TestCompaction:
+    def test_long_churn_triggers_compaction_and_stays_correct(self):
+        s = LruStack(8)
+        for i in range(5000):
+            s.push(i % 12)
+        assert len(s) == 8
+        lst = s.as_list()
+        assert len(set(lst)) == 8
+        # Most recent pushed is on top.
+        assert lst[0] == 4999 % 12
+
+
+class TestAgainstModel:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["push", "remove", "evict"]),
+                      st.integers(min_value=0, max_value=9)),
+            max_size=300,
+        ),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_list_model(self, ops, cap):
+        s = LruStack(cap)
+        model: list[int] = []  # most recent first
+        for op, x in ops:
+            if op == "push":
+                got = s.push(x)
+                want = None
+                if x in model:
+                    model.remove(x)
+                model.insert(0, x)
+                if len(model) > cap:
+                    want = model.pop()
+                assert got == want
+            elif op == "remove":
+                assert s.remove(x) == (x in model)
+                if x in model:
+                    model.remove(x)
+            else:
+                assert s.evict_lru() == (model.pop() if model else None)
+            assert len(s) == len(model)
+            assert s.as_list() == model
+
+    def test_randomized_long_run(self):
+        rng = random.Random(9)
+        s = LruStack(50)
+        model: list[int] = []
+        for _ in range(20000):
+            x = rng.randrange(120)
+            r = rng.random()
+            if r < 0.8:
+                got = s.push(x)
+                want = None
+                if x in model:
+                    model.remove(x)
+                model.insert(0, x)
+                if len(model) > 50:
+                    want = model.pop()
+                assert got == want
+            elif r < 0.9:
+                assert s.remove(x) == (x in model)
+                if x in model:
+                    model.remove(x)
+            elif model:
+                p = rng.randrange(len(model)) + 1
+                assert s.object_at(p) == model[p - 1]
+        assert s.as_list() == model

@@ -1,0 +1,65 @@
+"""Tests for the UCB Home-IP trace substitute."""
+
+import pytest
+
+from repro.workload import generate_cluster_traces
+from repro.workload.prowgen import ProWGenConfig
+from repro.workload.ucb import UCB_TOTAL_REQUESTS, generate_ucb_like_trace, ucb_like_config
+
+
+def test_reference_constant_matches_paper():
+    assert UCB_TOTAL_REQUESTS == 9_244_728
+
+
+def test_config_shape():
+    c = ucb_like_config(n_requests=100_000)
+    assert c.n_objects == 30_000
+    assert c.one_timer_fraction == pytest.approx(0.60)
+    assert c.alpha == pytest.approx(0.80)
+    assert c.stack_fraction < ProWGenConfig().stack_fraction  # weaker locality
+
+
+def test_objects_per_request_validation():
+    with pytest.raises(ValueError):
+        ucb_like_config(objects_per_request=0.0)
+    with pytest.raises(ValueError):
+        ucb_like_config(objects_per_request=1.5)
+
+
+def test_generated_trace_statistics():
+    t = generate_ucb_like_trace(n_requests=50_000, n_clients=50, seed=3)
+    assert len(t) == 50_000
+    assert t.n_clients == 50
+    assert t.one_timer_fraction == pytest.approx(0.60, abs=0.02)
+    # Much larger universe relative to requests than the synthetic default.
+    assert t.distinct_objects / len(t) == pytest.approx(0.3, abs=0.02)
+    assert t.name.startswith("ucb-like")
+
+
+def test_ucb_universe_depresses_reuse_vs_default():
+    ucb = generate_ucb_like_trace(n_requests=30_000, seed=1)
+    syn = ProWGenConfig(n_requests=30_000, n_objects=3_000)
+    from repro.workload.prowgen import generate_trace
+
+    default = generate_trace(syn, seed=1)
+    # Mean references per referenced object is lower for the UCB-like trace.
+    ucb_mean = len(ucb) / ucb.distinct_objects
+    syn_mean = len(default) / default.distinct_objects
+    assert ucb_mean < syn_mean
+
+
+def test_generate_cluster_traces_identical_statistics_different_streams():
+    cfg = ProWGenConfig(n_requests=10_000, n_objects=500, n_clients=10)
+    traces = generate_cluster_traces(cfg, n_clusters=3, seed=5)
+    assert len(traces) == 3
+    assert len({t.name for t in traces}) == 3
+    import numpy as np
+
+    assert not np.array_equal(traces[0].object_ids, traces[1].object_ids)
+    for t in traces:
+        assert t.distinct_objects == 500
+
+
+def test_generate_cluster_traces_validation():
+    with pytest.raises(ValueError):
+        generate_cluster_traces(ProWGenConfig(n_requests=10_000, n_objects=100), 0)
