@@ -66,8 +66,8 @@ def test_fig5b_gain_increases_with_ts_over_tl(benchmark, emit):
 def test_fig5c_gain_increases_with_client_cluster_size(benchmark, emit):
     sweep = run_once(benchmark, fig5c_cached)
     emit(sweep)
-    hier_labels = [l for l in sweep.labels if l.startswith("hier-gd")]
-    means = [mean(sweep.get(l).values) for l in hier_labels]
+    hier_labels = [lab for lab in sweep.labels if lab.startswith("hier-gd")]
+    means = [mean(sweep.get(lab).values) for lab in hier_labels]
     assert means == sorted(means), f"not monotone: {dict(zip(hier_labels, means))}"
     # Effect strongest at small proxy caches: the spread between the
     # largest and smallest cluster is wider at 10% than at 100%.

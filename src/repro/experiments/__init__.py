@@ -2,6 +2,13 @@
 
 - :mod:`repro.experiments.runner` — scales, base configs, the cache-size
   sweep primitive.
+- :mod:`repro.experiments.executor` — the parallel experiment engine:
+  sweep points fanned out over a process pool, serial fallback, bounded
+  crash retry, deterministic per-point seeding.
+- :mod:`repro.experiments.store` — content-addressed JSONL result store;
+  finished points are skipped on re-runs, interrupted suites resume.
+- :mod:`repro.experiments.instrument` — per-point wall times,
+  requests/sec, worker utilization, progress callbacks.
 - :mod:`repro.experiments.figure2` — Fig 2(a)/(b): all schemes vs cache
   size, synthetic and UCB-like workloads.
 - :mod:`repro.experiments.figure3` — Fig 3: Zipf α sensitivity.
@@ -11,10 +18,12 @@
 - :mod:`repro.experiments.cli` — the ``repro-experiments`` command.
 """
 
+from .executor import ExperimentEngine, PointOutcome, SweepPoint, child_seed
 from .figure2 import figure2a, figure2b
 from .figure3 import figure3
 from .figure4 import figure4
 from .figure5 import figure5a, figure5b, figure5c, figure5d
+from .instrument import ProgressEvent, RunInstrumentation
 from .runner import (
     DEFAULT_FRACTIONS,
     PAPER_SCHEMES,
@@ -24,9 +33,20 @@ from .runner import (
     base_workload,
     cache_size_sweep,
     current_scale,
+    sweep_points,
 )
+from .store import ResultStore, point_key
 
 __all__ = [
+    "ExperimentEngine",
+    "PointOutcome",
+    "ProgressEvent",
+    "ResultStore",
+    "RunInstrumentation",
+    "SweepPoint",
+    "child_seed",
+    "point_key",
+    "sweep_points",
     "figure2a",
     "figure2b",
     "figure3",

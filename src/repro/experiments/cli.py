@@ -2,14 +2,25 @@
 
 Usage::
 
-    repro-experiments all                 # every figure at REPRO_SCALE
-    repro-experiments fig2a fig5c         # a subset
-    repro-experiments fig3 --scale smoke  # quick shape check
-    repro-experiments fig2a --out results # also write CSVs
+    repro-experiments all                  # every figure at REPRO_SCALE
+    repro-experiments fig2a fig5c          # a subset
+    repro-experiments fig3 --scale smoke   # quick shape check
+    repro-experiments fig2a --out results  # also write CSVs
+    repro-experiments all --workers 0      # fan out over every CPU core
+    repro-experiments all --resume --progress
+                                           # resumable suite with live ticks
 
 Each figure prints the data table (the same rows the paper plots) and an
 ASCII rendering of the curves; ``--out`` additionally saves one CSV per
-panel for external plotting.
+panel for external plotting plus an ``instrumentation.json`` with the
+run's per-point timings.
+
+Parallel execution (``--workers N``, ``0`` = all cores) fans the sweep
+points out over a process pool; results are byte-identical to a serial
+run.  ``--resume [PATH]`` attaches the JSON-lines result store (default
+``repro_store.jsonl``, placed inside ``--out`` when given): completed
+points are skipped on re-invocation, so an interrupted suite picks up
+where it stopped.  ``--progress`` prints one line per finished point.
 """
 
 from __future__ import annotations
@@ -22,13 +33,14 @@ from pathlib import Path
 
 from ..analysis.plots import ascii_plot
 from ..analysis.results import SweepResult
+from .executor import ExperimentEngine
 from .figure2 import figure2a, figure2b
 from .figure3 import figure3
 from .figure4 import figure4
 from .figure5 import figure5a, figure5b, figure5c, figure5d
 from .runner import SCALES, current_scale
 
-__all__ = ["main", "FIGURES"]
+__all__ = ["main", "FIGURES", "build_engine"]
 
 #: Figure id -> callable returning SweepResult or dict[str, SweepResult].
 FIGURES = {
@@ -41,6 +53,30 @@ FIGURES = {
     "fig5c": figure5c,
     "fig5d": figure5d,
 }
+
+#: Store filename used when ``--resume`` is given without a path.
+DEFAULT_STORE = "repro_store.jsonl"
+
+
+def build_engine(
+    workers: int = 1,
+    resume: str | None = None,
+    progress: bool = False,
+    out_dir: Path | None = None,
+) -> ExperimentEngine:
+    """Engine from CLI options; ``resume='auto'`` picks the default path."""
+    store_path: str | None = None
+    if resume is not None:
+        if resume == "auto":
+            store_path = str((out_dir or Path(".")) / DEFAULT_STORE)
+        else:
+            store_path = resume
+    try:
+        return ExperimentEngine.from_options(
+            workers=workers, store_path=store_path, progress=progress
+        )
+    except OSError as exc:
+        raise SystemExit(f"repro-experiments: cannot open result store: {exc}") from exc
 
 
 def _emit(name: str, result: SweepResult | dict, out_dir: Path | None) -> None:
@@ -81,6 +117,27 @@ def main(argv: list[str] | None = None) -> int:
         help="directory to write per-panel CSV files into",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for sweep points (0 = all CPU cores; default 1)",
+    )
+    parser.add_argument(
+        "--resume",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="PATH",
+        help="skip points already in the JSONL result store and append new "
+        f"ones (default store: {DEFAULT_STORE}, inside --out when given)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line per completed sweep point",
+    )
     args = parser.parse_args(argv)
 
     if args.scale is not None:
@@ -88,16 +145,34 @@ def main(argv: list[str] | None = None) -> int:
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
 
+    engine = build_engine(args.workers, args.resume, args.progress, args.out)
+    if engine.store is not None:
+        print(f"result store: {engine.store.path} ({len(engine.store)} points)")
+
     names = list(FIGURES) if "all" in args.figures else list(dict.fromkeys(args.figures))
     scale = current_scale()
     print(f"scale={scale.label} ({scale.n_requests} requests, "
-          f"{scale.n_objects} objects, {scale.n_clients} clients per cluster)")
+          f"{scale.n_objects} objects, {scale.n_clients} clients per cluster), "
+          f"workers={engine.workers}")
     for name in names:
         started = time.time()
         print(f"\n### {name} ...", flush=True)
-        result = FIGURES[name](seed=args.seed)
+        result = FIGURES[name](seed=args.seed, engine=engine)
         _emit(name, result, args.out)
         print(f"[{name} done in {time.time() - started:.1f}s]")
+
+    inst = engine.instrument
+    if inst is not None and inst.total:
+        print(
+            f"\n[{inst.executed} points simulated, {inst.skipped} from store, "
+            f"{inst.retries} retries; {inst.elapsed:.1f}s wall, "
+            f"{inst.requests_per_sec():,.0f} req/s, "
+            f"{inst.worker_utilization(engine.workers):.0%} worker utilization]"
+        )
+        if args.out is not None:
+            inst_path = args.out / "instrumentation.json"
+            inst.write(inst_path, workers=engine.workers)
+            print(f"[saved {inst_path}]")
     return 0
 
 

@@ -1,0 +1,340 @@
+"""Parallel sweep-point executor: process fan-out with resume and retry.
+
+Every figure of the paper is a grid of *independent* trace-driven
+simulations (scheme x proxy-cache fraction x workload variation), so the
+suite parallelizes embarrassingly.  This module turns a sweep into
+explicit :class:`SweepPoint` work items and fans them out over
+:class:`concurrent.futures.ProcessPoolExecutor`:
+
+* **Determinism** — a point carries everything its result depends on
+  (base config, scheme, fraction, explicit trace seed), so it computes
+  the same bytes whether it runs serially, in any worker, or is replayed
+  from the result store.  No point reads ambient state (environment
+  variables, module globals, default RNG streams).
+* **Cheap pickling** — workers receive only the small frozen config
+  dataclasses; the multi-megabyte traces are regenerated inside each
+  worker from the explicit seed and memoized per process
+  (:data:`_TRACE_CACHE`), so a worker pays trace generation once per
+  workload, not once per point.
+* **Serial fallback** — ``workers=1`` runs everything in-process through
+  the same code path (no pool, no pickling), which is also what tests
+  and the default API use.
+* **Crash resilience** — a point that raises is retried up to
+  ``retries`` times; a worker that dies outright (broken pool) causes
+  the pool to be rebuilt and the unfinished points resubmitted, bounded
+  by ``retries`` consecutive no-progress rounds.
+* **Resume** — with a :class:`~repro.experiments.store.ResultStore`
+  attached, completed points are answered from the store and only the
+  remainder is simulated (see the store module for key semantics).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import os
+import time
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from ..core.config import SimulationConfig
+from ..core.metrics import SchemeResult
+from ..core.run import run_scheme
+from ..workload import Trace, generate_cluster_traces
+from .instrument import RunInstrumentation, print_progress
+from .store import ResultStore, deserialize_result, point_key, serialize_result
+
+__all__ = [
+    "child_seed",
+    "SweepPoint",
+    "PointOutcome",
+    "PointExecutionError",
+    "ExperimentEngine",
+    "run_point",
+]
+
+
+def child_seed(base: int, *parts: Any) -> int:
+    """Deterministic 63-bit child seed derived from ``base`` and labels.
+
+    Stable across processes, Python versions and runs (SHA-256, not
+    ``hash()``), so independent RNG streams derived for sweep points
+    never depend on execution order or interpreter state.
+    """
+    canonical = repr((int(base),) + tuple(str(p) for p in parts))
+    digest = hashlib.sha256(canonical.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+class PointExecutionError(RuntimeError):
+    """A sweep point kept failing after its bounded retries."""
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One self-contained unit of sweep work.
+
+    ``config`` is the *base* configuration; the swept proxy-cache
+    fraction is applied on resolution so the point's identity (and store
+    key) names the axis value explicitly.  ``seed`` is the explicit
+    trace seed — the only randomness in a simulation is workload
+    generation, so (config, scheme, fraction, seed) fully determines the
+    result.
+    """
+
+    scheme: str
+    fraction: float
+    config: SimulationConfig
+    seed: int
+
+    @property
+    def resolved_config(self) -> SimulationConfig:
+        """The base config with this point's fraction applied."""
+        return self.config.with_changes(proxy_cache_fraction=self.fraction)
+
+    @property
+    def key(self) -> str:
+        """Content hash identifying this point in the result store."""
+        return point_key(self.config, self.scheme, self.fraction, self.seed)
+
+    @property
+    def label(self) -> str:
+        """Short human-readable tag for progress lines and telemetry."""
+        return f"{self.scheme}@S={self.fraction:g}"
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """A completed point: its result plus how it was obtained."""
+
+    point: SweepPoint
+    result: SchemeResult
+    cached: bool
+    wall_time: float
+
+
+#: Per-process memo of generated cluster traces.  Points of one sweep
+#: share a workload, so each worker generates it once; the bound keeps a
+#: long-lived worker from accumulating every variation of a figure.
+_TRACE_CACHE: dict[tuple, list[Trace]] = {}
+_TRACE_CACHE_MAX = 4
+
+
+def _cluster_traces(config: SimulationConfig, seed: int) -> list[Trace]:
+    cache_key = (config.workload, config.n_proxies, seed)
+    traces = _TRACE_CACHE.get(cache_key)
+    if traces is None:
+        if len(_TRACE_CACHE) >= _TRACE_CACHE_MAX:
+            _TRACE_CACHE.clear()
+        traces = generate_cluster_traces(config.workload, config.n_proxies, seed=seed)
+        _TRACE_CACHE[cache_key] = traces
+    return traces
+
+
+def run_point(point: SweepPoint) -> dict[str, Any]:
+    """Execute one sweep point (worker side).  Returns a picklable payload.
+
+    The payload carries the serialized :class:`SchemeResult` plus the
+    point's measured wall time and simulated request count for the
+    instrumentation layer.  Timing lives outside the result so stored
+    results stay byte-identical across machines.
+    """
+    started = time.perf_counter()
+    cfg = point.resolved_config
+    traces = _cluster_traces(cfg, point.seed)
+    result = run_scheme(point.scheme, cfg, traces)
+    return {
+        "result": serialize_result(result),
+        "wall_time": time.perf_counter() - started,
+        "n_requests": result.n_requests,
+    }
+
+
+@dataclass
+class ExperimentEngine:
+    """Runs sweep points serially or across a process pool.
+
+    ``workers=1`` (the default) is a strict serial fallback; ``workers=0``
+    resolves to the machine's CPU count.  Attach a
+    :class:`~repro.experiments.store.ResultStore` to skip completed
+    points and persist new ones, and a
+    :class:`~repro.experiments.instrument.RunInstrumentation` to collect
+    timings and emit progress.
+    """
+
+    workers: int = 1
+    store: ResultStore | None = None
+    instrument: RunInstrumentation | None = None
+    #: Bounded retries per failing point (and per no-progress pool rebuild).
+    retries: int = 2
+
+    def __post_init__(self) -> None:
+        if self.workers <= 0:
+            self.workers = os.cpu_count() or 1
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+
+    @classmethod
+    def from_options(
+        cls,
+        workers: int = 1,
+        store_path: str | None = None,
+        progress: bool = False,
+    ) -> "ExperimentEngine":
+        """Build an engine from CLI-style options (see ``cli.py``)."""
+        return cls(
+            workers=workers,
+            store=ResultStore(store_path) if store_path else None,
+            instrument=RunInstrumentation(
+                progress=print_progress if progress else None
+            ),
+        )
+
+    # -- generic bounded-retry fan-out --------------------------------------
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        on_result: Callable[[int, Any], None] | None = None,
+    ) -> list[Any]:
+        """``[fn(item) for item in items]`` with retries, maybe in parallel.
+
+        Results come back in item order regardless of completion order;
+        ``on_result(index, value)`` fires in the parent as each item
+        finishes (used to persist results and tick progress).  An item
+        that keeps raising after ``retries`` retries aborts the run with
+        :class:`PointExecutionError`; a crashed worker only aborts after
+        ``retries`` consecutive pool rebuilds with zero progress.
+        """
+        if self.workers == 1:
+            return self._map_serial(fn, items, on_result)
+        return self._map_parallel(fn, items, on_result)
+
+    def _retried(self, index: int, item: Any) -> None:
+        if self.instrument is not None:
+            label = item.label if isinstance(item, SweepPoint) else f"item {index}"
+            self.instrument.point_retried(label)
+
+    def _map_serial(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        on_result: Callable[[int, Any], None] | None,
+    ) -> list[Any]:
+        results: list[Any] = [None] * len(items)
+        for i, item in enumerate(items):
+            for attempt in range(self.retries + 1):
+                try:
+                    results[i] = fn(item)
+                    break
+                except Exception as exc:
+                    if attempt == self.retries:
+                        raise PointExecutionError(
+                            f"item {i} failed after {attempt + 1} attempts: {exc}"
+                        ) from exc
+                    self._retried(i, item)
+            if on_result is not None:
+                on_result(i, results[i])
+        return results
+
+    def _map_parallel(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        on_result: Callable[[int, Any], None] | None,
+    ) -> list[Any]:
+        results: list[Any] = [None] * len(items)
+        pending = set(range(len(items)))
+        attempts = dict.fromkeys(pending, 0)
+        stalled_rounds = 0
+        while pending:
+            completed_this_round = 0
+            pool_broken = False
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(self.workers, len(pending))
+            ) as pool:
+                try:
+                    futures = {
+                        pool.submit(fn, items[i]): i for i in sorted(pending)
+                    }
+                    for future in concurrent.futures.as_completed(futures):
+                        i = futures[future]
+                        try:
+                            results[i] = future.result()
+                        except BrokenProcessPool:
+                            pool_broken = True
+                            break
+                        except Exception as exc:
+                            attempts[i] += 1
+                            if attempts[i] > self.retries:
+                                raise PointExecutionError(
+                                    f"item {i} failed after {attempts[i]} "
+                                    f"attempts: {exc}"
+                                ) from exc
+                            self._retried(i, items[i])
+                            continue
+                        pending.discard(i)
+                        completed_this_round += 1
+                        if on_result is not None:
+                            on_result(i, results[i])
+                except BrokenProcessPool:
+                    pool_broken = True
+            if pool_broken and completed_this_round == 0:
+                stalled_rounds += 1
+                if stalled_rounds > self.retries:
+                    raise PointExecutionError(
+                        f"worker pool kept crashing; {len(pending)} points "
+                        f"unfinished after {stalled_rounds} rebuilds"
+                    )
+            else:
+                stalled_rounds = 0
+        return results
+
+    # -- sweep-point execution ----------------------------------------------
+
+    def run(self, points: Sequence[SweepPoint]) -> list[PointOutcome]:
+        """Execute ``points`` (answering from the store where possible).
+
+        Outcomes are returned in input order.  Freshly simulated points
+        are appended to the store as they finish, so an interrupted call
+        leaves a resumable prefix behind.
+        """
+        outcomes: list[PointOutcome | None] = [None] * len(points)
+        if self.instrument is not None:
+            self.instrument.begin(len(points))
+
+        pending_idx: list[int] = []
+        for i, point in enumerate(points):
+            stored = self.store.get(point.key) if self.store is not None else None
+            if stored is not None:
+                outcomes[i] = PointOutcome(point, stored, cached=True, wall_time=0.0)
+                if self.instrument is not None:
+                    self.instrument.point_done(
+                        point.label, 0.0, stored.n_requests, cached=True
+                    )
+            else:
+                pending_idx.append(i)
+
+        def finish(local: int, payload: dict[str, Any]) -> None:
+            i = pending_idx[local]
+            point = points[i]
+            result = deserialize_result(payload["result"])
+            outcomes[i] = PointOutcome(
+                point, result, cached=False, wall_time=payload["wall_time"]
+            )
+            if self.store is not None:
+                self.store.put(
+                    point.key,
+                    result,
+                    label=point.label,
+                    meta={"wall_time": payload["wall_time"]},
+                )
+            if self.instrument is not None:
+                self.instrument.point_done(
+                    point.label, payload["wall_time"], payload["n_requests"]
+                )
+
+        self.map(run_point, [points[i] for i in pending_idx], on_result=finish)
+        return [o for o in outcomes if o is not None]

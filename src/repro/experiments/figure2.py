@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from ..analysis.results import SweepResult
 from ..workload import ucb_like_config
+from .executor import ExperimentEngine
 from .runner import (
     DEFAULT_FRACTIONS,
     PAPER_SCHEMES,
@@ -30,6 +31,7 @@ def figure2a(
     scale: Scale | None = None,
     fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
     seed: int = 0,
+    engine: ExperimentEngine | None = None,
 ) -> SweepResult:
     """Latency gain vs proxy cache size, synthetic workload (Fig 2a)."""
     config = base_config(scale)
@@ -39,6 +41,7 @@ def figure2a(
         fractions=fractions,
         seed=seed,
         title="Figure 2(a): latency gain vs cache size (synthetic)",
+        engine=engine,
     )
     sweep.notes = config.describe()
     return sweep
@@ -48,6 +51,7 @@ def figure2b(
     scale: Scale | None = None,
     fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
     seed: int = 0,
+    engine: ExperimentEngine | None = None,
 ) -> SweepResult:
     """Latency gain vs proxy cache size, UCB-like workload (Fig 2b)."""
     scale = scale or current_scale()
@@ -61,6 +65,7 @@ def figure2b(
         fractions=fractions,
         seed=seed,
         title="Figure 2(b): latency gain vs cache size (UCB-like trace)",
+        engine=engine,
     )
     sweep.notes = "UCB Home-IP substitute; " + config.describe()
     return sweep

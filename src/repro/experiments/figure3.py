@@ -12,6 +12,7 @@ access can benefit from a cooperating cache).
 from __future__ import annotations
 
 from ..analysis.results import SweepResult
+from .executor import ExperimentEngine
 from .runner import (
     DEFAULT_FRACTIONS,
     Scale,
@@ -34,6 +35,7 @@ def figure3(
     alphas: tuple[float, ...] = DEFAULT_ALPHAS,
     fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
     seed: int = 0,
+    engine: ExperimentEngine | None = None,
 ) -> dict[str, SweepResult]:
     """One sweep per panel scheme; series are the α values."""
     panels = {
@@ -47,7 +49,8 @@ def figure3(
     for alpha in alphas:
         config = base_config(scale, workload=base_workload(scale, alpha=alpha))
         sweep = cache_size_sweep(
-            config, schemes=PANEL_SCHEMES, fractions=fractions, seed=seed
+            config, schemes=PANEL_SCHEMES, fractions=fractions, seed=seed,
+            engine=engine,
         )
         for scheme in PANEL_SCHEMES:
             panels[scheme].add(f"alpha={alpha:g}", sweep.get(scheme).values)

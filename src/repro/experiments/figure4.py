@@ -13,6 +13,7 @@ cooperation, compressing the relative gain.
 from __future__ import annotations
 
 from ..analysis.results import SweepResult
+from .executor import ExperimentEngine
 from .figure3 import PANEL_SCHEMES
 from .runner import (
     DEFAULT_FRACTIONS,
@@ -32,6 +33,7 @@ def figure4(
     stacks: tuple[float, ...] = DEFAULT_STACKS,
     fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
     seed: int = 0,
+    engine: ExperimentEngine | None = None,
 ) -> dict[str, SweepResult]:
     """One sweep per panel scheme; series are the LRU stack sizes."""
     panels = {
@@ -47,7 +49,8 @@ def figure4(
             scale, workload=base_workload(scale, stack_fraction=stack)
         )
         sweep = cache_size_sweep(
-            config, schemes=PANEL_SCHEMES, fractions=fractions, seed=seed
+            config, schemes=PANEL_SCHEMES, fractions=fractions, seed=seed,
+            engine=engine,
         )
         for scheme in PANEL_SCHEMES:
             panels[scheme].add(f"stack={stack:.0%}", sweep.get(scheme).values)

@@ -13,6 +13,7 @@
 from __future__ import annotations
 
 from ..analysis.results import SweepResult
+from .executor import ExperimentEngine
 from .runner import (
     DEFAULT_FRACTIONS,
     Scale,
@@ -34,6 +35,7 @@ def figure5a(
     ratios: tuple[float, ...] = DEFAULT_TC_RATIOS,
     fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
     seed: int = 0,
+    engine: ExperimentEngine | None = None,
 ) -> SweepResult:
     """Hier-GD latency gain vs cache size for Ts/Tc ratios (Fig 5a)."""
     sweep = SweepResult(
@@ -45,7 +47,7 @@ def figure5a(
     for ratio in ratios:
         config = base.with_changes(network=base.network.with_ratios(ts_over_tc=ratio))
         inner = cache_size_sweep(
-            config, schemes=("hier-gd",), fractions=fractions, seed=seed
+            config, schemes=("hier-gd",), fractions=fractions, seed=seed, engine=engine
         )
         sweep.add(f"Ts/Tc={ratio:g}", inner.get("hier-gd").values)
     sweep.notes = "inter-proxy latency sweep"
@@ -57,6 +59,7 @@ def figure5b(
     ratios: tuple[float, ...] = DEFAULT_TL_RATIOS,
     fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
     seed: int = 0,
+    engine: ExperimentEngine | None = None,
 ) -> SweepResult:
     """Hier-GD latency gain vs cache size for Ts/Tl ratios (Fig 5b)."""
     sweep = SweepResult(
@@ -68,7 +71,7 @@ def figure5b(
     for ratio in ratios:
         config = base.with_changes(network=base.network.with_ratios(ts_over_tl=ratio))
         inner = cache_size_sweep(
-            config, schemes=("hier-gd",), fractions=fractions, seed=seed
+            config, schemes=("hier-gd",), fractions=fractions, seed=seed, engine=engine
         )
         sweep.add(f"Ts/Tl={ratio:g}", inner.get("hier-gd").values)
     sweep.notes = "client-to-proxy latency sweep"
@@ -80,6 +83,7 @@ def figure5c(
     cluster_sizes: tuple[int, ...] = DEFAULT_CLUSTER_SIZES,
     fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
     seed: int = 0,
+    engine: ExperimentEngine | None = None,
 ) -> SweepResult:
     """Hier-GD gain vs client cluster size, with SC/FC references (Fig 5c).
 
@@ -94,7 +98,8 @@ def figure5c(
     )
     # SC and FC references (client-cache free, cluster size irrelevant).
     ref = cache_size_sweep(
-        base_config(scale), schemes=("sc", "fc"), fractions=fractions, seed=seed
+        base_config(scale), schemes=("sc", "fc"), fractions=fractions, seed=seed,
+        engine=engine,
     )
     sweep.add("sc", ref.get("sc").values)
     sweep.add("fc", ref.get("fc").values)
@@ -103,7 +108,7 @@ def figure5c(
             scale, workload=base_workload(scale, n_clients=n_clients)
         )
         inner = cache_size_sweep(
-            config, schemes=("hier-gd",), fractions=fractions, seed=seed
+            config, schemes=("hier-gd",), fractions=fractions, seed=seed, engine=engine
         )
         sweep.add(f"hier-gd ({n_clients})", inner.get("hier-gd").values)
     sweep.notes = "client caches are 0.1% of ICS each; P2P tier grows with the cluster"
@@ -115,6 +120,7 @@ def figure5d(
     proxy_counts: tuple[int, ...] = DEFAULT_PROXY_COUNTS,
     fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
     seed: int = 0,
+    engine: ExperimentEngine | None = None,
 ) -> SweepResult:
     """Hier-GD gain vs proxy cluster size (Fig 5d).
 
@@ -129,7 +135,7 @@ def figure5d(
     for n_proxies in proxy_counts:
         config = base_config(scale, n_proxies=n_proxies)
         inner = cache_size_sweep(
-            config, schemes=("hier-gd",), fractions=fractions, seed=seed
+            config, schemes=("hier-gd",), fractions=fractions, seed=seed, engine=engine
         )
         sweep.add(f"{n_proxies} proxies", inner.get("hier-gd").values)
     sweep.notes = "equal pairwise proxy latency Tc"

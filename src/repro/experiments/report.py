@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Callable
 
 from ..analysis.results import SweepResult
+from .executor import ExperimentEngine
 from .figure2 import figure2a, figure2b
 from .figure3 import figure3
 from .figure4 import figure4
@@ -130,8 +131,8 @@ FIGURE_CLAIMS: dict[str, list[Claim]] = {
 
 
 def _cluster_means(sweep: SweepResult) -> list[float]:
-    labels = [l for l in sweep.labels if l.startswith("hier-gd")]
-    return [_mean(sweep.get(l).values) for l in labels]
+    labels = [lab for lab in sweep.labels if lab.startswith("hier-gd")]
+    return [_mean(sweep.get(lab).values) for lab in labels]
 
 
 def _proxy_means(sweep: SweepResult) -> list[float]:
@@ -143,16 +144,18 @@ def evaluate_claims(name: str, sweeps: dict[str, SweepResult]) -> list[tuple[Cla
     return [(c, bool(c.check(sweeps))) for c in FIGURE_CLAIMS.get(name, [])]
 
 
-def _run_figures(seed: int) -> dict[str, dict[str, SweepResult]]:
+def _run_figures(
+    seed: int, engine: ExperimentEngine | None = None
+) -> dict[str, dict[str, SweepResult]]:
     out: dict[str, dict[str, SweepResult]] = {}
-    out["fig2a"] = {"fig2a": figure2a(seed=seed)}
-    out["fig2b"] = {"fig2b": figure2b(seed=seed)}
-    out["fig3"] = figure3(seed=seed)
-    out["fig4"] = figure4(seed=seed)
-    out["fig5a"] = {"fig5a": figure5a(seed=seed)}
-    out["fig5b"] = {"fig5b": figure5b(seed=seed)}
-    out["fig5c"] = {"fig5c": figure5c(seed=seed)}
-    out["fig5d"] = {"fig5d": figure5d(seed=seed)}
+    out["fig2a"] = {"fig2a": figure2a(seed=seed, engine=engine)}
+    out["fig2b"] = {"fig2b": figure2b(seed=seed, engine=engine)}
+    out["fig3"] = figure3(seed=seed, engine=engine)
+    out["fig4"] = figure4(seed=seed, engine=engine)
+    out["fig5a"] = {"fig5a": figure5a(seed=seed, engine=engine)}
+    out["fig5b"] = {"fig5b": figure5b(seed=seed, engine=engine)}
+    out["fig5c"] = {"fig5c": figure5c(seed=seed, engine=engine)}
+    out["fig5d"] = {"fig5d": figure5d(seed=seed, engine=engine)}
     return out
 
 
@@ -186,8 +189,8 @@ def render_markdown(all_sweeps: dict[str, dict[str, SweepResult]]) -> str:
     return "\n".join(lines)
 
 
-def generate_report(seed: int = 0) -> str:
-    return render_markdown(_run_figures(seed))
+def generate_report(seed: int = 0, engine: ExperimentEngine | None = None) -> str:
+    return render_markdown(_run_figures(seed, engine=engine))
 
 
 def main(argv: list[str] | None = None) -> int:  # pragma: no cover - thin CLI
@@ -195,10 +198,20 @@ def main(argv: list[str] | None = None) -> int:  # pragma: no cover - thin CLI
     parser.add_argument("--scale", choices=("smoke", "default", "paper"))
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", type=Path, default=None)
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes (0 = all CPU cores)")
+    parser.add_argument("--resume", nargs="?", const="auto", default=None,
+                        metavar="PATH", help="resume from a JSONL result store")
+    parser.add_argument("--progress", action="store_true",
+                        help="print one line per completed sweep point")
     args = parser.parse_args(argv)
     if args.scale:
         os.environ["REPRO_SCALE"] = args.scale
-    report = generate_report(seed=args.seed)
+    from .cli import build_engine
+
+    engine = build_engine(args.workers, args.resume, args.progress,
+                          args.out.parent if args.out else None)
+    report = generate_report(seed=args.seed, engine=engine)
     if args.out:
         args.out.write_text(report, encoding="utf-8")
         print(f"wrote {args.out}")

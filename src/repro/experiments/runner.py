@@ -34,6 +34,7 @@ from ..core.metrics import SchemeResult, latency_gain
 from ..core.run import run_scheme
 from ..workload import ProWGenConfig, Trace, generate_cluster_traces
 from ..analysis.results import SweepResult
+from .executor import ExperimentEngine, SweepPoint
 
 __all__ = [
     "Scale",
@@ -43,6 +44,7 @@ __all__ = [
     "base_config",
     "DEFAULT_FRACTIONS",
     "PAPER_SCHEMES",
+    "sweep_points",
     "cache_size_sweep",
 ]
 
@@ -99,6 +101,29 @@ def base_config(scale: Scale | None = None, **overrides) -> SimulationConfig:
     return SimulationConfig(workload=workload, **overrides)
 
 
+def sweep_points(
+    config: SimulationConfig,
+    schemes: tuple[str, ...] | list[str] = PAPER_SCHEMES,
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+    seed: int = 0,
+) -> list[SweepPoint]:
+    """The sweep's work items: one point per (fraction, scheme) plus the
+    per-fraction NC baseline.
+
+    Every point carries the *explicit* trace seed, so its result is
+    identical whether it runs serially, in a worker process, or is
+    replayed from the result store — ordering and ambient RNG state
+    never enter.  All points share one seed because the paper compares
+    schemes on identical traces.
+    """
+    names = list(dict.fromkeys(("nc", *schemes)))
+    return [
+        SweepPoint(scheme=name, fraction=fraction, config=config, seed=seed)
+        for fraction in fractions
+        for name in names
+    ]
+
+
 def cache_size_sweep(
     config: SimulationConfig,
     schemes: tuple[str, ...] | list[str] = PAPER_SCHEMES,
@@ -106,29 +131,54 @@ def cache_size_sweep(
     seed: int = 0,
     title: str = "latency gain vs proxy cache size",
     traces: list[Trace] | None = None,
+    engine: ExperimentEngine | None = None,
 ) -> SweepResult:
     """Sweep proxy cache size; report latency gain (%) vs NC per scheme.
 
-    The workload is generated once and shared across every fraction and
-    scheme (the paper compares schemes on identical traces).  NC is run
-    per fraction as the gain baseline and is not itself a series.
+    The workload is generated from the explicit ``seed`` and shared
+    across every fraction and scheme (the paper compares schemes on
+    identical traces).  NC is run per fraction as the gain baseline and
+    is not itself a series.
+
+    Execution goes through :class:`~repro.experiments.executor.
+    ExperimentEngine` — pass one to parallelize across processes, skip
+    completed points via a result store, or collect instrumentation;
+    the default is the engine's serial in-process fallback.  Passing
+    pre-generated ``traces`` short-circuits the engine entirely (legacy
+    path for callers that already hold a workload); results are
+    identical either way.
     """
-    if traces is None:
-        traces = generate_cluster_traces(config.workload, config.n_proxies, seed=seed)
-    gains: dict[str, list[float]] = {name: [] for name in schemes}
-    for fraction in fractions:
-        cfg = config.with_changes(proxy_cache_fraction=fraction)
-        baseline = run_scheme("nc", cfg, traces)
-        for name in schemes:
-            result = run_scheme(name, cfg, traces)
-            gains[name].append(100.0 * latency_gain(result, baseline))
     sweep = SweepResult(
         title=title,
         x_label="cache size (%)",
         x_values=[100.0 * f for f in fractions],
     )
+    if traces is not None:
+        gains: dict[str, list[float]] = {name: [] for name in schemes}
+        for fraction in fractions:
+            cfg = config.with_changes(proxy_cache_fraction=fraction)
+            baseline = run_scheme("nc", cfg, traces)
+            for name in schemes:
+                result = run_scheme(name, cfg, traces)
+                gains[name].append(100.0 * latency_gain(result, baseline))
+        for name in schemes:
+            sweep.add(name, gains[name])
+        return sweep
+
+    engine = engine or ExperimentEngine()
+    outcomes = engine.run(sweep_points(config, schemes, fractions, seed))
+    by_point: dict[tuple[str, float], SchemeResult] = {
+        (o.point.scheme, o.point.fraction): o.result for o in outcomes
+    }
     for name in schemes:
-        sweep.add(name, gains[name])
+        sweep.add(
+            name,
+            [
+                100.0
+                * latency_gain(by_point[(name, fraction)], by_point[("nc", fraction)])
+                for fraction in fractions
+            ],
+        )
     return sweep
 
 

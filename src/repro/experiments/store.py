@@ -1,0 +1,158 @@
+"""JSON-lines result store: content-addressed sweep points, resumable suites.
+
+Every sweep point — one ``(scheme, proxy-cache fraction)`` simulation
+under one fully resolved :class:`~repro.core.config.SimulationConfig` —
+is keyed by a SHA-256 hash of its *content*: the config (which embeds the
+workload and network parameters and therefore the scale), the scheme
+name, the fraction, and the explicit trace seed.  Two invocations that
+would simulate the same thing produce the same key, whatever order they
+run in and whatever process computes them, so
+
+* re-running a finished suite touches no simulator code at all;
+* an interrupted suite resumes from the completed prefix (the store is
+  append-only JSON lines — a half-written trailing line from a killed
+  run is detected and ignored on reload);
+* unrelated suites can share one store file (keys never collide across
+  different configs/scales).
+
+The stored record is the full serialized
+:class:`~repro.core.metrics.SchemeResult`, so replaying from the store
+is byte-identical to re-simulating: latency gains are recomputed from the
+exact same numbers.
+
+Layout of one line::
+
+    {"key": "<sha256 hex>", "label": "<human hint>",
+     "result": {...SchemeResult fields...}, "meta": {"wall_time": ...}}
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+from ..core.config import SimulationConfig
+from ..core.metrics import SchemeResult
+
+__all__ = ["STORE_VERSION", "point_key", "ResultStore"]
+
+#: Bump to invalidate every stored result (schema/semantic changes).
+STORE_VERSION = 1
+
+
+def _config_fingerprint(config: SimulationConfig) -> dict[str, Any]:
+    """JSON-safe nested dict of every config field (workload + network)."""
+    return dataclasses.asdict(config)
+
+
+def point_key(
+    config: SimulationConfig,
+    scheme: str,
+    fraction: float,
+    seed: int,
+) -> str:
+    """Content hash identifying one sweep point.
+
+    The hash covers everything the simulation result depends on: the
+    base configuration (including the workload — and hence the scale —
+    and the network model), the scheme, the proxy-cache fraction and the
+    explicit trace seed.  Canonical JSON (sorted keys, no whitespace)
+    keeps the digest stable across processes and Python versions.
+    """
+    payload = {
+        "v": STORE_VERSION,
+        "config": _config_fingerprint(config),
+        "scheme": scheme,
+        "fraction": float(fraction),
+        "seed": int(seed),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def serialize_result(result: SchemeResult) -> dict[str, Any]:
+    """``SchemeResult`` -> JSON-safe dict (exact float round-trip)."""
+    return dataclasses.asdict(result)
+
+
+def deserialize_result(payload: dict[str, Any]) -> SchemeResult:
+    """Inverse of :func:`serialize_result`."""
+    return SchemeResult(
+        scheme=payload["scheme"],
+        n_requests=payload["n_requests"],
+        total_latency=payload["total_latency"],
+        tier_counts={k: int(v) for k, v in payload.get("tier_counts", {}).items()},
+        messages={k: int(v) for k, v in payload.get("messages", {}).items()},
+        extras={k: float(v) for k, v in payload.get("extras", {}).items()},
+    )
+
+
+class ResultStore:
+    """Append-only JSONL store of completed sweep points.
+
+    Records live in memory as ``key -> line dict``; :meth:`put` appends
+    to the backing file immediately (flushed per record) so a killed run
+    loses at most the line being written — which the loader skips.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._records: dict[str, dict[str, Any]] = {}
+        self._skipped_lines = 0
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                key = entry["key"]
+                entry["result"]  # must be present to count as complete
+            except (json.JSONDecodeError, KeyError, TypeError):
+                self._skipped_lines += 1  # torn write from an interrupted run
+                continue
+            self._records[key] = entry
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    @property
+    def skipped_lines(self) -> int:
+        """Corrupt/torn lines ignored on load (0 on a clean store)."""
+        return self._skipped_lines
+
+    def get(self, key: str) -> SchemeResult | None:
+        """Stored result for ``key``, or ``None`` if not yet computed."""
+        entry = self._records.get(key)
+        if entry is None:
+            return None
+        return deserialize_result(entry["result"])
+
+    def put(
+        self,
+        key: str,
+        result: SchemeResult,
+        label: str = "",
+        meta: dict[str, Any] | None = None,
+    ) -> None:
+        """Record a completed point and append it to the backing file."""
+        entry = {
+            "key": key,
+            "label": label,
+            "result": serialize_result(result),
+            "meta": meta or {},
+        }
+        self._records[key] = entry
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            fh.flush()

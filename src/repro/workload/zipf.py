@@ -66,11 +66,11 @@ class AliasSampler:
         large = [i for i in range(n) if scaled[i] >= 1.0]
         while small and large:
             s = small.pop()
-            l = large.pop()
+            big = large.pop()
             prob[s] = scaled[s]
-            alias[s] = l
-            scaled[l] = (scaled[l] + scaled[s]) - 1.0
-            (small if scaled[l] < 1.0 else large).append(l)
+            alias[s] = big
+            scaled[big] = (scaled[big] + scaled[s]) - 1.0
+            (small if scaled[big] < 1.0 else large).append(big)
         for i in large:
             prob[i] = 1.0
         for i in small:  # numerical leftovers

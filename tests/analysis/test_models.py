@@ -13,7 +13,6 @@ from repro.analysis.models import (
 from repro.cache import LruCache
 from repro.core.config import SimulationConfig
 from repro.core.run import run_scheme
-from repro.netmodel import NetworkConfig
 from repro.workload import ProWGenConfig, generate_cluster_traces
 from repro.workload.prowgen import generate_trace
 

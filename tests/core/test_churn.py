@@ -1,12 +1,11 @@
 """Tests for Hier-GD under client churn (failure injection)."""
 
-import numpy as np
 import pytest
 
 from repro.core.churn import ChurnEvent, HierGdChurnScheme
 from repro.core.config import SimulationConfig
 from repro.core.hiergd import HierGdScheme
-from repro.workload import ProWGenConfig, Trace, generate_cluster_traces
+from repro.workload import ProWGenConfig, generate_cluster_traces
 
 
 def cfg(n_clients=10, **kw):

@@ -9,7 +9,6 @@ from repro.netmodel import (
     TIER_COOP_P2P,
     TIER_LOCAL_P2P,
     TIER_LOCAL_PROXY,
-    TIER_SERVER,
 )
 from repro.workload import ProWGenConfig, Trace, generate_cluster_traces
 

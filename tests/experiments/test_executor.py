@@ -1,0 +1,180 @@
+"""Tests for the parallel experiment engine at tiny scale.
+
+The contract under test: a sweep point computes the same bytes whether
+it runs serially, in a worker process, or is replayed from the store;
+failing points are retried a bounded number of times; crashed workers
+don't take the suite down.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.executor import (
+    ExperimentEngine,
+    PointExecutionError,
+    SweepPoint,
+    child_seed,
+    run_point,
+)
+from repro.experiments.instrument import RunInstrumentation
+from repro.experiments.runner import base_config, cache_size_sweep, sweep_points
+from repro.workload import ProWGenConfig, generate_cluster_traces
+
+TINY = ProWGenConfig(n_requests=4000, n_objects=300, n_clients=10)
+SCHEMES = ("sc", "hier-gd")
+FRACS = (0.2, 0.8)
+
+
+def tiny_config():
+    return base_config(workload=TINY)
+
+
+# -- helpers that must be importable by worker processes ---------------------
+
+
+def _flaky(arg):
+    """Fails until the shared counter file reaches the threshold."""
+    counter_path, fail_times, value = arg
+    with open(counter_path, "a") as fh:
+        fh.write("x")
+    with open(counter_path) as fh:
+        calls = len(fh.read())
+    if calls <= fail_times:
+        raise RuntimeError(f"transient failure #{calls}")
+    return value * 10
+
+
+def _always_fails(arg):
+    raise RuntimeError("permanent failure")
+
+
+def _hard_crash(arg):
+    os._exit(13)  # kills the worker process outright (broken pool)
+
+
+def _identity(arg):
+    return arg
+
+
+class TestChildSeed:
+    def test_stable_across_calls(self):
+        assert child_seed(0, "a") == child_seed(0, "a")
+        assert child_seed(7, "x", 3) == child_seed(7, "x", 3)
+
+    def test_distinct_for_distinct_parts(self):
+        seeds = {
+            child_seed(0),
+            child_seed(1),
+            child_seed(0, "a"),
+            child_seed(0, "b"),
+            child_seed(0, "a", 1),
+        }
+        assert len(seeds) == 5
+
+    def test_fits_in_63_bits(self):
+        assert 0 <= child_seed(0, "anything") < 2**63
+
+
+class TestSweepPoint:
+    def test_resolved_config_applies_fraction(self):
+        point = SweepPoint("sc", 0.3, tiny_config(), seed=1)
+        assert point.resolved_config.proxy_cache_fraction == 0.3
+        assert point.config.workload is TINY
+
+    def test_run_point_deterministic(self):
+        point = SweepPoint("sc", 0.2, tiny_config(), seed=1)
+        first = run_point(point)
+        second = run_point(point)
+        assert first["result"] == second["result"]
+
+    def test_run_point_matches_direct_simulation(self):
+        """A worker regenerating traces from the explicit seed gets the
+        same result as a caller holding pre-generated traces."""
+        from repro.core.run import run_scheme
+        from repro.experiments.store import deserialize_result
+
+        cfg = tiny_config()
+        point = SweepPoint("hier-gd", 0.2, cfg, seed=3)
+        traces = generate_cluster_traces(cfg.workload, cfg.n_proxies, seed=3)
+        direct = run_scheme("hier-gd", point.resolved_config, traces)
+        assert deserialize_result(run_point(point)["result"]) == direct
+
+
+class TestEngineEquivalence:
+    def test_serial_equals_parallel(self):
+        serial = cache_size_sweep(
+            tiny_config(), schemes=SCHEMES, fractions=FRACS, seed=1,
+            engine=ExperimentEngine(workers=1),
+        )
+        parallel = cache_size_sweep(
+            tiny_config(), schemes=SCHEMES, fractions=FRACS, seed=1,
+            engine=ExperimentEngine(workers=2),
+        )
+        assert serial.to_csv() == parallel.to_csv()
+
+    def test_engine_equals_legacy_traces_path(self):
+        cfg = tiny_config()
+        traces = generate_cluster_traces(cfg.workload, cfg.n_proxies, seed=1)
+        legacy = cache_size_sweep(
+            cfg, schemes=SCHEMES, fractions=FRACS, seed=1, traces=traces
+        )
+        engine = cache_size_sweep(cfg, schemes=SCHEMES, fractions=FRACS, seed=1)
+        assert legacy.to_csv() == engine.to_csv()
+
+    def test_outcomes_preserve_plan_order(self):
+        points = sweep_points(tiny_config(), SCHEMES, FRACS, seed=1)
+        outcomes = ExperimentEngine(workers=2).run(points)
+        assert [o.point for o in outcomes] == points
+
+    def test_workers_zero_resolves_to_cpu_count(self):
+        assert ExperimentEngine(workers=0).workers == (os.cpu_count() or 1)
+
+
+class TestRetry:
+    def test_transient_failure_is_retried_parallel(self, tmp_path):
+        counter = tmp_path / "calls"
+        engine = ExperimentEngine(workers=2, retries=2)
+        results = engine.map(_flaky, [(str(counter), 1, 5)])
+        assert results == [50]
+
+    def test_transient_failure_is_retried_serial(self, tmp_path):
+        counter = tmp_path / "calls"
+        inst = RunInstrumentation()
+        engine = ExperimentEngine(workers=1, retries=2, instrument=inst)
+        assert engine.map(_flaky, [(str(counter), 2, 7)]) == [70]
+        assert inst.retries == 2
+
+    def test_permanent_failure_exhausts_retries(self):
+        engine = ExperimentEngine(workers=1, retries=1)
+        with pytest.raises(PointExecutionError):
+            engine.map(_always_fails, ["x"])
+
+    def test_permanent_failure_exhausts_retries_parallel(self):
+        engine = ExperimentEngine(workers=2, retries=1)
+        with pytest.raises(PointExecutionError):
+            engine.map(_always_fails, ["x"])
+
+    def test_worker_crash_bounded(self):
+        """A worker dying outright (broken pool) aborts after bounded
+        pool rebuilds instead of looping forever."""
+        engine = ExperimentEngine(workers=2, retries=1)
+        with pytest.raises(PointExecutionError, match="crash"):
+            engine.map(_hard_crash, ["x"])
+
+    def test_healthy_items_survive_alongside_failures(self, tmp_path):
+        engine = ExperimentEngine(workers=2, retries=3)
+        results = engine.map(
+            _flaky,
+            [
+                (str(tmp_path / "c1"), 1, 1),  # fails once, then succeeds
+                (str(tmp_path / "c2"), 0, 2),
+                (str(tmp_path / "c3"), 0, 3),
+            ],
+        )
+        assert results == [10, 20, 30]
+
+    def test_map_preserves_order(self):
+        engine = ExperimentEngine(workers=2)
+        items = list(range(12))
+        assert engine.map(_identity, items) == items

@@ -73,13 +73,39 @@ class TestCli:
     def test_cli_runs_and_saves_csv(self, tmp_path, capsys, monkeypatch):
         # Patch the figure to a tiny variant so the CLI test stays fast.
         monkeypatch.setitem(
-            FIGURES, "fig2a", lambda seed=0: figure2a(scale=TINY, fractions=(0.5,))
+            FIGURES,
+            "fig2a",
+            lambda seed=0, engine=None: figure2a(
+                scale=TINY, fractions=(0.5,), engine=engine
+            ),
         )
         rc = main(["fig2a", "--out", str(tmp_path)])
         assert rc == 0
         out = capsys.readouterr().out
         assert "Figure 2(a)" in out
         assert (tmp_path / "fig2a.csv").exists()
+        assert (tmp_path / "instrumentation.json").exists()
+
+    def test_cli_parallel_resume_progress(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setitem(
+            FIGURES,
+            "fig2a",
+            lambda seed=0, engine=None: figure2a(
+                scale=TINY, fractions=(0.5,), engine=engine
+            ),
+        )
+        store = tmp_path / "store.jsonl"
+        args = ["fig2a", "--workers", "2", "--resume", str(store), "--progress"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "[1/" in first  # progress ticks
+        assert "points simulated" in first
+        assert store.exists()
+
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "0 points simulated" in second
+        assert "(cached)" in second
 
     def test_cli_rejects_unknown_figure(self):
         with pytest.raises(SystemExit):

@@ -1,6 +1,5 @@
 """Tests for the markdown report generator and its claim predicates."""
 
-import pytest
 
 from repro.analysis.results import SweepResult
 from repro.experiments.report import FIGURE_CLAIMS, evaluate_claims, render_markdown

@@ -1,0 +1,181 @@
+"""Tests for the content-addressed JSONL result store."""
+
+import json
+
+import pytest
+
+from repro.core.metrics import SchemeResult
+from repro.experiments.executor import ExperimentEngine
+from repro.experiments.instrument import RunInstrumentation
+from repro.experiments.runner import base_config, cache_size_sweep
+from repro.experiments.store import (
+    ResultStore,
+    deserialize_result,
+    point_key,
+    serialize_result,
+)
+from repro.workload import ProWGenConfig
+
+TINY = ProWGenConfig(n_requests=4000, n_objects=300, n_clients=10)
+SCHEMES = ("sc", "hier-gd")
+
+
+def tiny_config(**overrides):
+    return base_config(workload=overrides.pop("workload", TINY), **overrides)
+
+
+def sample_result(scheme="sc"):
+    return SchemeResult(
+        scheme=scheme,
+        n_requests=100,
+        total_latency=1234.5,
+        tier_counts={"local_proxy": 40, "server": 60},
+        extras={"mean_hops": 1.5},
+    )
+
+
+class TestPointKey:
+    def test_stable(self):
+        cfg = tiny_config()
+        assert point_key(cfg, "sc", 0.2, 1) == point_key(cfg, "sc", 0.2, 1)
+
+    def test_equal_configs_equal_keys(self):
+        # Two structurally identical configs hash identically (content
+        # addressing, not object identity).
+        assert point_key(tiny_config(), "sc", 0.2, 1) == point_key(
+            tiny_config(), "sc", 0.2, 1
+        )
+
+    @pytest.mark.parametrize(
+        "other",
+        [
+            lambda cfg: point_key(cfg, "fc", 0.2, 1),  # scheme
+            lambda cfg: point_key(cfg, "sc", 0.3, 1),  # fraction
+            lambda cfg: point_key(cfg, "sc", 0.2, 2),  # seed
+            lambda cfg: point_key(cfg.with_changes(n_proxies=3), "sc", 0.2, 1),
+            lambda cfg: point_key(
+                cfg.with_changes(workload=ProWGenConfig(
+                    n_requests=4000, n_objects=300, n_clients=10, alpha=0.9
+                )),
+                "sc", 0.2, 1,
+            ),
+        ],
+    )
+    def test_any_ingredient_changes_key(self, other):
+        cfg = tiny_config()
+        assert other(cfg) != point_key(cfg, "sc", 0.2, 1)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        result = sample_result()
+        assert deserialize_result(serialize_result(result)) == result
+
+    def test_json_roundtrip_exact(self):
+        payload = serialize_result(sample_result())
+        rehydrated = json.loads(json.dumps(payload))
+        assert deserialize_result(rehydrated) == sample_result()
+
+
+class TestResultStore:
+    def test_put_get(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        key = point_key(tiny_config(), "sc", 0.2, 1)
+        assert store.get(key) is None and key not in store
+        store.put(key, sample_result(), label="sc@S=0.2")
+        assert key in store
+        assert store.get(key) == sample_result()
+
+    def test_persists_across_instances(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        key = point_key(tiny_config(), "sc", 0.2, 1)
+        ResultStore(path).put(key, sample_result())
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 1
+        assert reloaded.get(key) == sample_result()
+
+    def test_torn_trailing_line_ignored(self, tmp_path):
+        """A killed run can leave a half-written last line; reload skips it."""
+        path = tmp_path / "s.jsonl"
+        key = point_key(tiny_config(), "sc", 0.2, 1)
+        ResultStore(path).put(key, sample_result())
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"key": "deadbeef", "result": {"sch')  # torn write
+        store = ResultStore(path)
+        assert len(store) == 1
+        assert store.skipped_lines == 1
+        assert store.get(key) == sample_result()
+
+    def test_latest_record_wins(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)
+        key = point_key(tiny_config(), "sc", 0.2, 1)
+        store.put(key, sample_result())
+        newer = sample_result()
+        newer.extras["mean_hops"] = 9.0
+        store.put(key, newer)
+        assert ResultStore(path).get(key).extras["mean_hops"] == 9.0
+
+
+class TestResume:
+    def _engine(self, path):
+        return ExperimentEngine(
+            store=ResultStore(path), instrument=RunInstrumentation()
+        )
+
+    def test_rerun_executes_nothing(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        first = self._engine(path)
+        sweep1 = cache_size_sweep(
+            tiny_config(), schemes=SCHEMES, fractions=(0.2, 0.8), seed=1,
+            engine=first,
+        )
+        n_points = first.instrument.executed
+        assert n_points == 2 * (len(SCHEMES) + 1)  # + NC baseline per fraction
+
+        second = self._engine(path)
+        sweep2 = cache_size_sweep(
+            tiny_config(), schemes=SCHEMES, fractions=(0.2, 0.8), seed=1,
+            engine=second,
+        )
+        assert second.instrument.executed == 0
+        assert second.instrument.skipped == n_points
+        assert sweep1.to_csv() == sweep2.to_csv()
+
+    def test_interrupted_suite_resumes_from_prefix(self, tmp_path):
+        """Killing a suite mid-run == having completed only some points;
+        the re-invocation computes exactly the remainder."""
+        path = tmp_path / "s.jsonl"
+        partial = self._engine(path)
+        cache_size_sweep(
+            tiny_config(), schemes=SCHEMES, fractions=(0.2,), seed=1,
+            engine=partial,
+        )
+        done = partial.instrument.executed
+
+        resumed = self._engine(path)
+        full = cache_size_sweep(
+            tiny_config(), schemes=SCHEMES, fractions=(0.2, 0.8), seed=1,
+            engine=resumed,
+        )
+        assert resumed.instrument.skipped == done
+        assert resumed.instrument.executed == len(SCHEMES) + 1  # new fraction only
+
+        fresh = cache_size_sweep(
+            tiny_config(), schemes=SCHEMES, fractions=(0.2, 0.8), seed=1
+        )
+        assert full.to_csv() == fresh.to_csv()
+
+    def test_different_seed_does_not_reuse_store(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        cache_size_sweep(
+            tiny_config(), schemes=("sc",), fractions=(0.2,), seed=1,
+            engine=self._engine(path),
+        )
+        other = self._engine(path)
+        cache_size_sweep(
+            tiny_config(), schemes=("sc",), fractions=(0.2,), seed=2,
+            engine=other,
+        )
+        assert other.instrument.skipped == 0
+        assert other.instrument.executed == 2

@@ -103,5 +103,5 @@ class TestResultConsistency:
         p99 = result.percentile(99, net)
         assert p50 <= p99
         dist = result.latency_distribution(net)
-        mean_from_dist = sum(l * c for l, c in dist) / result.n_requests
+        mean_from_dist = sum(lat * c for lat, c in dist) / result.n_requests
         assert mean_from_dist <= result.mean_latency + 1e-9

@@ -1,7 +1,5 @@
 """Tests for the Squid / Common Log Format trace adapters."""
 
-import numpy as np
-import pytest
 
 from repro.workload.adapters import from_common_log, from_squid_log
 
