@@ -1,0 +1,186 @@
+"""Macro-benchmark gate for the hot-path engine.
+
+Runs every registered scheme once per repeat at the default experiment
+scale (200k requests across 2 clusters), records best-of-N requests per
+second, and compares against the committed baseline in
+``BENCH_hotpath.json``.  The gate fails when any scheme regresses by
+more than the tolerance (25% by default — wide enough for shared CI
+runners, tight enough to catch a real hot-path regression, which the
+PR history shows are 2x+ events).
+
+Usage::
+
+    python benchmarks/hotpath_gate.py            # compare vs baseline
+    python benchmarks/hotpath_gate.py --write    # refresh the baseline
+    python benchmarks/hotpath_gate.py --schemes hier-gd --repeats 3
+
+Wall-clock noise on busy machines is large (best-of-10 spreads of
+0.32-0.44s were measured for identical code), so the gate uses
+best-of-N rather than means and a deliberately loose tolerance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.run import SCHEME_REGISTRY, generate_workloads, run_scheme
+from repro.experiments.runner import base_config
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_hotpath.json"
+
+
+def bench_scheme(name: str, config, traces, repeats: int) -> dict:
+    """Best-of-N wall-clock for one scheme on pre-generated traces."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run_scheme(name, config, traces=traces)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return {
+        "wall_sec": round(best, 4),
+        "requests_per_sec": round(result.n_requests / best),
+        "n_requests": result.n_requests,
+    }
+
+
+def measure(schemes: list[str], repeats: int) -> dict:
+    config = base_config()
+    traces = generate_workloads(config, seed=0)
+    report: dict = {"schemes": {}}
+    for name in schemes:
+        entry = bench_scheme(name, config, traces, repeats)
+        report["schemes"][name] = entry
+        print(
+            f"  {name:>10}: {entry['wall_sec']:.3f}s "
+            f"({entry['requests_per_sec']:,} req/s)"
+        )
+    if "hier-gd" in schemes:
+        ref_config = dataclasses.replace(config, hot_path="reference")
+        entry = bench_scheme("hier-gd", ref_config, traces, repeats)
+        report["hier_gd_reference"] = entry
+        print(
+            f"  {'hier-gd(ref)':>10}: {entry['wall_sec']:.3f}s "
+            f"({entry['requests_per_sec']:,} req/s)"
+        )
+    return report
+
+
+def compare(measured: dict, baseline: dict, tolerance: float) -> list[str]:
+    failures = []
+    base_schemes = baseline.get("schemes", {})
+    for name, entry in measured["schemes"].items():
+        base = base_schemes.get(name)
+        if base is None:
+            continue
+        floor = base["requests_per_sec"] * (1.0 - tolerance)
+        if entry["requests_per_sec"] < floor:
+            failures.append(
+                f"{name}: {entry['requests_per_sec']:,} req/s < floor "
+                f"{floor:,.0f} (baseline {base['requests_per_sec']:,}, "
+                f"tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="refresh the committed baseline instead of comparing",
+    )
+    parser.add_argument(
+        "--schemes",
+        nargs="+",
+        default=list(SCHEME_REGISTRY),
+        choices=list(SCHEME_REGISTRY),
+        help="subset of schemes to benchmark (default: all)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="best-of-N repeats (default 5)"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression vs baseline (default 0.25)",
+    )
+    parser.add_argument(
+        "--ratio-floor",
+        type=float,
+        default=None,
+        metavar="X",
+        help=(
+            "instead of comparing against the committed baseline (whose "
+            "absolute req/s only mean something on the machine that wrote "
+            "it), require fast/reference hier-gd speedup >= X measured in "
+            "this run — machine-independent, so usable on CI runners"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.ratio_floor is not None and "hier-gd" not in args.schemes:
+        parser.error("--ratio-floor needs hier-gd among --schemes")
+
+    print(f"hot-path gate: best-of-{args.repeats}, default scale")
+    measured = measure(args.schemes, args.repeats)
+
+    if args.write:
+        if BASELINE_PATH.exists():
+            previous = json.loads(BASELINE_PATH.read_text())
+            # Preserve provenance notes and any schemes not re-measured.
+            for key in ("notes", "seed_baseline"):
+                if key in previous:
+                    measured[key] = previous[key]
+            for name, entry in previous.get("schemes", {}).items():
+                measured["schemes"].setdefault(name, entry)
+            if "hier_gd_reference" not in measured:
+                if "hier_gd_reference" in previous:
+                    measured["hier_gd_reference"] = previous["hier_gd_reference"]
+        measured["methodology"] = (
+            f"best-of-{args.repeats} wall-clock, shared pre-generated traces, "
+            "default scale (200,000 requests, 2 clusters)"
+        )
+        BASELINE_PATH.write_text(json.dumps(measured, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    if args.ratio_floor is not None:
+        fast = measured["schemes"]["hier-gd"]["requests_per_sec"]
+        ref = measured["hier_gd_reference"]["requests_per_sec"]
+        ratio = fast / ref
+        if ratio < args.ratio_floor:
+            print(
+                f"REGRESSION: fast/reference speedup {ratio:.2f}x "
+                f"< floor {args.ratio_floor:.2f}x"
+            )
+            return 1
+        print(
+            f"gate passed: fast/reference speedup {ratio:.2f}x "
+            f">= floor {args.ratio_floor:.2f}x"
+        )
+        return 0
+
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run with --write first")
+        return 2
+    baseline = json.loads(BASELINE_PATH.read_text())
+    failures = compare(measured, baseline, args.tolerance)
+    if failures:
+        print("REGRESSION:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(f"gate passed (within {args.tolerance:.0%} of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

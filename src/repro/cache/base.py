@@ -68,6 +68,8 @@ class CacheStats:
 class Cache(ABC):
     """Abstract replacement policy over a fixed-capacity object store."""
 
+    __slots__ = ("capacity", "stats")
+
     def __init__(self, capacity: int) -> None:
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
@@ -101,6 +103,19 @@ class Cache(ABC):
         """Iterate over cached keys (order unspecified)."""
 
     # -- shared conveniences ----------------------------------------------
+
+    def lookup_or_insert(
+        self, key: Hashable, cost: float = 1.0, size: int = 1
+    ) -> tuple[bool, list[Hashable]]:
+        """Fused lookup-then-insert-on-miss: ``(hit, evicted)``.
+
+        Behaviourally identical to ``lookup(key)`` followed (on a miss) by
+        ``insert(key, cost, size)``; policies override it to do the hit
+        path with a single dict probe instead of two.
+        """
+        if self.lookup(key):
+            return True, []
+        return False, self.insert(key, cost=cost, size=size)
 
     def __contains__(self, key: Hashable) -> bool:
         return self.contains(key)

@@ -21,10 +21,17 @@ while untouched ones are overtaken as ``L`` inflates.
 With variable object sizes the credit becomes ``L + cost/size``
 (GreedyDual-Size, Cao & Irani); unit sizes reduce it to classic GD, which
 is what the paper's equal-size assumption exercises.
+
+This is the hottest data structure in the whole simulator (every Hier-GD
+proxy and client cache is one), so the hit path reaches into the friend
+:class:`~repro.cache.heapdict.HeapDict` internals to push without a
+method call — the pushed ``(priority, seq)`` entries are identical to
+what ``HeapDict.push`` would produce.
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Hashable, Iterator
 
 from .base import Cache
@@ -36,14 +43,15 @@ __all__ = ["GreedyDualCache"]
 class GreedyDualCache(Cache):
     """Greedy-dual(-size) cache with the O(log n) inflation implementation."""
 
+    __slots__ = ("default_cost", "inflation", "_entries", "_heap", "_used")
+
     def __init__(self, capacity: int, default_cost: float = 1.0) -> None:
         super().__init__(capacity)
         if default_cost <= 0:
             raise ValueError("default_cost must be positive")
         self.default_cost = default_cost
         self.inflation = 0.0  # the running value L
-        self._sizes: dict[Hashable, int] = {}
-        self._costs: dict[Hashable, float] = {}
+        self._entries: dict[Hashable, tuple[int, float]] = {}  # key -> (size, cost)
         self._heap = HeapDict()
         self._used = 0
 
@@ -52,17 +60,24 @@ class GreedyDualCache(Cache):
         return self._heap.priority(key)
 
     def lookup(self, key: Hashable) -> bool:
-        if key in self._sizes:
-            # Restore full credit relative to the current inflation value.
-            size = self._sizes[key]
-            self._heap.push(key, self.inflation + self._costs[key] / size)
-            self.stats.hits += 1
-            return True
-        self.stats.misses += 1
-        return False
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return False
+        # Restore full credit relative to the current inflation value.
+        # The refresh is monotone (L never decreases and cost/size is
+        # fixed while cached), so the lazy heap's no-push path applies:
+        # record the new (priority, seq) in the live dict and let the pop
+        # loop reconcile (inlined HeapDict.push raise branch).
+        heap = self._heap
+        seq = heap._seq + 1
+        heap._seq = seq
+        heap._live[key] = (self.inflation + entry[1] / entry[0], seq, False)
+        self.stats.hits += 1
+        return True
 
     def contains(self, key: Hashable) -> bool:
-        return key in self._sizes
+        return key in self._entries
 
     def insert(self, key: Hashable, cost: float | None = None, size: int = 1) -> list[Hashable]:
         if size <= 0:
@@ -73,33 +88,67 @@ class GreedyDualCache(Cache):
             raise ValueError("cost must be positive")
         if size > self.capacity:
             return [key]
+        entries = self._entries
+        used = self._used
+        old = entries.pop(key, None)
+        if old is not None:
+            used -= old[0]
         evicted: list[Hashable] = []
-        if key in self._sizes:
-            self._used -= self._sizes.pop(key)
-            self._costs.pop(key)
-        while self._used + size > self.capacity:
-            victim, h_min = self._heap.pop_min()
-            # Eviction raises L to the evicted credit — the dual update
-            # that makes everything else comparatively less protected.
-            if h_min > self.inflation:
-                self.inflation = h_min
-            self._used -= self._sizes.pop(victim)
-            self._costs.pop(victim)
-            evicted.append(victim)
-            self.stats.evictions += 1
-        self._sizes[key] = size
-        self._costs[key] = cost
-        self._heap.push(key, self.inflation + cost / size)
-        self._used += size
+        capacity = self.capacity
+        heap = self._heap
+        live = heap._live
+        hl = heap._heap
+        if used + size > capacity:
+            # Inlined HeapDict.pop_min (friend access): pop heads,
+            # dropping outdated entries and re-pushing lazily-raised keys
+            # exactly as ``_materialize_min`` would, until enough live
+            # victims are evicted.  The victim sequence is identical to
+            # repeated ``pop_min`` calls.
+            inflation = self.inflation
+            stats = self.stats
+            while used + size > capacity:
+                prio, seq, victim = heappop(hl)
+                rec = live.get(victim)
+                if rec is None:
+                    continue
+                if rec[1] != seq:
+                    if not rec[2]:
+                        live[victim] = (rec[0], rec[1], True)
+                        heappush(hl, (rec[0], rec[1], victim))
+                    continue
+                del live[victim]
+                # Eviction raises L to the evicted credit — the dual
+                # update that makes everything else less protected.
+                if prio > inflation:
+                    inflation = prio
+                used -= entries.pop(victim)[0]
+                evicted.append(victim)
+                stats.evictions += 1
+            self.inflation = inflation
+        entries[key] = (size, cost)
+        # Inlined HeapDict.push.  A refresh-insert may *lower* the credit
+        # (a cheaper re-fetch), so unlike ``lookup`` this keeps the
+        # eager/lazy comparison.
+        seq = heap._seq + 1
+        heap._seq = seq
+        prio = self.inflation + cost / size
+        old = live.get(key)
+        if old is None or prio < old[0]:
+            live[key] = (prio, seq, True)
+            heappush(hl, (prio, seq, key))
+            if len(hl) > (len(live) << 1) + 8:
+                heap._compact()
+        else:
+            live[key] = (prio, seq, False)
+        self._used = used + size
         self.stats.insertions += 1
         return evicted
 
     def remove(self, key: Hashable) -> bool:
-        size = self._sizes.pop(key, None)
-        if size is None:
+        entry = self._entries.pop(key, None)
+        if entry is None:
             return False
-        self._used -= size
-        self._costs.pop(key)
+        self._used -= entry[0]
         self._heap.discard(key)
         return True
 
@@ -107,7 +156,7 @@ class GreedyDualCache(Cache):
         return self._used
 
     def keys(self) -> Iterator[Hashable]:
-        return iter(self._sizes)
+        return iter(self._entries)
 
     def min_credit(self) -> float:
         """Credit of the current eviction candidate (diagnostic)."""

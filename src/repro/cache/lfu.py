@@ -29,6 +29,8 @@ __all__ = ["LfuCache"]
 class LfuCache(Cache):
     """LFU cache; see module docstring for the two counting modes."""
 
+    __slots__ = ("reset_on_evict", "_freq", "_sizes", "_heap", "_used")
+
     def __init__(self, capacity: int, reset_on_evict: bool = False) -> None:
         super().__init__(capacity)
         self.reset_on_evict = reset_on_evict
@@ -48,8 +50,15 @@ class LfuCache(Cache):
 
     def lookup(self, key: Hashable) -> bool:
         if key in self._sizes:
-            f = self._bump(key)
-            self._heap.push(key, f)
+            freq = self._freq
+            f = freq[key] + 1  # cached keys always have a count
+            freq[key] = f
+            # Count bumps are monotone: take the lazy heap's no-push path
+            # (inlined HeapDict.push raise branch, friend access).
+            heap = self._heap
+            seq = heap._seq + 1
+            heap._seq = seq
+            heap._live[key] = (f, seq, False)
             self.stats.hits += 1
             return True
         # A miss is still a reference under perfect counting.
@@ -57,6 +66,25 @@ class LfuCache(Cache):
             self._bump(key)
         self.stats.misses += 1
         return False
+
+    def lookup_or_insert(
+        self, key: Hashable, cost: float = 1.0, size: int = 1
+    ) -> tuple[bool, list[Hashable]]:
+        if key in self._sizes:
+            freq = self._freq
+            f = freq[key] + 1
+            freq[key] = f
+            # Same monotone no-push refresh as ``lookup``.
+            heap = self._heap
+            seq = heap._seq + 1
+            heap._seq = seq
+            heap._live[key] = (f, seq, False)
+            self.stats.hits += 1
+            return True, []
+        if not self.reset_on_evict:
+            self._bump(key)
+        self.stats.misses += 1
+        return False, self.insert(key, cost, size)
 
     def contains(self, key: Hashable) -> bool:
         return key in self._sizes

@@ -20,6 +20,8 @@ __all__ = ["LruCache"]
 class LruCache(Cache):
     """Classic LRU with optional variable object sizes."""
 
+    __slots__ = ("_entries", "_used")
+
     def __init__(self, capacity: int) -> None:
         super().__init__(capacity)
         self._entries: dict[Hashable, int] = {}  # key -> size, MRU last
@@ -33,6 +35,18 @@ class LruCache(Cache):
         self._entries[key] = size  # move to MRU position
         self.stats.hits += 1
         return True
+
+    def lookup_or_insert(
+        self, key: Hashable, cost: float = 1.0, size: int = 1
+    ) -> tuple[bool, list[Hashable]]:
+        entries = self._entries
+        found = entries.pop(key, None)
+        if found is not None:
+            entries[key] = found  # move to MRU position
+            self.stats.hits += 1
+            return True, []
+        self.stats.misses += 1
+        return False, self.insert(key, cost, size)
 
     def contains(self, key: Hashable) -> bool:
         return key in self._entries

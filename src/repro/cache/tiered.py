@@ -43,12 +43,15 @@ CLIENT_TIER = "client"
 class TieredCache(Cache):
     """Unified proxy + P2P-client cache: one LFU store, ranked tiers."""
 
+    __slots__ = ("proxy_capacity", "client_capacity", "_value_fn", "_store", "_tiers")
+
     def __init__(
         self,
         proxy_capacity: int,
         client_capacity: int,
         value_fn: Callable[[Hashable, int], float] | None = None,
         lfu_reset_on_evict: bool = False,
+        on_tier: Callable[[Hashable, bool | None], None] | None = None,
     ) -> None:
         """
         Parameters
@@ -63,6 +66,10 @@ class TieredCache(Cache):
         lfu_reset_on_evict:
             Counting mode of the underlying unified LFU (see
             :class:`~repro.cache.lfu.LfuCache`).
+        on_tier:
+            Optional tier-transition listener forwarded to the
+            :class:`~repro.cache.topk.TopKTracker` (see its docstring);
+            the hot-path presence indexes subscribe here.
         """
         if proxy_capacity < 0 or client_capacity < 0:
             raise ValueError("capacities must be non-negative")
@@ -71,7 +78,7 @@ class TieredCache(Cache):
         self.client_capacity = client_capacity
         self._value_fn = value_fn or (lambda _key, freq: float(freq))
         self._store = LfuCache(self.capacity, reset_on_evict=lfu_reset_on_evict)
-        self._tiers = TopKTracker(proxy_capacity)
+        self._tiers = TopKTracker(proxy_capacity, on_tier=on_tier)
         self.stats = self._store.stats  # single source of truth
 
     # -- inspection --------------------------------------------------------
@@ -111,12 +118,21 @@ class TieredCache(Cache):
         return self.lookup_tier(key) is not None
 
     def lookup_tier(self, key: Hashable) -> str | None:
-        """Reference ``key``; returns the serving tier or None on miss."""
-        served = self.tier_of(key)  # before any promotion
-        self._store.lookup(key)  # counts the reference either way
-        if served is not None:
-            self._tiers.update(key, self._value(key))  # may promote
-        return served
+        """Reference ``key``; returns the serving tier or None on miss.
+
+        The tier is the one the object was in *before* promotion; the
+        hit path reads the friend ``LfuCache``/``TopKTracker`` internals
+        directly to avoid re-probing membership three times.
+        """
+        store = self._store
+        if key in store._sizes:
+            tiers = self._tiers
+            served = PROXY_TIER if key in tiers._top else CLIENT_TIER
+            store.lookup(key)  # bumps the count, updates the LFU heap
+            tiers.update(key, self._value_fn(key, store._freq[key]))
+            return served
+        store.lookup(key)  # a miss still counts as a reference
+        return None
 
     def insert(self, key: Hashable, cost: float = 1.0, size: int = 1) -> list[Hashable]:
         """Admit a fetched object; unified LFU evicts the global minimum."""

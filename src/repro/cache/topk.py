@@ -10,26 +10,41 @@ heaps: a min-heap over the top-K ("who gets demoted first") and a
 max-heap over the rest ("who gets promoted first").  All operations are
 O(log n); the balance invariant ``len(top) == min(k, total)`` is restored
 after every mutation.
+
+An optional ``on_tier`` listener observes the partition from outside:
+it is called with ``(key, True)`` when a key lands in the top partition,
+``(key, False)`` when it lands in the rest, and ``(key, None)`` when it
+leaves the tracker.  Events may repeat a key's current placement (an
+``add`` followed by a rebalance can report the same destination twice);
+the *last* event per mutation always reflects the final placement, so
+idempotent handlers (set insert/discard) see a consistent picture.  The
+presence indexes of the hot-path engine hang off this hook.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Iterator
+from typing import Callable, Hashable, Iterator, Optional
 
 from .heapdict import HeapDict
 
 __all__ = ["TopKTracker"]
 
+#: Listener signature: (key, in_top) with in_top True/False/None (removed).
+TierListener = Callable[[Hashable, Optional[bool]], None]
+
 
 class TopKTracker:
     """Partition a dynamic ``{key: value}`` set into top-K and rest."""
 
-    def __init__(self, k: int) -> None:
+    __slots__ = ("k", "_top", "_rest", "_on_tier")
+
+    def __init__(self, k: int, on_tier: TierListener | None = None) -> None:
         if k < 0:
             raise ValueError("k must be non-negative")
         self.k = k
         self._top = HeapDict()  # min-heap by value
         self._rest = HeapDict()  # min-heap by -value (max access)
+        self._on_tier = on_tier
 
     def __len__(self) -> int:
         return len(self._top) + len(self._rest)
@@ -55,23 +70,32 @@ class TopKTracker:
         return -self._rest.priority(key)
 
     def _rebalance(self) -> None:
-        while len(self._top) > self.k:
-            key, value = self._top.pop_min()
-            self._rest.push(key, -value)
-        while len(self._top) < self.k and len(self._rest):
-            key, neg = self._rest.pop_min()
-            self._top.push(key, -neg)
-        if self.k and len(self._top) and len(self._rest):
+        on_tier = self._on_tier
+        top, rest = self._top, self._rest
+        while len(top) > self.k:
+            key, value = top.pop_min()
+            rest.push(key, -value)
+            if on_tier is not None:
+                on_tier(key, False)
+        while len(top) < self.k and len(rest):
+            key, neg = rest.pop_min()
+            top.push(key, -neg)
+            if on_tier is not None:
+                on_tier(key, True)
+        if self.k and len(top) and len(rest):
             # Swap while the best of the rest beats the worst of the top.
             while True:
-                top_key, top_val = self._top.peek_min()
-                rest_key, rest_neg = self._rest.peek_min()
+                top_key, top_val = top.peek_min()
+                rest_key, rest_neg = rest.peek_min()
                 if -rest_neg <= top_val:
                     break
-                self._top.pop_min()
-                self._rest.pop_min()
-                self._top.push(rest_key, -rest_neg)
-                self._rest.push(top_key, -top_val)
+                top.pop_min()
+                rest.pop_min()
+                top.push(rest_key, -rest_neg)
+                rest.push(top_key, -top_val)
+                if on_tier is not None:
+                    on_tier(rest_key, True)
+                    on_tier(top_key, False)
 
     def add(self, key: Hashable, value: float) -> None:
         """Insert or update ``key`` at ``value``."""
@@ -79,8 +103,12 @@ class TopKTracker:
         self._rest.discard(key)
         if len(self._top) < self.k:
             self._top.push(key, value)
+            if self._on_tier is not None:
+                self._on_tier(key, True)
         else:
             self._rest.push(key, -value)
+            if self._on_tier is not None:
+                self._on_tier(key, False)
         self._rebalance()
 
     def update(self, key: Hashable, value: float) -> None:
@@ -91,5 +119,7 @@ class TopKTracker:
     def remove(self, key: Hashable) -> bool:
         removed = self._top.discard(key) or self._rest.discard(key)
         if removed:
+            if self._on_tier is not None:
+                self._on_tier(key, None)
             self._rebalance()
         return removed

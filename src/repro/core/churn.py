@@ -68,6 +68,12 @@ class HierGdChurnScheme(HierGdScheme):
 
     name = "hier-gd-churn"
 
+    #: Stale directory entries are the *point* of this experiment: the
+    #: directory deliberately diverges from ground truth until a lookup
+    #: repairs it, which the fast engine's presence indexes cannot mirror.
+    #: Pin the reference engine regardless of ``config.hot_path``.
+    _force_reference = True
+
     def __init__(
         self,
         config: SimulationConfig,
@@ -162,8 +168,10 @@ class HierGdChurnScheme(HierGdScheme):
 
     # -- lazily repaired lookup ---------------------------------------------
 
-    def _locate(self, state: _ClusterState, obj: int) -> int | None:
-        holder = super()._locate(state, obj)
+    def _locate(
+        self, state: _ClusterState, obj: int, owner: int | None = None
+    ) -> int | None:
+        holder = super()._locate(state, obj, owner)
         if holder is None and obj in state.p2p_present:
             # Reachability lost through churn (owner moved): the object
             # physically exists but the DHT can no longer find it.  Treat

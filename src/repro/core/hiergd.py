@@ -35,6 +35,7 @@ approaches the cost-benefit upper bound.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 
 from ..cache import Cache, GreedyDualCache, LfuCache, LruCache
 from ..netmodel import (
@@ -44,16 +45,17 @@ from ..netmodel import (
     TIER_LOCAL_PROXY,
     TIER_SERVER,
 )
-from ..overlay import Dht, IdSpace, Overlay
+from ..overlay import Dht, IdSpace, Overlay, build_owner_table, object_ids_for_urls
 from ..workload import Trace, object_url
 from .config import SimulationConfig
 from .directory import LookupDirectory, make_directory
+from .presence import PresenceIndex
 from .simulator import CachingScheme
 
 __all__ = ["HierGdScheme"]
 
 
-@dataclass
+@dataclass(slots=True)
 class _ClusterState:
     """Everything one proxy + its P2P client cache carries at runtime."""
 
@@ -72,8 +74,33 @@ class _ClusterState:
     replicas: dict[int, set[int]] = field(default_factory=dict)
     #: Last retrieval cost per object (greedy-dual's cost input).
     costs: dict[int, float] = field(default_factory=dict)
-    #: Memoised DHT owner per object (overlay is churn-free during a run).
+    #: Memoised DHT owner per object (reference engine only).
     owner_memo: dict[int, int] = field(default_factory=dict)
+    # -- hot-path engine state (None/-1 until built; fast mode only) ------
+    #: This cluster's index (for presence-index bookkeeping).
+    cluster: int = -1
+    #: Precomputed DHT placement: object id -> owner client index.
+    owner_of: list[int] | None = None
+    #: Per client index: leaf-set members as client indexes (members()
+    #: order, so diversion/replication walk the same candidates).
+    leaf_idx: list[list[int]] | None = None
+    #: Overlay epoch the placement tables were built against.
+    built_epoch: int = -1
+    #: Client indexes with free space (monotonically shrinking in the
+    #: plain scheme: client caches only ever fill).  Replaces per-miss
+    #: ``free_space`` scans in the pass-down path.
+    free_clients: set[int] | None = None
+    #: Per client: that cache's membership dict (friend access), so the
+    #: hot path answers ``contains`` with one dict probe.
+    member_maps: list | None = None
+    #: Exact directory's backing set (friend access) — None under Bloom,
+    #: where add/remove must go through the filter's methods.
+    dir_set: set | None = None
+    #: Fast step-2 membership probe: the ``p2p_present`` set when the
+    #: directory is exact (identical membership, cheaper probe), the
+    #: directory itself when it is a Bloom filter (false positives are
+    #: modelled behaviour and must keep happening).
+    dir_probe: object = None
 
 
 class HierGdScheme(CachingScheme):
@@ -81,12 +108,35 @@ class HierGdScheme(CachingScheme):
 
     name = "hier-gd"
 
+    #: Subclasses whose state the fast engine cannot mirror (e.g. churn's
+    #: lazily-repaired directories) set this to pin the reference engine.
+    _force_reference = False
+
     def __init__(self, config: SimulationConfig, traces: list[Trace]) -> None:
         super().__init__(config, traces)
         net = config.network
         self._t_server = net.t_server
         self._t_coop = net.t_coop
         self._t_p2p = net.t_p2p
+        self._fast = config.hot_path == "fast" and not self._force_reference
+        self._promote = config.promote_on_p2p_hit
+        self._diversion = config.object_diversion
+        self._replicas_extra = config.p2p_replicas - 1
+        self._destage_key = (
+            "piggybacked_destages" if config.piggyback
+            else "dedicated_destage_connections"
+        )
+        #: Fast mode + greedy-dual proxies: ``process`` inlines the proxy
+        #: hit path (the single hottest branch of the whole simulator).
+        self._gd_inline = self._fast and config.hiergd_policy == "gd"
+        #: object -> clusters whose *proxy* currently caches it (step 3).
+        self._proxy_presence = PresenceIndex()
+        #: object -> clusters whose exact directory lists it (step 4);
+        #: None under Bloom directories, whose false positives must keep
+        #: firing, so step 4 keeps the reference scan there.
+        self._dir_presence = (
+            PresenceIndex() if self._fast and config.directory == "exact" else None
+        )
         self._msg: dict[str, int] = {
             "passdowns": 0,
             "piggybacked_destages": 0,
@@ -100,15 +150,17 @@ class HierGdScheme(CachingScheme):
             "replicas_stored": 0,
         }
         space = IdSpace(b=config.pastry_b)
+        self._object_keys = None  # shared objectId array, built lazily
         self.states: list[_ClusterState] = []
         for ci, sizing in enumerate(self.sizings):
             overlay = Overlay(space=space, leaf_size=config.leaf_set_size)
-            node_of_idx: list[int] = []
-            idx_of_node: dict[int, int] = {}
-            for k in range(sizing.n_clients):
-                node = overlay.add_named(f"cluster{ci}/cache{k}")
-                node_of_idx.append(node.node_id)
-                idx_of_node[node.node_id] = k
+            names = [f"cluster{ci}/cache{k}" for k in range(sizing.n_clients)]
+            if self._fast:
+                nodes = overlay.bulk_add_named(names)
+            else:
+                nodes = [overlay.add_named(name) for name in names]
+            node_of_idx = [node.node_id for node in nodes]
+            idx_of_node = {nid: k for k, nid in enumerate(node_of_idx)}
             state = _ClusterState(
                 proxy=self._make_cache(sizing.proxy_size),
                 clients=[
@@ -124,8 +176,64 @@ class HierGdScheme(CachingScheme):
                     capacity=max(1, sizing.p2p_size),
                     fp_rate=config.bloom_fp_rate,
                 ),
+                cluster=ci,
             )
+            state.dir_probe = (
+                state.directory if self._dir_presence is None else state.p2p_present
+            )
+            if self._fast:
+                # Caches start empty: free <=> nonzero capacity.
+                state.free_clients = {
+                    k for k, c in enumerate(state.clients) if c.capacity > 0
+                }
+                state.member_maps = [self._member_map(c) for c in state.clients]
+                if config.directory == "exact":
+                    state.dir_set = state.directory._entries
             self.states.append(state)
+
+    @staticmethod
+    def _member_map(cache: Cache) -> dict:
+        """The cache's key-membership dict (friend access; identity is
+        stable — no policy rebinds it after construction)."""
+        if isinstance(cache, LfuCache):
+            return cache._sizes
+        return cache._entries  # GreedyDualCache and LruCache
+
+    # -- hot-path placement tables ------------------------------------------
+
+    def _build_placement(self, state: _ClusterState) -> None:
+        """(Re)build this cluster's precomputed DHT placement tables.
+
+        One batched SHA-1 pass over every object URL (shared across
+        clusters — the id space is the same) and one vectorised
+        sorted-ring resolution replace per-object ``Dht.owner`` memo
+        fills.  A sampled subset is routed hop-by-hop so
+        ``mean_pastry_hops`` stays populated, with each delivery asserted
+        against the table.  Tables are keyed to the overlay epoch and
+        rebuilt on membership change.
+        """
+        overlay = state.overlay
+        if self._object_keys is None:
+            n_objects = 0
+            for trace in self.traces:
+                if len(trace.object_ids):
+                    n_objects = max(n_objects, int(trace.object_ids.max()) + 1)
+            self._object_keys = object_ids_for_urls(
+                [object_url(i) for i in range(n_objects)], overlay.space
+            )
+        owners = build_owner_table(
+            overlay,
+            self._object_keys,
+            sample_rate=self.config.hop_sample_rate,
+            record_stats=True,
+        )
+        idx_of_node = state.idx_of_node
+        state.owner_of = [idx_of_node[nid] for nid in owners]
+        state.leaf_idx = [
+            [idx_of_node[leaf] for leaf in overlay.node(nid).leaves.members()]
+            for nid in state.node_of_idx
+        ]
+        state.built_epoch = overlay.epoch
 
     def _make_cache(self, capacity: int) -> Cache:
         """Local replacement policy per :attr:`SimulationConfig.hiergd_policy`.
@@ -145,6 +253,10 @@ class HierGdScheme(CachingScheme):
 
     def _owner(self, state: _ClusterState, obj: int) -> int:
         """Client index of the DHT owner of ``obj`` in this cluster."""
+        if self._fast:
+            if state.built_epoch != state.overlay.epoch:
+                self._build_placement(state)
+            return state.owner_of[obj]
         idx = state.owner_memo.get(obj)
         if idx is None:
             object_id = state.dht.object_id(object_url(obj))
@@ -152,9 +264,16 @@ class HierGdScheme(CachingScheme):
             state.owner_memo[obj] = idx
         return idx
 
-    def _locate(self, state: _ClusterState, obj: int) -> int | None:
-        """Actual holder of ``obj``: owner, divertee, or a live replica."""
-        owner = self._owner(state, obj)
+    def _locate(
+        self, state: _ClusterState, obj: int, owner: int | None = None
+    ) -> int | None:
+        """Actual holder of ``obj``: owner, divertee, or a live replica.
+
+        Callers that already resolved the owner pass it in so the DHT
+        placement is computed once per request, not once per step.
+        """
+        if owner is None:
+            owner = self._owner(state, obj)
         if state.clients[owner].contains(obj):
             return owner
         holder = state.pointers.get(owner, {}).get(obj)
@@ -181,21 +300,21 @@ class HierGdScheme(CachingScheme):
             self._msg["dedicated_destage_connections"] += 1
 
         cost = state.costs.get(obj, self._t_server)
-        holder = self._locate(state, obj)
+        owner_idx = self._owner(state, obj)
+        holder = self._locate(state, obj, owner_idx)
         if holder is not None:
             # Already stored (e.g. destaged before and later promoted back
             # up): refresh its greedy-dual credit instead of duplicating.
             state.clients[holder].lookup(obj)
             return
 
-        owner_idx = self._owner(state, obj)
         owner_cache = state.clients[owner_idx]
 
         # (3)-(5): free space at the destination — store directly.
         if owner_cache.free_space >= 1:
             owner_cache.insert(obj, cost=cost)
             self._record_store(state, obj)
-            self._replicate(state, obj, cost, primary_idx=owner_idx)
+            self._replicate(state, obj, cost, primary_idx=owner_idx, owner_idx=owner_idx)
             return
 
         # (7)-(10): object diversion to a leaf-set member with free space.
@@ -206,7 +325,7 @@ class HierGdScheme(CachingScheme):
                 state.pointers.setdefault(owner_idx, {})[obj] = divertee
                 self._msg["diversions"] += 1
                 self._record_store(state, obj)
-                self._replicate(state, obj, cost, primary_idx=divertee)
+                self._replicate(state, obj, cost, primary_idx=divertee, owner_idx=owner_idx)
                 return
 
         # (12)-(14): replacement at the destination; its eviction d2 is
@@ -220,9 +339,200 @@ class HierGdScheme(CachingScheme):
             self._on_client_eviction(state, owner_idx, d2)
         if stored:
             self._record_store(state, obj)
-            self._replicate(state, obj, cost, primary_idx=owner_idx)
+            self._replicate(state, obj, cost, primary_idx=owner_idx, owner_idx=owner_idx)
 
-    def _replicate(self, state: _ClusterState, obj: int, cost: float, primary_idx: int) -> None:
+    def _pass_down_fast(self, state: _ClusterState, obj: int) -> None:
+        """Fast-engine pass-down: `_pass_down` with every helper inlined.
+
+        Same Figure-1 mechanism, three structural shortcuts (each proved
+        equivalent by the hot-path equivalence suite):
+
+        * the already-stored refresh probe is one ``p2p_present`` set test
+          (in the plain scheme ``obj in p2p_present`` iff ``_locate`` finds
+          a holder — the directory-consistency invariant);
+        * the free-space checks walk ``state.free_clients``, which shrinks
+          monotonically as client caches fill, instead of re-deriving
+          free space per candidate — membership filtering preserves the
+          divertee scan's candidate order and max-free tie-breaks;
+        * store receipts and eviction notices are inlined with the
+          owner-holds ``_locate`` probe answered by the membership dict.
+        """
+        msg = self._msg
+        msg["passdowns"] += 1
+        msg[self._destage_key] += 1
+        clients = state.clients
+        owner_of = state.owner_of
+        owner_idx = owner_of[obj]
+        if obj in state.p2p_present:
+            # Already stored (e.g. destaged before and later promoted back
+            # up): refresh its greedy-dual credit instead of duplicating.
+            holder = (
+                owner_idx
+                if obj in state.member_maps[owner_idx]
+                else self._locate(state, obj, owner_idx)
+            )
+            clients[holder].lookup(obj)
+            return
+
+        cost = state.costs.get(obj, self._t_server)
+        free = state.free_clients
+        stored = True
+        divertee = None
+        if owner_idx in free:
+            # (3)-(5): free space at the destination — store directly.
+            cache = clients[owner_idx]
+            cache.insert(obj, cost=cost)
+            if cache._used >= cache.capacity:
+                free.discard(owner_idx)
+        else:
+            divertee = None
+            if self._diversion and free:
+                # (7)-(10): leaf-set member with the most free space.
+                best_free = 0
+                for idx in state.leaf_idx[owner_idx]:
+                    if idx in free:
+                        c = clients[idx]
+                        f = c.capacity - c._used
+                        if f > best_free:
+                            divertee, best_free = idx, f
+            if divertee is not None:
+                cache = clients[divertee]
+                cache.insert(obj, cost=cost)
+                if cache._used >= cache.capacity:
+                    free.discard(divertee)
+                state.pointers.setdefault(owner_idx, {})[obj] = divertee
+                msg["diversions"] += 1
+            else:
+                # (12)-(14): replacement at the destination; its eviction
+                # d2 is discarded (§3) after notifying the directory.
+                owner_cache = clients[owner_idx]
+                if self._gd_inline and owner_cache.capacity >= 1:
+                    # Fused GreedyDualCache.insert, as in _proxy_insert:
+                    # obj is cached nowhere in the cluster (p2p_present
+                    # checked above), so no refresh branch and an
+                    # unconditional eager push; victims never equal obj.
+                    entries = owner_cache._entries
+                    used = owner_cache._used
+                    capacity = owner_cache.capacity
+                    heap = owner_cache._heap
+                    live = heap._live
+                    hl = heap._heap
+                    stats = owner_cache.stats
+                    inflation = owner_cache.inflation
+                    evicted = []
+                    while used >= capacity:
+                        prio, seq, victim = heappop(hl)
+                        rec = live.get(victim)
+                        if rec is None:
+                            continue
+                        if rec[1] != seq:
+                            if not rec[2]:
+                                live[victim] = (rec[0], rec[1], True)
+                                heappush(hl, (rec[0], rec[1], victim))
+                            continue
+                        del live[victim]
+                        if prio > inflation:
+                            inflation = prio
+                        del entries[victim]
+                        used -= 1
+                        evicted.append(victim)
+                        stats.evictions += 1
+                    owner_cache.inflation = inflation
+                    entries[obj] = (1, cost)
+                    seq = heap._seq + 1
+                    heap._seq = seq
+                    prio = inflation + cost
+                    live[obj] = (prio, seq, True)
+                    heappush(hl, (prio, seq, obj))
+                    if len(hl) > (len(live) << 1) + 8:
+                        heap._compact()
+                    owner_cache._used = used + 1
+                    stats.insertions += 1
+                else:
+                    evicted = owner_cache.insert(obj, cost=cost)
+                member_maps = state.member_maps
+                present = state.p2p_present
+                for d2 in evicted:
+                    if d2 == obj:
+                        stored = False  # zero-capacity client caches reject
+                        continue
+                    # Inlined _on_client_eviction(state, owner_idx, d2),
+                    # with the _locate reachability probe unrolled — the
+                    # common outcome here is "last copy died" (the victim
+                    # lived at its owner, no pointer, no replicas), so the
+                    # cheap membership probes usually decide it.
+                    msg["client_evictions"] += 1
+                    d2_owner = owner_of[d2]
+                    ptrs = state.pointers.get(d2_owner)
+                    if (
+                        d2_owner != owner_idx
+                        and ptrs is not None
+                        and ptrs.get(d2) == owner_idx
+                    ):
+                        del ptrs[d2]
+                    reps = state.replicas.get(d2)
+                    if reps:
+                        reps.discard(owner_idx)
+                        if not reps:
+                            del state.replicas[d2]
+                            reps = None
+                    if d2 not in present:
+                        continue
+                    if d2 in member_maps[d2_owner]:
+                        continue  # still at its owner
+                    if ptrs is not None:
+                        holder2 = ptrs.get(d2)
+                        if holder2 is not None and d2 in member_maps[holder2]:
+                            continue  # reachable through a diversion pointer
+                    if reps and self._locate(state, d2, d2_owner) is not None:
+                        continue  # a live replica keeps it reachable
+                    present.discard(d2)
+                    ds = state.dir_set
+                    if ds is not None:
+                        # Exact directory: direct set ops plus the inlined
+                        # PresenceIndex.discard on the directory index.
+                        ds.discard(d2)
+                        holders = self._dir_presence._holders
+                        s = holders.get(d2)
+                        if s is not None:
+                            s.discard(state.cluster)
+                            if not s:
+                                del holders[d2]
+                    else:
+                        state.directory.remove(d2)
+        if stored:
+            # Inlined _record_store: obj was not in p2p_present (checked
+            # at the top, nothing re-added it since), so add directly.
+            msg["store_receipts"] += 1
+            state.p2p_present.add(obj)
+            ds = state.dir_set
+            if ds is not None:
+                # Exact directory: direct set ops plus the inlined
+                # PresenceIndex.add on the directory index.
+                ds.add(obj)
+                holders = self._dir_presence._holders
+                s = holders.get(obj)
+                if s is None:
+                    holders[obj] = {state.cluster}
+                else:
+                    s.add(state.cluster)
+            else:
+                state.directory.add(obj)
+            if self._replicas_extra > 0:
+                self._replicate(
+                    state, obj, cost,
+                    primary_idx=owner_idx if divertee is None else divertee,
+                    owner_idx=owner_idx,
+                )
+
+    def _replicate(
+        self,
+        state: _ClusterState,
+        obj: int,
+        cost: float,
+        primary_idx: int,
+        owner_idx: int | None = None,
+    ) -> None:
         """Best-effort PAST-style replication in the owner's leaf set.
 
         Extra copies (``p2p_replicas - 1``) go to the leaf-set members
@@ -234,30 +544,45 @@ class HierGdScheme(CachingScheme):
         extra = self.config.p2p_replicas - 1
         if extra <= 0:
             return
-        owner_idx = self._owner(state, obj)
-        owner_node = state.overlay.node(state.node_of_idx[owner_idx])
+        if owner_idx is None:
+            owner_idx = self._owner(state, obj)
         existing = state.replicas.get(obj, set())
-        for leaf in owner_node.leaves.members():
+        for idx in self._leaf_indexes(state, owner_idx):
             if extra <= 0:
                 break
-            idx = state.idx_of_node[leaf]
             if idx == primary_idx or idx in existing:
                 continue
             cache = state.clients[idx]
             if cache.free_space >= 1 and not cache.contains(obj):
                 cache.insert(obj, cost=cost)
+                if self._fast and cache._used >= cache.capacity:
+                    state.free_clients.discard(idx)
                 state.replicas.setdefault(obj, set()).add(idx)
                 self._msg["replicas_stored"] += 1
                 extra -= 1
 
+    def _leaf_indexes(self, state: _ClusterState, owner_idx: int) -> list[int]:
+        """Leaf-set members of ``owner_idx`` as client indexes.
+
+        Fast mode serves the precomputed table (``members()`` order, so
+        diversion/replication walk identical candidates); the reference
+        engine maps through the overlay on every call.
+        """
+        if self._fast:
+            return state.leaf_idx[owner_idx]
+        owner_node = state.overlay.node(state.node_of_idx[owner_idx])
+        return [state.idx_of_node[leaf] for leaf in owner_node.leaves.members()]
+
     def _pick_divertee(self, state: _ClusterState, owner_idx: int) -> int | None:
         """Leaf-set member with the most free space (storage balancing)."""
-        owner_node = state.overlay.node(state.node_of_idx[owner_idx])
         best: int | None = None
         best_free = 0
-        for leaf in owner_node.leaves.members():
-            idx = state.idx_of_node[leaf]
-            free = state.clients[idx].free_space
+        clients = state.clients
+        for idx in self._leaf_indexes(state, owner_idx):
+            cache = clients[idx]
+            # == cache.free_space: every policy here tracks used units in
+            # ``_used`` and unit sizes keep it <= capacity.
+            free = cache.capacity - cache._used
             if free > best_free:
                 best, best_free = idx, free
         return best
@@ -268,6 +593,8 @@ class HierGdScheme(CachingScheme):
         if obj not in state.p2p_present:
             state.p2p_present.add(obj)
             state.directory.add(obj)
+            if self._dir_presence is not None:
+                self._dir_presence.add(obj, state.cluster)
 
     def _on_client_eviction(self, state: _ClusterState, holder_idx: int, obj: int) -> None:
         """Eviction notice: clean pointers/replicas and the directory.
@@ -287,15 +614,104 @@ class HierGdScheme(CachingScheme):
             reps.discard(holder_idx)
             if not reps:
                 del state.replicas[obj]
-        if obj in state.p2p_present and self._locate(state, obj) is None:
+        if obj in state.p2p_present and self._locate(state, obj, owner) is None:
             state.p2p_present.discard(obj)
             state.directory.remove(obj)
+            if self._dir_presence is not None:
+                self._dir_presence.discard(obj, state.cluster)
 
     # -- proxy-side insert (GD on each fetched object) -------------------------
 
     def _proxy_insert(self, state: _ClusterState, obj: int, cost: float) -> None:
         state.costs[obj] = cost
-        evicted = state.proxy.insert(obj, cost=cost)
+        proxy = state.proxy
+        if self._gd_inline and proxy.capacity >= 1:
+            # Fused GreedyDualCache.insert (friend access): ``obj`` just
+            # missed, so it is cached nowhere in the proxy (entries and
+            # heap live keys always coincide) — the refresh branch and the
+            # eager/lazy comparison collapse to an unconditional eager
+            # push at ``inflation + cost`` (unit size).  The pop loop is
+            # ``HeapDict``'s lazy reconciliation verbatim.
+            entries = proxy._entries
+            used = proxy._used
+            capacity = proxy.capacity
+            heap = proxy._heap
+            live = heap._live
+            hl = heap._heap
+            holders = self._proxy_presence._holders
+            cluster = state.cluster
+            inflation = proxy.inflation
+            evicted = None
+            if used >= capacity:
+                stats = proxy.stats
+                evicted = []
+                while used >= capacity:
+                    prio, seq, victim = heappop(hl)
+                    rec = live.get(victim)
+                    if rec is None:
+                        continue
+                    if rec[1] != seq:
+                        if not rec[2]:
+                            live[victim] = (rec[0], rec[1], True)
+                            heappush(hl, (rec[0], rec[1], victim))
+                        continue
+                    del live[victim]
+                    if prio > inflation:
+                        inflation = prio
+                    del entries[victim]
+                    used -= 1
+                    evicted.append(victim)
+                    stats.evictions += 1
+                proxy.inflation = inflation
+            entries[obj] = (1, cost)
+            seq = heap._seq + 1
+            heap._seq = seq
+            prio = inflation + cost
+            live[obj] = (prio, seq, True)
+            heappush(hl, (prio, seq, obj))
+            if len(hl) > (len(live) << 1) + 8:
+                heap._compact()
+            proxy._used = used + 1
+            proxy.stats.insertions += 1
+            # Inlined PresenceIndex.add (capacity >= 1: always stored).
+            s = holders.get(obj)
+            if s is None:
+                holders[obj] = {cluster}
+            else:
+                s.add(cluster)
+            if evicted:
+                for d1 in evicted:
+                    # Victims were cached, obj was not: d1 != obj always.
+                    s = holders.get(d1)
+                    if s is not None:
+                        s.discard(cluster)
+                        if not s:
+                            del holders[d1]
+                    self._pass_down_fast(state, d1)
+            return
+        evicted = proxy.insert(obj, cost=cost)
+        if self._fast:
+            # Inlined PresenceIndex.add/discard on the proxy index.
+            holders = self._proxy_presence._holders
+            cluster = state.cluster
+            stored = True
+            for d1 in evicted:
+                if d1 != obj:
+                    s = holders.get(d1)
+                    if s is not None:
+                        s.discard(cluster)
+                        if not s:
+                            del holders[d1]
+                    self._pass_down_fast(state, d1)
+                else:
+                    stored = False  # capacity-zero proxies reject the insert
+            if stored:
+                s = holders.get(obj)
+                if s is None:
+                    holders[obj] = {cluster}
+                else:
+                    s.add(cluster)
+            return
         for d1 in evicted:
             if d1 != obj:
                 self._pass_down(state, d1)
@@ -304,17 +720,127 @@ class HierGdScheme(CachingScheme):
 
     def process(self, cluster: int, client: int, obj: int) -> str:
         state = self.states[cluster]
-        # 1. Local proxy cache (greedy-dual bookkeeping on hit).
-        if state.proxy.lookup(obj):
-            return TIER_LOCAL_PROXY
+        # 1. Local proxy cache (greedy-dual bookkeeping on hit).  With GD
+        # proxies the fast engine inlines the hit path — ~3 of every 4
+        # requests end right here, so this branch is the simulator's
+        # single hottest stretch of code (friend access into the cache and
+        # its heap; the pushed entries are exactly what ``lookup`` pushes).
+        if self._gd_inline:
+            proxy = state.proxy
+            entry = proxy._entries.get(obj)
+            if entry is not None:
+                # Monotone credit refresh -> lazy-heap no-push path
+                # (mirrors GreedyDualCache.lookup; entries here are always
+                # unit-size ``(1, cost)``, so cost/size is just entry[1]).
+                heap = proxy._heap
+                seq = heap._seq + 1
+                heap._seq = seq
+                heap._live[obj] = (proxy.inflation + entry[1], seq, False)
+                proxy.stats.hits += 1
+                return TIER_LOCAL_PROXY
+            proxy.stats.misses += 1
+        else:
+            if state.proxy.lookup(obj):
+                return TIER_LOCAL_PROXY
+            if not self._fast:
+                return self._miss_reference(state, cluster, obj)
+        if state.built_epoch != state.overlay.epoch:
+            self._build_placement(state)
+        msg = self._msg
 
+        # 2. Own P2P client cache, via the lookup directory.  ``dir_probe``
+        # is the p2p_present set under an exact directory (identical
+        # membership) and the Bloom filter otherwise (false positives are
+        # modelled behaviour).
+        if obj in state.dir_probe:
+            msg["p2p_lookups"] += 1
+            owner = state.owner_of[obj]
+            holder = (
+                owner
+                if obj in state.member_maps[owner]
+                else self._locate(state, obj, owner)
+            )
+            if holder is not None:
+                state.clients[holder].lookup(obj)  # GD credit refresh
+                if self._promote:
+                    self._proxy_insert(state, obj, cost=self._t_p2p)
+                return TIER_LOCAL_P2P
+            # Bloom false positive: a wasted LAN round into the overlay.
+            msg["directory_false_positives"] += 1
+            self.add_extra_latency(self._t_p2p)
+
+        # 3. Cooperating proxies, via the proxy presence index — the
+        # smallest holder index is what the reference ascending scan hits
+        # (inlined PresenceIndex.first_holder).
+        s = self._proxy_presence._holders.get(obj)
+        if s:
+            first = None
+            for c in s:
+                if c != cluster and (first is None or c < first):
+                    first = c
+            if first is not None:
+                self._proxy_insert(state, obj, cost=self._t_coop)
+                return TIER_COOP_PROXY
+
+        # ... then their P2P client caches through the push protocol.
+        if self._dir_presence is not None:
+            # Exact directories: membership mirrors p2p_present, so the
+            # first listed cluster always serves (no false positives) and
+            # exactly one push request goes out — as in the scan.
+            other = self._dir_presence.first_holder(obj, cluster)
+            if other is not None:
+                other_state = self.states[other]
+                msg["push_requests"] += 1
+                owner = other_state.owner_of[obj]
+                holder = (
+                    owner
+                    if obj in other_state.member_maps[owner]
+                    else self._locate(other_state, obj, owner)
+                )
+                other_state.clients[holder].lookup(obj)
+                self._proxy_insert(state, obj, cost=self._t_coop + self._t_p2p)
+                return TIER_COOP_P2P
+        else:
+            # Bloom directories: keep the scan — a remote false positive
+            # must still cost a wasted push round per §4.2's accounting.
+            tier = self._coop_p2p_scan(state, cluster, obj)
+            if tier is not None:
+                return tier
+
+        # 4. Origin server.
+        self._proxy_insert(state, obj, cost=self._t_server)
+        return TIER_SERVER
+
+    def _coop_p2p_scan(self, state: _ClusterState, cluster: int, obj: int) -> str | None:
+        """Reference step-4 scan over the other clusters' directories."""
+        for other, other_state in enumerate(self.states):
+            if other == cluster or obj not in other_state.directory:
+                continue
+            self._msg["push_requests"] += 1
+            holder = self._locate(other_state, obj)
+            if holder is not None:
+                other_state.clients[holder].lookup(obj)
+                self._proxy_insert(state, obj, cost=self._t_coop + self._t_p2p)
+                return TIER_COOP_P2P
+            self._msg["directory_false_positives"] += 1
+            self.add_extra_latency(self._t_coop + self._t_p2p)
+        return None
+
+    def _miss_reference(self, state: _ClusterState, cluster: int, obj: int) -> str:
+        """Reference engine: the original O(n_proxies)-scan miss path.
+
+        Kept verbatim as the behavioural oracle for the fast engine (the
+        hot-path equivalence suite runs both) and as the only correct
+        engine under churn, whose lazily-repaired directories the presence
+        indexes cannot mirror.
+        """
         # 2. Own P2P client cache, via the lookup directory.
         if obj in state.directory:
             self._msg["p2p_lookups"] += 1
             holder = self._locate(state, obj)
             if holder is not None:
                 state.clients[holder].lookup(obj)  # GD credit refresh
-                if self.config.promote_on_p2p_hit:
+                if self._promote:
                     self._proxy_insert(state, obj, cost=self._t_p2p)
                 return TIER_LOCAL_P2P
             # Bloom false positive: a wasted LAN round into the overlay.
@@ -328,17 +854,9 @@ class HierGdScheme(CachingScheme):
                 return TIER_COOP_PROXY
 
         # ... then their P2P client caches through the push protocol.
-        for other, other_state in enumerate(self.states):
-            if other == cluster or obj not in other_state.directory:
-                continue
-            self._msg["push_requests"] += 1
-            holder = self._locate(other_state, obj)
-            if holder is not None:
-                other_state.clients[holder].lookup(obj)
-                self._proxy_insert(state, obj, cost=self._t_coop + self._t_p2p)
-                return TIER_COOP_P2P
-            self._msg["directory_false_positives"] += 1
-            self.add_extra_latency(self._t_coop + self._t_p2p)
+        tier = self._coop_p2p_scan(state, cluster, obj)
+        if tier is not None:
+            return tier
 
         # 4. Origin server.
         self._proxy_insert(state, obj, cost=self._t_server)

@@ -14,6 +14,7 @@ over schemes costs one workload generation.
 
 from __future__ import annotations
 
+from ..perf.profiling import record_scheme_ops
 from ..workload import Trace, generate_cluster_traces
 from .config import SimulationConfig
 from .metrics import SchemeResult, latency_gain
@@ -53,7 +54,11 @@ def run_scheme(
         ) from None
     if traces is None:
         traces = generate_workloads(config, seed=seed)
-    return scheme_cls(config, traces).run()
+    scheme = scheme_cls(config, traces)
+    result = scheme.run()
+    # Feeds repro.perf's op-counter collection; a no-op when inactive.
+    record_scheme_ops(name, scheme)
+    return result
 
 
 def run_all_schemes(

@@ -18,6 +18,7 @@ from ...cache import LfuCache
 from ...netmodel import TIER_COOP_PROXY, TIER_LOCAL_PROXY, TIER_SERVER
 from ...workload import Trace
 from ..config import SimulationConfig
+from ..presence import PresenceIndex, probes_to
 from ..simulator import CachingScheme
 
 __all__ = ["NcScheme", "ScScheme"]
@@ -36,11 +37,8 @@ class NcScheme(CachingScheme):
         ]
 
     def process(self, cluster: int, client: int, obj: int) -> str:
-        cache = self.caches[cluster]
-        if cache.lookup(obj):
-            return TIER_LOCAL_PROXY
-        cache.insert(obj)
-        return TIER_SERVER
+        hit, _ = self.caches[cluster].lookup_or_insert(obj)
+        return TIER_LOCAL_PROXY if hit else TIER_SERVER
 
 
 class ScScheme(CachingScheme):
@@ -59,11 +57,41 @@ class ScScheme(CachingScheme):
             LfuCache(s.proxy_size, reset_on_evict=config.lfu_reset_on_evict)
             for s in self.sizings
         ]
+        self._fast = config.hot_path == "fast"
+        #: object -> clusters caching it; replaces the per-miss probe scan
+        #: (see :mod:`repro.core.presence` for the equivalence argument).
+        self._presence = PresenceIndex()
         self._probes = 0
         self._coop_fetches = 0
 
     def process(self, cluster: int, client: int, obj: int) -> str:
         cache = self.caches[cluster]
+        if not self._fast:
+            return self._process_reference(cache, cluster, obj)
+        # Remote probes never touch the local cache, so the fused
+        # lookup-or-insert may run first; ``first_holder`` excludes this
+        # cluster, making the index update order irrelevant too.
+        hit, evicted = cache.lookup_or_insert(obj)
+        if hit:
+            return TIER_LOCAL_PROXY
+        presence = self._presence
+        first = presence.first_holder(obj, cluster)
+        self._probes += probes_to(first, cluster, len(self.caches))
+        tier = TIER_SERVER
+        if first is not None:
+            tier = TIER_COOP_PROXY
+            self._coop_fetches += 1
+        stored = True
+        for victim in evicted:
+            if victim == obj:
+                stored = False  # capacity-zero cache rejected the insert
+            else:
+                presence.discard(victim, cluster)
+        if stored:
+            presence.add(obj, cluster)
+        return tier
+
+    def _process_reference(self, cache: LfuCache, cluster: int, obj: int) -> str:
         if cache.lookup(obj):
             return TIER_LOCAL_PROXY
         # Probe cooperating proxies (membership only: a remote probe is

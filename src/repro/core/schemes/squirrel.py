@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from ...cache import LruCache
 from ...netmodel import TIER_LOCAL_P2P, TIER_SERVER
-from ...overlay import Dht, IdSpace, Overlay
+from ...overlay import Dht, IdSpace, Overlay, build_owner_table, object_ids_for_urls
 from ...workload import Trace, object_url
 from ..config import SimulationConfig
 from ..simulator import CachingScheme
@@ -55,12 +55,17 @@ class SquirrelScheme(CachingScheme):
         self.idx_of_node: list[dict[int, int]] = []
         self.homes: list[list[LruCache]] = []
         self._owner_memo: list[dict[int, int]] = []
+        self._fast = config.hot_path == "fast"
+        #: Fast engine: per cluster, object id -> its home LruCache.
+        self._home_table: list[list[LruCache]] = []
         for ci, sizing in enumerate(self.sizings):
             overlay = Overlay(space=space, leaf_size=config.leaf_set_size)
-            mapping: dict[int, int] = {}
-            for k in range(sizing.n_clients):
-                node = overlay.add_named(f"squirrel{ci}/cache{k}")
-                mapping[node.node_id] = k
+            names = [f"squirrel{ci}/cache{k}" for k in range(sizing.n_clients)]
+            if self._fast:
+                nodes = overlay.bulk_add_named(names)
+            else:
+                nodes = [overlay.add_named(name) for name in names]
+            mapping = {node.node_id: k for k, node in enumerate(nodes)}
             per_client = sizing.client_size
             if self.include_proxy_budget:
                 per_client += sizing.proxy_size // max(1, sizing.n_clients)
@@ -69,8 +74,35 @@ class SquirrelScheme(CachingScheme):
             self.idx_of_node.append(mapping)
             self.homes.append([LruCache(per_client) for _ in range(sizing.n_clients)])
             self._owner_memo.append({})
+        if self._fast:
+            self._build_home_tables(config)
+
+    def _build_home_tables(self, config: SimulationConfig) -> None:
+        """Precompute every object's home cache (membership is static).
+
+        One batched SHA-1 pass plus one vectorised sorted-ring resolution
+        per cluster replaces the per-object owner memo; a sampled subset
+        is still Pastry-routed so ``mean_pastry_hops`` stays populated.
+        """
+        n_objects = 0
+        for trace in self.traces:
+            if len(trace.object_ids):
+                n_objects = max(n_objects, int(trace.object_ids.max()) + 1)
+        space = self.overlays[0].space
+        keys = object_ids_for_urls(
+            [object_url(i) for i in range(n_objects)], space
+        )
+        for ci, overlay in enumerate(self.overlays):
+            owners = build_owner_table(
+                overlay, keys, sample_rate=config.hop_sample_rate, record_stats=True
+            )
+            mapping = self.idx_of_node[ci]
+            homes = self.homes[ci]
+            self._home_table.append([homes[mapping[nid]] for nid in owners])
 
     def _home(self, cluster: int, obj: int) -> LruCache:
+        if self._fast:
+            return self._home_table[cluster][obj]
         memo = self._owner_memo[cluster]
         idx = memo.get(obj)
         if idx is None:
@@ -81,13 +113,12 @@ class SquirrelScheme(CachingScheme):
         return self.homes[cluster][idx]
 
     def process(self, cluster: int, client: int, obj: int) -> str:
-        home = self._home(cluster, obj)
-        if home.lookup(obj):
+        hit, _ = self._home(cluster, obj).lookup_or_insert(obj)
+        if hit:
             return TIER_LOCAL_P2P
         # Home miss: the home node fetches from the origin, stores the
         # object and relays it — one extra LAN leg on top of the server
         # round trip.
-        home.insert(obj)
         self.add_extra_latency(self._t_p2p)
         return TIER_SERVER
 

@@ -26,6 +26,7 @@ where it stopped.  ``--progress`` prints one line per finished point.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -33,6 +34,7 @@ from pathlib import Path
 
 from ..analysis.plots import ascii_plot
 from ..analysis.results import SweepResult
+from ..perf import collecting_op_counters, profile_call
 from .executor import ExperimentEngine
 from .figure2 import figure2a, figure2b
 from .figure3 import figure3
@@ -138,12 +140,22 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print one line per completed sweep point",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each figure under cProfile and collect per-scheme cache op "
+        "counters; writes profile_<figure>.json next to instrumentation.json "
+        "(forces --workers 1: profiling is in-process)",
+    )
     args = parser.parse_args(argv)
 
     if args.scale is not None:
         os.environ["REPRO_SCALE"] = args.scale
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
+    if args.profile and args.workers != 1:
+        print("[--profile forces --workers 1]")
+        args.workers = 1
 
     engine = build_engine(args.workers, args.resume, args.progress, args.out)
     if engine.store is not None:
@@ -157,8 +169,35 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         started = time.time()
         print(f"\n### {name} ...", flush=True)
-        result = FIGURES[name](seed=args.seed, engine=engine)
-        _emit(name, result, args.out)
+        if args.profile:
+            with collecting_op_counters() as collector:
+                result, report = profile_call(
+                    FIGURES[name], seed=args.seed, engine=engine
+                )
+            _emit(name, result, args.out)
+            for fn in report["top_functions"][:5]:
+                print(
+                    f"  [profile] {fn['tottime_sec']:8.3f}s "
+                    f"{fn['ncalls']:>9} calls  {fn['function']}"
+                )
+            if args.out is not None:
+                profile_path = args.out / f"profile_{name}.json"
+                profile_path.write_text(
+                    json.dumps(
+                        {
+                            "figure": name,
+                            "profile": report,
+                            "op_counters": collector.per_scheme,
+                        },
+                        indent=2,
+                    )
+                    + "\n",
+                    encoding="utf-8",
+                )
+                print(f"[saved {profile_path}]")
+        else:
+            result = FIGURES[name](seed=args.seed, engine=engine)
+            _emit(name, result, args.out)
         print(f"[{name} done in {time.time() - started:.1f}s]")
 
     inst = engine.instrument

@@ -8,6 +8,8 @@ substrate from scratch:
 - :mod:`repro.overlay.pastry` — routing table + leaf set per node.
 - :mod:`repro.overlay.network` — membership, join/failure repair, routing.
 - :mod:`repro.overlay.dht` — objectId → owning cacheId placement.
+- :mod:`repro.overlay.placement` — vectorised whole-table placement
+  (the hot-path engine's precomputed object → owner maps).
 """
 
 from .coords import coords_for_name, path_distance, torus_distance
@@ -21,6 +23,7 @@ from .id_space import (
 )
 from .network import Overlay, RouteResult, RouteStats
 from .pastry import DEFAULT_LEAF_SET_SIZE, LeafSet, PastryNode, RoutingTable
+from .placement import build_owner_table, object_ids_for_urls
 
 __all__ = [
     "coords_for_name",
@@ -39,4 +42,6 @@ __all__ = [
     "LeafSet",
     "PastryNode",
     "RoutingTable",
+    "build_owner_table",
+    "object_ids_for_urls",
 ]

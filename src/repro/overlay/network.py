@@ -158,6 +158,97 @@ class Overlay:
         ``name``."""
         return self.join(self.space.node_id(name), coords=coords_for_name(name))
 
+    def bulk_add_named(self, names: list[str]) -> list[PastryNode]:
+        """Add many named nodes at once, materialising the converged state.
+
+        Equivalent to sequential :meth:`add_named` calls for everything the
+        simulation semantics depend on: membership, the sorted id list and
+        every leaf set.  Incremental joins announce each newcomer to all
+        live nodes, so each leaf set converges to the ``l/2`` ring-closest
+        neighbours per side regardless of join order — exactly what this
+        builds directly (and LeafSet stores each side sorted by distance,
+        so even the list layout matches).  Routing tables are filled by
+        offering every node to every node; first-offer-wins slot contention
+        can resolve differently than under join order, so only *sampled
+        hop statistics* may differ — routing correctness and DHT ownership
+        do not.  O(N^2) total work instead of the join path's O(N^2 log N)
+        with much smaller constants; the hot-path engine uses this for
+        cluster construction.
+        """
+        created: list[PastryNode] = []
+        for name in names:
+            node_id = self.space.node_id(name)
+            if node_id in self.nodes:
+                raise ValueError(
+                    f"node {self.space.format_id(node_id)} already in overlay"
+                )
+            if not self.space.contains(node_id):
+                raise ValueError("node id outside id space")
+            node = PastryNode(node_id, self.space, self.leaf_size)
+            self.nodes[node_id] = node
+            self.coords[node_id] = coords_for_name(name)
+            created.append(node)
+        self._sorted_ids = sorted(self.nodes)
+        self.epoch += len(created)
+        ids = self._sorted_ids
+        n = len(ids)
+        space = self.space
+        bits = space.bits
+        b = space.b
+        ndigits = bits // b
+        mask = (1 << b) - 1
+        size = 1 << bits
+        offer_span = range(1, min(self.leaf_size + 1, n))
+        for node in self.nodes.values():
+            prefer = self._prefer_for(node.node_id)
+            me = node.node_id
+            idx = bisect.bisect_left(ids, me)
+            # Leaf sets: only ring-adjacent nodes can be members, so offer
+            # up to leaf_size neighbours per side; each side ends up with
+            # the l/2 ring-closest of the offers whatever the order, so
+            # fill the sides directly (same final state as LeafSet.add,
+            # ascending-distance layout included).
+            offers = {ids[(idx + off) % n] for off in offer_span}
+            offers.update(ids[(idx - off) % n] for off in offer_span)
+            offers.discard(me)
+            cw_side: list[tuple[int, int]] = []
+            ccw_side: list[tuple[int, int]] = []
+            for cand in offers:
+                cw = (cand - me) % size
+                ccw = size - cw
+                if cw <= ccw:
+                    cw_side.append((cw, cand))
+                else:
+                    ccw_side.append((ccw, cand))
+            cw_side.sort()
+            ccw_side.sort()
+            leaves = node.leaves
+            half = leaves.half
+            leaves.larger = [c for _, c in cw_side[:half]]
+            leaves._ldist = [d for d, _ in cw_side[:half]]
+            leaves.smaller = [c for _, c in ccw_side[:half]]
+            leaves._sdist = [d for d, _ in ccw_side[:half]]
+            # Routing table: offer everyone (the converged join gossip).
+            # Without a proximity heuristic the first eligible offer wins,
+            # so the slot fill is RoutingTable.consider with the prefix
+            # and digit arithmetic inlined.
+            if prefer is None:
+                rows = node.table.rows
+                for other in ids:
+                    if other == me:
+                        continue
+                    p = (bits - (me ^ other).bit_length()) // b
+                    row = rows[p]
+                    col = (other >> ((ndigits - 1 - p) * b)) & mask
+                    if row[col] is None:
+                        row[col] = other
+            else:
+                table = node.table
+                for other in ids:
+                    if other != me:
+                        table.consider(other, prefer=prefer)
+        return created
+
     def join(
         self, node_id: int, coords: tuple[float, float] | None = None
     ) -> PastryNode:
@@ -250,10 +341,14 @@ class Overlay:
         candidates = {ids[idx % len(ids)], ids[(idx - 1) % len(ids)]}
         return min(candidates, key=lambda n: (self.space.distance(n, key), n))
 
-    def route(self, key: int, start: int | None = None) -> RouteResult:
-        """Route a message for ``key`` from ``start`` (default: any node)."""
-        result = self._route_internal(key, start, record=True)
-        return result
+    def route(self, key: int, start: int | None = None, record: bool = True) -> RouteResult:
+        """Route a message for ``key`` from ``start`` (default: any node).
+
+        ``record=False`` routes without touching :attr:`stats` — used by
+        placement-table validation, which must not perturb the sampled
+        hop statistics.
+        """
+        return self._route_internal(key, start, record=record)
 
     def _route_internal(self, key: int, start: int | None, record: bool) -> RouteResult:
         if not self.nodes:

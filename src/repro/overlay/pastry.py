@@ -20,6 +20,8 @@ key); membership and message movement live in
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_left
 from dataclasses import dataclass, field
 
 from .id_space import IdSpace
@@ -35,11 +37,13 @@ class LeafSet:
 
     Maintained as two sorted-by-ring-proximity lists: ``smaller`` (counter
     clockwise neighbours) and ``larger`` (clockwise neighbours), each at
-    most ``l/2`` long.  All operations are O(l) which is fine for the
-    constant, small ``l``.
+    most ``l/2`` long, with parallel distance lists so an insertion is a
+    single bisect instead of a sort-per-add.  Distances on one side are
+    unique (the cw distance from a fixed owner is injective), so bisect
+    insertion reproduces the previous stable-sort order exactly.
     """
 
-    __slots__ = ("owner", "half", "space", "smaller", "larger")
+    __slots__ = ("owner", "half", "space", "smaller", "larger", "_sdist", "_ldist")
 
     def __init__(self, owner: int, size: int, space: IdSpace) -> None:
         if size < 2 or size % 2 != 0:
@@ -49,6 +53,8 @@ class LeafSet:
         self.space = space
         self.smaller: list[int] = []  # ascending ccw distance from owner
         self.larger: list[int] = []  # ascending cw distance from owner
+        self._sdist: list[int] = []  # ccw distances parallel to smaller
+        self._ldist: list[int] = []  # cw distances parallel to larger
 
     def members(self) -> list[int]:
         """All leaf-set members (no particular order, owner excluded)."""
@@ -64,28 +70,31 @@ class LeafSet:
         """Consider ``node_id`` for membership on its side of the ring."""
         if node_id == self.owner or node_id in self:
             return
-        cw = self.space.cw_distance(self.owner, node_id)
+        cw = (node_id - self.owner) % self.space.size
         ccw = self.space.size - cw
         if cw <= ccw:
-            self._insert(self.larger, node_id, cw, clockwise=True)
+            self._insert(self.larger, self._ldist, node_id, cw)
         else:
-            self._insert(self.smaller, node_id, ccw, clockwise=False)
+            self._insert(self.smaller, self._sdist, node_id, ccw)
 
-    def _insert(self, side: list[int], node_id: int, dist: int, clockwise: bool) -> None:
-        key = self.space.cw_distance if clockwise else (
-            lambda a, b: self.space.size - self.space.cw_distance(a, b)
-        )
-        side.append(node_id)
-        side.sort(key=lambda n: key(self.owner, n))
+    def _insert(self, side: list[int], dists: list[int], node_id: int, dist: int) -> None:
+        i = bisect_left(dists, dist)
+        side.insert(i, node_id)
+        dists.insert(i, dist)
         if len(side) > self.half:
             side.pop()
+            dists.pop()
 
     def remove(self, node_id: int) -> bool:
         """Remove a (failed or departed) node; True if it was a member."""
-        for side in (self.smaller, self.larger):
-            if node_id in side:
-                side.remove(node_id)
-                return True
+        for side, dists in ((self.smaller, self._sdist), (self.larger, self._ldist)):
+            try:
+                i = side.index(node_id)
+            except ValueError:
+                continue
+            side.pop(i)
+            dists.pop(i)
+            return True
         return False
 
     def covers(self, key: int) -> bool:
@@ -209,8 +218,6 @@ class RoutingTable:
         """
         if n_nodes <= 1:
             return 1.0
-        import math
-
         rows_expected = max(1, math.ceil(math.log(n_nodes, self.space.digit_base)))
         filled = sum(
             1 for r in range(min(rows_expected, self.space.ndigits)) for e in self.rows[r] if e

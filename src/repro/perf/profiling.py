@@ -1,0 +1,214 @@
+"""cProfile wrapper and per-scheme cache-operation counters.
+
+Everything here is JSON-safe dicts in and out, so reports can land next
+to ``instrumentation.json`` and feed the benchmark gate without a
+bespoke file format.  Nothing in this module runs on the request hot
+path: profiling wraps a whole simulation, and op counters are read once
+per finished scheme.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import dataclasses
+import pstats
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+from ..cache.base import Cache
+
+__all__ = [
+    "profile_call",
+    "op_counters_for",
+    "OpCounterCollector",
+    "collecting_op_counters",
+    "record_scheme_ops",
+    "profile_scheme",
+]
+
+
+def profile_call(
+    fn: Callable[..., Any], *args: Any, top: int = 25, **kwargs: Any
+) -> tuple[Any, dict[str, Any]]:
+    """Run ``fn(*args, **kwargs)`` under cProfile.
+
+    Returns ``(result, report)`` where ``report`` lists the ``top``
+    functions by internal time::
+
+        {"total_time_sec": ..., "total_calls": ...,
+         "top_functions": [{"function", "file", "line",
+                            "ncalls", "tottime_sec", "cumtime_sec"}, ...]}
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("tottime")
+    functions = []
+    for func in stats.fcn_list[:top]:  # (file, line, name), sorted by tottime
+        cc, nc, tt, ct, _callers = stats.stats[func]
+        file, line, name = func
+        functions.append(
+            {
+                "function": name,
+                "file": file,
+                "line": line,
+                "ncalls": nc,
+                "tottime_sec": round(tt, 6),
+                "cumtime_sec": round(ct, 6),
+            }
+        )
+    report = {
+        "total_time_sec": round(stats.total_tt, 6),
+        "total_calls": stats.total_calls,
+        "top_functions": functions,
+    }
+    return result, report
+
+
+# -- cache op counters -------------------------------------------------------
+
+
+def _iter_caches(obj: Any, depth: int = 0) -> Iterator[Cache]:
+    """Yield every :class:`Cache` reachable from ``obj`` (shallow walk).
+
+    Duck-typed over the scheme layouts in the registry: plain attributes,
+    lists of caches (baselines), nested lists, and dataclass cluster
+    states (Hier-GD's proxy + clients).  Depth-limited so arbitrary
+    object graphs cannot recurse away.
+    """
+    if depth > 4:
+        return
+    if isinstance(obj, Cache):
+        yield obj
+        return
+    if isinstance(obj, (list, tuple)):
+        for item in obj:
+            yield from _iter_caches(item, depth + 1)
+    elif isinstance(obj, dict):
+        for item in obj.values():
+            yield from _iter_caches(item, depth + 1)
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        for f in dataclasses.fields(obj):
+            value = getattr(obj, f.name)
+            if isinstance(value, (Cache, list, tuple, dict)):
+                yield from _iter_caches(value, depth + 1)
+
+
+def op_counters_for(scheme: Any) -> dict[str, Any]:
+    """Aggregate cache operation counters across a scheme's caches.
+
+    Works on any scheme object: every :class:`Cache` reachable from its
+    instance attributes contributes its ``CacheStats``.  Counters are
+    totalled overall and broken down by cache class, so a Hier-GD report
+    separates e.g. proxy/client ``GreedyDualCache`` work from nothing
+    else, while NC/SC report their ``LfuCache`` fleet.
+    """
+    totals = {"hits": 0, "misses": 0, "insertions": 0, "evictions": 0}
+    by_type: dict[str, dict[str, int]] = {}
+    n_caches = 0
+    attrs = getattr(scheme, "__dict__", {})
+    for value in attrs.values():
+        for cache in _iter_caches(value):
+            n_caches += 1
+            stats = cache.stats
+            bucket = by_type.setdefault(
+                type(cache).__name__,
+                {"n_caches": 0, "hits": 0, "misses": 0, "insertions": 0, "evictions": 0},
+            )
+            bucket["n_caches"] += 1
+            for field_name in ("hits", "misses", "insertions", "evictions"):
+                n = getattr(stats, field_name)
+                totals[field_name] += n
+                bucket[field_name] += n
+    return {"n_caches": n_caches, **totals, "by_cache_type": by_type}
+
+
+class OpCounterCollector:
+    """Accumulates :func:`op_counters_for` reports keyed by scheme name.
+
+    Multiple runs of the same scheme (sweep points) are summed, with a
+    ``runs`` count so means can be recovered.
+    """
+
+    def __init__(self) -> None:
+        self.per_scheme: dict[str, dict[str, Any]] = {}
+
+    def record(self, name: str, scheme: Any) -> None:
+        counters = op_counters_for(scheme)
+        slot = self.per_scheme.get(name)
+        if slot is None:
+            counters["runs"] = 1
+            self.per_scheme[name] = counters
+            return
+        slot["runs"] += 1
+        slot["n_caches"] = max(slot["n_caches"], counters["n_caches"])
+        for key in ("hits", "misses", "insertions", "evictions"):
+            slot[key] += counters[key]
+        for type_name, bucket in counters["by_cache_type"].items():
+            dest = slot["by_cache_type"].setdefault(
+                type_name,
+                {"n_caches": 0, "hits": 0, "misses": 0, "insertions": 0, "evictions": 0},
+            )
+            dest["n_caches"] = max(dest["n_caches"], bucket["n_caches"])
+            for key in ("hits", "misses", "insertions", "evictions"):
+                dest[key] += bucket[key]
+
+
+#: Process-wide active collector (None = collection off).  Checked once
+#: per *scheme run*, never per request, so the hot path is untouched.
+_ACTIVE_COLLECTOR: OpCounterCollector | None = None
+
+
+@contextmanager
+def collecting_op_counters() -> Iterator[OpCounterCollector]:
+    """Collect op counters from every scheme run inside the block."""
+    global _ACTIVE_COLLECTOR
+    collector = OpCounterCollector()
+    previous = _ACTIVE_COLLECTOR
+    _ACTIVE_COLLECTOR = collector
+    try:
+        yield collector
+    finally:
+        _ACTIVE_COLLECTOR = previous
+
+
+def record_scheme_ops(name: str, scheme: Any) -> None:
+    """Report a finished scheme to the active collector (if any).
+
+    Called by :func:`repro.core.run.run_scheme`; a no-op unless inside a
+    :func:`collecting_op_counters` block.
+    """
+    if _ACTIVE_COLLECTOR is not None:
+        _ACTIVE_COLLECTOR.record(name, scheme)
+
+
+def profile_scheme(
+    name: str,
+    config: Any,
+    traces: Any = None,
+    seed: int = 0,
+    top: int = 25,
+) -> dict[str, Any]:
+    """Simulate one scheme under the profiler.
+
+    Returns ``{"scheme", "profile", "op_counters", "n_requests",
+    "total_latency"}`` — the pieces the benchmark gate and ad-hoc
+    perf investigations need in one call.
+    """
+    from ..core.run import run_scheme  # local import: run.py imports us
+
+    with collecting_op_counters() as collector:
+        result, report = profile_call(
+            run_scheme, name, config, traces=traces, seed=seed, top=top
+        )
+    return {
+        "scheme": name,
+        "profile": report,
+        "op_counters": collector.per_scheme.get(name, {}),
+        "n_requests": result.n_requests,
+        "total_latency": result.total_latency,
+    }

@@ -259,7 +259,7 @@ class TestOverlayIntegration:
 
     def test_owner_mapping_is_stable_and_memoised(self):
         traces = moderate_workload(seed=6)
-        scheme = HierGdScheme(cfg(n_clients=10), traces)
+        scheme = HierGdScheme(cfg(n_clients=10, hot_path="reference"), traces)
         scheme.run()
         state = scheme.states[0]
         assert len(state.owner_memo) > 0
@@ -269,3 +269,13 @@ class TestOverlayIntegration:
             memo = state.owner_memo[obj]
             state.owner_memo.pop(obj)
             assert scheme._owner(state, obj) == memo
+
+    def test_fast_placement_table_matches_reference_owners(self):
+        traces = moderate_workload(seed=6)
+        fast = HierGdScheme(cfg(n_clients=10), traces)
+        ref = HierGdScheme(cfg(n_clients=10, hot_path="reference"), traces)
+        for state, ref_state in zip(fast.states, ref.states):
+            fast._build_placement(state)
+            assert state.owner_of is not None
+            for obj in range(len(state.owner_of)):
+                assert state.owner_of[obj] == ref._owner(ref_state, obj)

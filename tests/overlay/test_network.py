@@ -166,3 +166,56 @@ class TestChurn:
             ov.fail(nid)
         assert len(ov) == 1
         assert ov.route(12345).root == ov.node_ids()[0]
+
+
+class TestBulkAddNamed:
+    """Bulk construction must converge to the sequential-join state for
+    everything the simulation semantics depend on (see its docstring)."""
+
+    @pytest.mark.parametrize("n,leaf_size", [(5, 4), (30, 8), (60, 16)])
+    def test_matches_sequential_joins(self, n, leaf_size):
+        space = IdSpace()
+        names = [f"cache-{i}" for i in range(n)]
+        seq = Overlay(space=space, leaf_size=leaf_size)
+        for name in names:
+            seq.add_named(name)
+        bulk_ov = Overlay(space=space, leaf_size=leaf_size)
+        bulk_ov.bulk_add_named(names)
+
+        assert bulk_ov.node_ids() == seq.node_ids()
+        assert bulk_ov.epoch == seq.epoch
+        for nid in seq.node_ids():
+            s_leaves, b_leaves = seq.node(nid).leaves, bulk_ov.node(nid).leaves
+            # Same members in the same ascending-distance layout.
+            assert b_leaves.smaller == s_leaves.smaller
+            assert b_leaves.larger == s_leaves.larger
+            assert b_leaves._sdist == s_leaves._sdist
+            assert b_leaves._ldist == s_leaves._ldist
+
+    def test_routing_table_entries_eligible(self):
+        # Slot contention may resolve differently than join order, but
+        # every filled slot must hold an eligible live node.
+        ov = Overlay(space=IdSpace(), leaf_size=8)
+        ov.bulk_add_named([f"cache-{i}" for i in range(40)])
+        live = set(ov.node_ids())
+        for node in ov.nodes.values():
+            for row, cols in enumerate(node.table.rows):
+                for col, entry in enumerate(cols):
+                    if entry is None:
+                        continue
+                    assert entry in live
+                    assert ov.space.prefix_len(node.node_id, entry) == row
+                    assert ov.space.digit(entry, row) == col
+
+    def test_deliveries_match_ground_truth(self):
+        ov = Overlay(space=IdSpace(), leaf_size=16)
+        ov.bulk_add_named([f"cache-{i}" for i in range(50)])
+        for i in range(100):
+            key = ov.space.object_id(f"http://origin.example/obj/{i}")
+            assert ov.route(key, record=False).root == ov.numerically_closest(key)
+
+    def test_duplicate_name_rejected(self):
+        ov = Overlay(space=IdSpace())
+        ov.bulk_add_named(["a"])
+        with pytest.raises(ValueError):
+            ov.bulk_add_named(["a"])

@@ -79,6 +79,44 @@ class TestLeafSet:
         # key equidistant between owner 0x1000 and member 0x1002
         assert ls.closest_to(0x1001) == 0x1000
 
+    def test_bisect_insert_keeps_distance_order(self):
+        # Adds in scrambled order must leave each side ascending by ring
+        # distance from the owner (the bisect-insert invariant).
+        ls = LeafSet(0x8000, 8, SPACE16)  # 4 per side
+        for nid in (0x8009, 0x8001, 0x8005, 0x8003, 0x7FF0, 0x7FFE, 0x7FF8):
+            ls.add(nid)
+        assert ls.larger == [0x8001, 0x8003, 0x8005, 0x8009]
+        assert ls.smaller == [0x7FFE, 0x7FF8, 0x7FF0]
+        assert ls._ldist == sorted(ls._ldist)
+        assert ls._sdist == sorted(ls._sdist)
+
+    def test_wraparound_covers_across_zero(self):
+        # Owner near 0: both sides cross the origin of the ring.
+        ls = LeafSet(0x0002, 4, SPACE16)
+        for nid in (0x0004, 0x0007, 0xFFFE, 0xFFF0):
+            ls.add(nid)
+        assert ls.smaller == [0xFFFE, 0xFFF0]
+        assert ls.covers(0x0003)  # between owner and cw extreme
+        assert ls.covers(0xFFFF)  # between ccw extreme and owner, across 0
+        assert not ls.covers(0x8000)  # far side of the ring
+        assert not ls.covers(0xFF00)  # beyond the ccw extreme
+
+    def test_wraparound_closest_across_zero(self):
+        ls = LeafSet(0x0002, 4, SPACE16)
+        for nid in (0x0004, 0xFFFE):
+            ls.add(nid)
+        assert ls.closest_to(0xFFFF) == 0xFFFE
+        assert ls.closest_to(0x0000) == 0x0002  # dist 2; 0xFFFE is 2 too
+        assert ls.closest_to(0x0003) == 0x0002
+
+    def test_wraparound_half_ring_boundary(self):
+        # A node exactly half the ring away sits at equal cw/ccw
+        # distance; LeafSet.add files it clockwise (cw <= ccw).
+        ls = LeafSet(0x0000, 4, SPACE16)
+        ls.add(0x8000)
+        assert ls.larger == [0x8000]
+        assert ls.smaller == []
+
 
 class TestRoutingTable:
     def test_consider_places_by_prefix_and_digit(self):

@@ -1,0 +1,137 @@
+"""Profiling wrapper and per-scheme op-counter collection."""
+
+import dataclasses
+
+from repro.core.run import generate_workloads, run_scheme
+from repro.experiments.runner import base_config
+from repro.perf import (
+    OpCounterCollector,
+    collecting_op_counters,
+    op_counters_for,
+    profile_call,
+    profile_scheme,
+)
+
+
+def tiny_config():
+    cfg = base_config()
+    wl = dataclasses.replace(
+        cfg.workload, n_requests=800, n_objects=150, n_clients=10
+    )
+    return dataclasses.replace(cfg, workload=wl, n_proxies=2)
+
+
+class TestProfileCall:
+    def test_returns_result_and_report_shape(self):
+        def work(n):
+            return sum(i * i for i in range(n))
+
+        result, report = profile_call(work, 10_000, top=5)
+        assert result == sum(i * i for i in range(10_000))
+        assert report["total_time_sec"] >= 0
+        assert report["total_calls"] > 0
+        assert 0 < len(report["top_functions"]) <= 5
+        entry = report["top_functions"][0]
+        assert set(entry) == {
+            "function", "file", "line", "ncalls", "tottime_sec", "cumtime_sec"
+        }
+
+    def test_propagates_exceptions(self):
+        def boom():
+            raise ValueError("x")
+
+        try:
+            profile_call(boom)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("exception swallowed")
+
+
+class TestOpCounters:
+    def test_counts_scheme_cache_activity(self):
+        cfg = tiny_config()
+        traces = generate_workloads(cfg, seed=0)
+        with collecting_op_counters() as collector:
+            run_scheme("hier-gd", cfg, traces=traces)
+        counters = collector.per_scheme["hier-gd"]
+        # 2 clusters x (1 proxy + 10 clients) caches.
+        assert counters["n_caches"] == 22
+        assert counters["runs"] == 1
+        assert counters["hits"] > 0
+        assert counters["misses"] > 0
+        assert counters["insertions"] > 0
+        assert "GreedyDualCache" in counters["by_cache_type"]
+        bucket = counters["by_cache_type"]["GreedyDualCache"]
+        assert bucket["n_caches"] == 22
+
+    def test_repeat_runs_are_summed(self):
+        cfg = tiny_config()
+        traces = generate_workloads(cfg, seed=0)
+        with collecting_op_counters() as collector:
+            run_scheme("sc", cfg, traces=traces)
+        once = dict(collector.per_scheme["sc"])
+        with collecting_op_counters() as collector:
+            run_scheme("sc", cfg, traces=traces)
+            run_scheme("sc", cfg, traces=traces)
+        twice = collector.per_scheme["sc"]
+        assert twice["runs"] == 2
+        for key in ("hits", "misses", "insertions", "evictions"):
+            assert twice[key] == 2 * once[key]
+        assert twice["n_caches"] == once["n_caches"]
+
+    def test_inactive_by_default(self):
+        cfg = tiny_config()
+        # No collector active: run_scheme must not record anywhere.
+        result = run_scheme("nc", cfg, traces=generate_workloads(cfg, seed=0))
+        assert result.n_requests == 2 * cfg.workload.n_requests
+
+    def test_op_counters_for_direct(self):
+        class FakeScheme:
+            pass
+
+        scheme = FakeScheme()
+        counters = op_counters_for(scheme)
+        assert counters["n_caches"] == 0
+        assert counters["by_cache_type"] == {}
+
+    def test_collector_nesting_restores_previous(self):
+        with collecting_op_counters() as outer:
+            with collecting_op_counters() as inner:
+                cfg = tiny_config()
+                run_scheme("nc", cfg, traces=generate_workloads(cfg, seed=0))
+            assert "nc" in inner.per_scheme
+            assert "nc" not in outer.per_scheme
+            # Outer collector is active again after the inner block.
+            cfg = tiny_config()
+            run_scheme("sc", cfg, traces=generate_workloads(cfg, seed=0))
+            assert "sc" in outer.per_scheme
+
+    def test_collector_record_isolated(self):
+        class FakeStats:
+            hits = 3
+            misses = 2
+            insertions = 2
+            evictions = 1
+
+        class FakeCache:
+            pass
+
+        # OpCounterCollector only counts real Cache instances.
+        collector = OpCounterCollector()
+        scheme = type("S", (), {})()
+        scheme.cache = FakeCache()
+        collector.record("s", scheme)
+        assert collector.per_scheme["s"]["n_caches"] == 0
+
+
+class TestProfileScheme:
+    def test_end_to_end_report(self):
+        cfg = tiny_config()
+        report = profile_scheme("hier-gd", cfg, seed=0, top=10)
+        assert report["scheme"] == "hier-gd"
+        assert report["n_requests"] == 2 * cfg.workload.n_requests
+        assert report["total_latency"] > 0
+        assert report["profile"]["total_calls"] > 0
+        assert len(report["profile"]["top_functions"]) <= 10
+        assert report["op_counters"]["n_caches"] == 22
