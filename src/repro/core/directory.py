@@ -26,7 +26,13 @@ from typing import Hashable
 
 from ..bloom import CountingBloomFilter
 
-__all__ = ["LookupDirectory", "ExactDirectory", "BloomDirectory", "make_directory"]
+__all__ = [
+    "LookupDirectory",
+    "ExactDirectory",
+    "BloomDirectory",
+    "LossyDirectory",
+    "make_directory",
+]
 
 #: Bytes per Exact-Directory entry: one SHA-1-derived 128-bit objectId.
 _OBJECT_ID_BYTES = 16
@@ -54,6 +60,15 @@ class LookupDirectory(ABC):
     @abstractmethod
     def memory_bytes(self) -> int:
         """Memory footprint of the representation (the §4.2 tradeoff)."""
+
+    def repair(self, obj: Hashable) -> None:
+        """Proxy-local fix of a stale entry discovered by a failed lookup.
+
+        Identical to :meth:`remove` here; :class:`LossyDirectory` (which
+        drops *remote* eviction notices) overrides it to bypass the loss
+        process — the proxy repairs its own table, no message involved.
+        """
+        self.remove(obj)
 
 
 class ExactDirectory(LookupDirectory):
@@ -105,6 +120,56 @@ class BloomDirectory(LookupDirectory):
     @property
     def design_fp_rate(self) -> float:
         return self._filter.false_positive_rate(self._count)
+
+
+class LossyDirectory(LookupDirectory):
+    """A directory whose *eviction notices* are dropped probabilistically.
+
+    Models the stale-entry failure mode beyond Bloom false positives
+    (:mod:`repro.faults`): the client → proxy eviction notice (§4.3) is a
+    network message, so under faults it can be lost — the entry then
+    lingers and claims presence of a dead object until a lookup chases it,
+    pays the wasted round and repairs it.  Store receipts are deliberately
+    *not* lossy: a dropped receipt would make the directory miss a live
+    object, which the paper's design rules out ("the directory never
+    misses ... only claims falsely") and which would silently *reduce*
+    load rather than model failure.
+
+    Wraps any concrete directory; ``rng`` must be a dedicated substream
+    (see :meth:`repro.faults.injector.FaultInjector.stream`) so drops are
+    deterministic per plan seed.
+    """
+
+    def __init__(self, inner: LookupDirectory, drop_prob: float, rng) -> None:
+        if not 0.0 <= drop_prob <= 1.0:
+            raise ValueError("drop_prob must be in [0, 1]")
+        self.inner = inner
+        self.drop_prob = drop_prob
+        self._rng = rng
+        #: Eviction notices lost so far (each leaves one stale entry).
+        self.dropped_notices = 0
+
+    def add(self, obj: Hashable) -> None:
+        self.inner.add(obj)
+
+    def remove(self, obj: Hashable) -> None:
+        if self._rng.random() < self.drop_prob:
+            self.dropped_notices += 1
+            return
+        self.inner.remove(obj)
+
+    def repair(self, obj: Hashable) -> None:
+        # The proxy fixing its own table is local — never lost.
+        self.inner.remove(obj)
+
+    def __contains__(self, obj: Hashable) -> bool:
+        return obj in self.inner
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def memory_bytes(self) -> int:
+        return self.inner.memory_bytes()
 
 
 def make_directory(kind: str, capacity: int, fp_rate: float = 0.01) -> LookupDirectory:

@@ -811,6 +811,23 @@ class HierGdScheme(CachingScheme):
         self._proxy_insert(state, obj, cost=self._t_server)
         return TIER_SERVER
 
+    # -- reference serving seams (shared with ``repro.faults.schemes``) -------
+
+    def _serve_p2p_hit(self, state: _ClusterState, holder: int, obj: int) -> str:
+        """Serve from the own P2P cache: GD credit refresh + promotion."""
+        state.clients[holder].lookup(obj)  # GD credit refresh
+        if self._promote:
+            self._proxy_insert(state, obj, cost=self._t_p2p)
+        return TIER_LOCAL_P2P
+
+    def _serve_push_hit(
+        self, state: _ClusterState, other_state: _ClusterState, holder: int, obj: int
+    ) -> str:
+        """Serve via the push protocol from another cluster's P2P cache."""
+        other_state.clients[holder].lookup(obj)
+        self._proxy_insert(state, obj, cost=self._t_coop + self._t_p2p)
+        return TIER_COOP_P2P
+
     def _coop_p2p_scan(self, state: _ClusterState, cluster: int, obj: int) -> str | None:
         """Reference step-4 scan over the other clusters' directories."""
         for other, other_state in enumerate(self.states):
@@ -819,9 +836,7 @@ class HierGdScheme(CachingScheme):
             self._msg["push_requests"] += 1
             holder = self._locate(other_state, obj)
             if holder is not None:
-                other_state.clients[holder].lookup(obj)
-                self._proxy_insert(state, obj, cost=self._t_coop + self._t_p2p)
-                return TIER_COOP_P2P
+                return self._serve_push_hit(state, other_state, holder, obj)
             self._msg["directory_false_positives"] += 1
             self.add_extra_latency(self._t_coop + self._t_p2p)
         return None
@@ -839,10 +854,7 @@ class HierGdScheme(CachingScheme):
             self._msg["p2p_lookups"] += 1
             holder = self._locate(state, obj)
             if holder is not None:
-                state.clients[holder].lookup(obj)  # GD credit refresh
-                if self._promote:
-                    self._proxy_insert(state, obj, cost=self._t_p2p)
-                return TIER_LOCAL_P2P
+                return self._serve_p2p_hit(state, holder, obj)
             # Bloom false positive: a wasted LAN round into the overlay.
             self._msg["directory_false_positives"] += 1
             self.add_extra_latency(self._t_p2p)

@@ -17,7 +17,20 @@ from dataclasses import dataclass, field
 
 from ..netmodel import ALL_TIERS
 
-__all__ = ["SchemeResult", "latency_gain"]
+__all__ = ["FAULT_COUNTERS", "SchemeResult", "latency_gain"]
+
+#: Protocol-failure counters schemes running under a
+#: :class:`~repro.faults.plan.FaultPlan` report in ``messages``:
+#: timed-out rounds, retries after a timeout, fallbacks to the next tier
+#: after retry exhaustion, lookups that chased a stale (exact-)directory
+#: entry, and push requests that never got an answer.
+FAULT_COUNTERS = (
+    "timeouts",
+    "retries",
+    "fallbacks",
+    "stale_directory_hits",
+    "failed_pushes",
+)
 
 
 @dataclass
@@ -96,6 +109,11 @@ class SchemeResult:
             if seen >= target:
                 return latency
         return self.latency_distribution(network)[-1][0]
+
+    def fault_summary(self) -> dict[str, int]:
+        """The :data:`FAULT_COUNTERS` slice of ``messages`` (zeros when
+        the scheme ran without fault injection)."""
+        return {key: self.messages.get(key, 0) for key in FAULT_COUNTERS}
 
     def summary(self) -> str:
         """Compact human-readable report line."""

@@ -15,15 +15,24 @@
 - :mod:`repro.experiments.figure4` — Fig 4: temporal-locality sensitivity.
 - :mod:`repro.experiments.figure5` — Fig 5(a)-(d): network ratios, client
   cluster size, proxy cluster size.
+- :mod:`repro.experiments.robustness` — degradation-under-failure sweep:
+  latency gain vs composite fault rate (figure id ``robust``).
 - :mod:`repro.experiments.cli` — the ``repro-experiments`` command.
 """
 
-from .executor import ExperimentEngine, PointOutcome, SweepPoint, child_seed
+from .executor import (
+    ExperimentEngine,
+    PointOutcome,
+    QuarantinedPoint,
+    SweepPoint,
+    child_seed,
+)
 from .figure2 import figure2a, figure2b
 from .figure3 import figure3
 from .figure4 import figure4
 from .figure5 import figure5a, figure5b, figure5c, figure5d
 from .instrument import ProgressEvent, RunInstrumentation
+from .robustness import figure_robustness, robustness_plan, robustness_sweep
 from .runner import (
     DEFAULT_FRACTIONS,
     PAPER_SCHEMES,
@@ -41,6 +50,7 @@ __all__ = [
     "ExperimentEngine",
     "PointOutcome",
     "ProgressEvent",
+    "QuarantinedPoint",
     "ResultStore",
     "RunInstrumentation",
     "SweepPoint",
@@ -55,6 +65,9 @@ __all__ = [
     "figure5b",
     "figure5c",
     "figure5d",
+    "figure_robustness",
+    "robustness_plan",
+    "robustness_sweep",
     "DEFAULT_FRACTIONS",
     "PAPER_SCHEMES",
     "SCALES",

@@ -40,6 +40,7 @@ from .figure2 import figure2a, figure2b
 from .figure3 import figure3
 from .figure4 import figure4
 from .figure5 import figure5a, figure5b, figure5c, figure5d
+from .robustness import figure_robustness
 from .runner import SCALES, current_scale
 
 __all__ = ["main", "FIGURES", "build_engine"]
@@ -54,6 +55,7 @@ FIGURES = {
     "fig5b": figure5b,
     "fig5c": figure5c,
     "fig5d": figure5d,
+    "robust": figure_robustness,
 }
 
 #: Store filename used when ``--resume`` is given without a path.

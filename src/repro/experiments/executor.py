@@ -20,9 +20,19 @@ explicit :class:`SweepPoint` work items and fans them out over
   the same code path (no pool, no pickling), which is also what tests
   and the default API use.
 * **Crash resilience** — a point that raises is retried up to
-  ``retries`` times; a worker that dies outright (broken pool) causes
-  the pool to be rebuilt and the unfinished points resubmitted, bounded
-  by ``retries`` consecutive no-progress rounds.
+  ``retries`` times (optionally with exponential backoff between
+  attempts, ``retry_backoff``); a worker that dies outright (broken
+  pool) causes the pool to be rebuilt and the unfinished points
+  resubmitted, bounded by ``retries`` consecutive no-progress rounds.
+* **Quarantine** — with ``quarantine=True`` a poison point (one that
+  crashes through its whole retry budget) is recorded as *failed* in
+  the store and the run continues, instead of one bad point aborting a
+  multi-hour suite.
+* **Heartbeat** — with ``heartbeat=<seconds>`` a pool in which *no*
+  point completes within the window is declared hung: the worker
+  processes are killed, the running points are charged a failed
+  attempt, and the pool is rebuilt.  Size the window well above the
+  slowest honest point.
 * **Resume** — with a :class:`~repro.experiments.store.ResultStore`
   attached, completed points are answered from the store and only the
   remainder is simulated (see the store module for key semantics).
@@ -35,12 +45,12 @@ import hashlib
 import os
 import time
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Any, Callable, Sequence
 
 from ..core.config import SimulationConfig
 from ..core.metrics import SchemeResult
-from ..core.run import run_scheme
+from ..faults import FaultPlan, run_scheme_with_faults
 from ..workload import Trace, generate_cluster_traces
 from .instrument import RunInstrumentation, print_progress
 from .store import ResultStore, deserialize_result, point_key, serialize_result
@@ -49,6 +59,7 @@ __all__ = [
     "child_seed",
     "SweepPoint",
     "PointOutcome",
+    "QuarantinedPoint",
     "PointExecutionError",
     "ExperimentEngine",
     "run_point",
@@ -79,14 +90,20 @@ class SweepPoint:
     fraction is applied on resolution so the point's identity (and store
     key) names the axis value explicitly.  ``seed`` is the explicit
     trace seed — the only randomness in a simulation is workload
-    generation, so (config, scheme, fraction, seed) fully determines the
+    generation plus (optionally) the fault plan's own seed, so
+    (config, scheme, fraction, seed, faults) fully determines the
     result.
+
+    ``faults`` is optional and ``None`` (or a zero plan) leaves both the
+    execution path and the store key exactly as they were before the
+    fault subsystem existed, so stored fault-free sweeps keep resuming.
     """
 
     scheme: str
     fraction: float
     config: SimulationConfig
     seed: int
+    faults: FaultPlan | None = None
 
     @property
     def resolved_config(self) -> SimulationConfig:
@@ -94,24 +111,55 @@ class SweepPoint:
         return self.config.with_changes(proxy_cache_fraction=self.fraction)
 
     @property
+    def _active_faults(self) -> FaultPlan | None:
+        """The fault plan when it actually does something, else ``None``."""
+        if self.faults is not None and not self.faults.is_zero():
+            return self.faults
+        return None
+
+    @property
     def key(self) -> str:
         """Content hash identifying this point in the result store."""
-        return point_key(self.config, self.scheme, self.fraction, self.seed)
+        plan = self._active_faults
+        return point_key(
+            self.config,
+            self.scheme,
+            self.fraction,
+            self.seed,
+            faults=asdict(plan) if plan is not None else None,
+        )
 
     @property
     def label(self) -> str:
         """Short human-readable tag for progress lines and telemetry."""
-        return f"{self.scheme}@S={self.fraction:g}"
+        base = f"{self.scheme}@S={self.fraction:g}"
+        plan = self._active_faults
+        return base if plan is None else f"{base}[{plan.label}]"
 
 
 @dataclass(frozen=True)
 class PointOutcome:
-    """A completed point: its result plus how it was obtained."""
+    """A completed point: its result plus how it was obtained.
+
+    ``failed`` is ``None`` for a successful point; for a quarantined one
+    it carries the error string and ``result`` is ``None``.
+    """
 
     point: SweepPoint
-    result: SchemeResult
+    result: SchemeResult | None
     cached: bool
     wall_time: float
+    failed: str | None = None
+
+
+@dataclass(frozen=True)
+class QuarantinedPoint:
+    """A poison point: it crashed through its whole retry budget and was
+    recorded as failed (``quarantine=True``) instead of aborting the run."""
+
+    index: int
+    error: str
+    attempts: int
 
 
 #: Per-process memo of generated cluster traces.  Points of one sweep
@@ -143,7 +191,7 @@ def run_point(point: SweepPoint) -> dict[str, Any]:
     started = time.perf_counter()
     cfg = point.resolved_config
     traces = _cluster_traces(cfg, point.seed)
-    result = run_scheme(point.scheme, cfg, traces)
+    result = run_scheme_with_faults(point.scheme, cfg, traces, plan=point.faults)
     return {
         "result": serialize_result(result),
         "wall_time": time.perf_counter() - started,
@@ -168,12 +216,26 @@ class ExperimentEngine:
     instrument: RunInstrumentation | None = None
     #: Bounded retries per failing point (and per no-progress pool rebuild).
     retries: int = 2
+    #: Record a point that exhausts its retries as failed and continue,
+    #: instead of aborting the whole run with :class:`PointExecutionError`.
+    quarantine: bool = False
+    #: Seconds without *any* point completing before the pool is declared
+    #: hung, its workers killed, and the running points charged a failed
+    #: attempt.  ``None`` disables the watchdog (the pre-existing default).
+    heartbeat: float | None = None
+    #: Base sleep (seconds) between retries of one point; doubles per
+    #: attempt.  0 retries immediately (the pre-existing default).
+    retry_backoff: float = 0.0
 
     def __post_init__(self) -> None:
         if self.workers <= 0:
             self.workers = os.cpu_count() or 1
         if self.retries < 0:
             raise ValueError("retries must be >= 0")
+        if self.heartbeat is not None and self.heartbeat <= 0:
+            raise ValueError("heartbeat must be positive (or None)")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
 
     @classmethod
     def from_options(
@@ -205,17 +267,53 @@ class ExperimentEngine:
         ``on_result(index, value)`` fires in the parent as each item
         finishes (used to persist results and tick progress).  An item
         that keeps raising after ``retries`` retries aborts the run with
-        :class:`PointExecutionError`; a crashed worker only aborts after
-        ``retries`` consecutive pool rebuilds with zero progress.
+        :class:`PointExecutionError` — or, with ``quarantine=True``, its
+        slot holds a :class:`QuarantinedPoint` and the run continues.  A
+        crashed worker only aborts after ``retries`` consecutive pool
+        rebuilds with zero progress.
         """
         if self.workers == 1:
             return self._map_serial(fn, items, on_result)
         return self._map_parallel(fn, items, on_result)
 
-    def _retried(self, index: int, item: Any) -> None:
+    def _retried(self, index: int, item: Any, attempt: int = 1) -> None:
         if self.instrument is not None:
             label = item.label if isinstance(item, SweepPoint) else f"item {index}"
             self.instrument.point_retried(label)
+        if self.retry_backoff > 0:
+            time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+
+    def _fail_point(
+        self,
+        index: int,
+        item: Any,
+        attempts: dict[int, int],
+        error: str,
+        pending: set[int],
+        results: list[Any],
+        on_result: Callable[[int, Any], None] | None,
+    ) -> int:
+        """Charge one failed attempt against ``index``.
+
+        Returns 1 when the point was quarantined (counts as round
+        progress), 0 when it will be retried; raises
+        :class:`PointExecutionError` at exhaustion without quarantine.
+        """
+        attempts[index] += 1
+        if attempts[index] <= self.retries:
+            self._retried(index, item, attempts[index])
+            return 0
+        if self.quarantine:
+            results[index] = QuarantinedPoint(
+                index=index, error=error, attempts=attempts[index]
+            )
+            pending.discard(index)
+            if on_result is not None:
+                on_result(index, results[index])
+            return 1
+        raise PointExecutionError(
+            f"item {index} failed after {attempts[index]} attempts: {error}"
+        )
 
     def _map_serial(
         self,
@@ -231,13 +329,26 @@ class ExperimentEngine:
                     break
                 except Exception as exc:
                     if attempt == self.retries:
+                        if self.quarantine:
+                            results[i] = QuarantinedPoint(
+                                index=i, error=repr(exc), attempts=attempt + 1
+                            )
+                            break
                         raise PointExecutionError(
                             f"item {i} failed after {attempt + 1} attempts: {exc}"
                         ) from exc
-                    self._retried(i, item)
+                    self._retried(i, item, attempt + 1)
             if on_result is not None:
                 on_result(i, results[i])
         return results
+
+    @staticmethod
+    def _kill_pool(pool: concurrent.futures.ProcessPoolExecutor) -> None:
+        """Terminate a hung pool's workers without waiting on them."""
+        procs = getattr(pool, "_processes", None) or {}
+        for proc in list(procs.values()):
+            proc.terminate()
+        pool.shutdown(wait=False, cancel_futures=True)
 
     def _map_parallel(
         self,
@@ -252,35 +363,66 @@ class ExperimentEngine:
         while pending:
             completed_this_round = 0
             pool_broken = False
-            with concurrent.futures.ProcessPoolExecutor(
+            pool = concurrent.futures.ProcessPoolExecutor(
                 max_workers=min(self.workers, len(pending))
-            ) as pool:
-                try:
-                    futures = {
-                        pool.submit(fn, items[i]): i for i in sorted(pending)
-                    }
-                    for future in concurrent.futures.as_completed(futures):
+            )
+            try:
+                futures = {pool.submit(fn, items[i]): i for i in sorted(pending)}
+                waiting = set(futures)
+                while waiting:
+                    done, waiting = concurrent.futures.wait(
+                        waiting,
+                        timeout=self.heartbeat,
+                        return_when=concurrent.futures.FIRST_COMPLETED,
+                    )
+                    if not done:
+                        # Heartbeat expired with nothing finished: the
+                        # points currently executing are hung.  Kill the
+                        # workers, charge the runners, rebuild the pool.
+                        hung = [f for f in waiting if f.running()]
+                        self._kill_pool(pool)
+                        pool_broken = True
+                        for future in hung:
+                            i = futures[future]
+                            completed_this_round += self._fail_point(
+                                i,
+                                items[i],
+                                attempts,
+                                f"no heartbeat within {self.heartbeat:g}s",
+                                pending,
+                                results,
+                                on_result,
+                            )
+                        break
+                    for future in done:
                         i = futures[future]
                         try:
-                            results[i] = future.result()
+                            value = future.result()
                         except BrokenProcessPool:
                             pool_broken = True
-                            break
-                        except Exception as exc:
-                            attempts[i] += 1
-                            if attempts[i] > self.retries:
-                                raise PointExecutionError(
-                                    f"item {i} failed after {attempts[i]} "
-                                    f"attempts: {exc}"
-                                ) from exc
-                            self._retried(i, items[i])
                             continue
+                        except Exception as exc:
+                            completed_this_round += self._fail_point(
+                                i,
+                                items[i],
+                                attempts,
+                                repr(exc),
+                                pending,
+                                results,
+                                on_result,
+                            )
+                            continue
+                        results[i] = value
                         pending.discard(i)
                         completed_this_round += 1
                         if on_result is not None:
                             on_result(i, results[i])
-                except BrokenProcessPool:
-                    pool_broken = True
+                    if pool_broken:
+                        break
+            except BrokenProcessPool:
+                pool_broken = True
+            finally:
+                pool.shutdown(wait=not pool_broken, cancel_futures=True)
             if pool_broken and completed_this_round == 0:
                 stalled_rounds += 1
                 if stalled_rounds > self.retries:
@@ -317,9 +459,23 @@ class ExperimentEngine:
             else:
                 pending_idx.append(i)
 
-        def finish(local: int, payload: dict[str, Any]) -> None:
+        def finish(local: int, payload: Any) -> None:
             i = pending_idx[local]
             point = points[i]
+            if isinstance(payload, QuarantinedPoint):
+                outcomes[i] = PointOutcome(
+                    point, None, cached=False, wall_time=0.0, failed=payload.error
+                )
+                if self.store is not None:
+                    self.store.put_failed(
+                        point.key,
+                        label=point.label,
+                        error=payload.error,
+                        attempts=payload.attempts,
+                    )
+                if self.instrument is not None:
+                    self.instrument.point_quarantined(point.label)
+                return
             result = deserialize_result(payload["result"])
             outcomes[i] = PointOutcome(
                 point, result, cached=False, wall_time=payload["wall_time"]

@@ -81,6 +81,7 @@ class RunInstrumentation:
     records: list[PointRecord] = field(default_factory=list)
     total: int = 0
     retries: int = 0
+    quarantined: int = 0
     _started: float | None = None
     _finished: float | None = None
 
@@ -124,6 +125,10 @@ class RunInstrumentation:
     def point_retried(self, label: str) -> None:
         """Count one retry of a failed/crashed point."""
         self.retries += 1
+
+    def point_quarantined(self, label: str) -> None:
+        """Count one point recorded as failed after exhausting retries."""
+        self.quarantined += 1
 
     # -- aggregates ---------------------------------------------------------
 
@@ -179,6 +184,7 @@ class RunInstrumentation:
             "executed": self.executed,
             "skipped": self.skipped,
             "retries": self.retries,
+            "quarantined": self.quarantined,
             "elapsed_sec": round(self.elapsed, 6),
             "busy_sec": round(self.busy_time, 6),
             "total_requests": self.total_requests,

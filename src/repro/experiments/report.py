@@ -27,6 +27,7 @@ from .figure2 import figure2a, figure2b
 from .figure3 import figure3
 from .figure4 import figure4
 from .figure5 import figure5a, figure5b, figure5c, figure5d
+from .robustness import figure_robustness
 from .runner import current_scale
 
 __all__ = ["Claim", "FIGURE_CLAIMS", "evaluate_claims", "generate_report", "main"]
@@ -127,6 +128,28 @@ FIGURE_CLAIMS: dict[str, list[Claim]] = {
             lambda s: _proxy_means(s["fig5d"]) == sorted(_proxy_means(s["fig5d"])),
         ),
     ],
+    "robust": [
+        Claim(
+            "Hier-GD with fallback never drops below NC (gain >= 0 at every "
+            "fault rate)",
+            lambda s: all(v >= 0.0 for v in s["gain"].get("hier-gd").values),
+        ),
+        Claim(
+            "faults erode the gain: Hier-GD at the highest fault rate gains "
+            "less than fault-free",
+            lambda s: s["gain"].get("hier-gd").values[-1]
+            < s["gain"].get("hier-gd").values[0],
+        ),
+        Claim(
+            "faults only hurt: every cooperating scheme's latency is minimal "
+            "at fault rate 0",
+            lambda s: all(
+                min(s["latency"].get(name).values)
+                >= s["latency"].get(name).values[0] - 1e-9
+                for name in ("fc", "fc-ec", "hier-gd")
+            ),
+        ),
+    ],
 }
 
 
@@ -156,6 +179,7 @@ def _run_figures(
     out["fig5b"] = {"fig5b": figure5b(seed=seed, engine=engine)}
     out["fig5c"] = {"fig5c": figure5c(seed=seed, engine=engine)}
     out["fig5d"] = {"fig5d": figure5d(seed=seed, engine=engine)}
+    out["robust"] = figure_robustness(seed=seed, engine=engine)
     return out
 
 

@@ -1,0 +1,178 @@
+"""Robustness figure — degradation under failure vs fault rate.
+
+The paper reports latency gains assuming every cooperation mechanism
+works; this experiment measures how those gains *degrade* when it
+doesn't.  One composite fault rate ``r`` drives the whole
+:class:`~repro.faults.plan.FaultPlan`:
+
+=======================  ===============  =============================
+fault process            parameter at r   rationale
+=======================  ===============  =============================
+message loss (3 links)   ``r``            the headline knob
+message delay            rate ``r``, x2   slow links accompany lossy ones
+stale directory          ``r / 2``        notices ride the same links
+unresponsive clients     ``r / 2``        firewalled/hung fraction
+Poisson churn            ``r / 200``      events per request, so a full
+                                          sweep sees tens of events, not
+                                          thousands
+=======================  ===============  =============================
+
+At ``r = 0`` the plan is zero and the executor routes every point to
+the plain (fault-free) code path — the leftmost column of the figure is
+byte-identical to the paper runs.  NC carries no cooperation link, so
+it runs fault-free at every rate (one simulation, shared across the
+axis) and anchors the claim: Hier-GD with timeout/retry/fallback
+degrades *toward* NC as faults grow, never below it, because every
+exhausted retry ladder ends at the same origin server NC uses.
+"""
+
+from __future__ import annotations
+
+from ..analysis.results import SweepResult
+from ..core.metrics import SchemeResult, latency_gain
+from ..faults import FAULTY_SCHEMES, FaultPlan
+from .executor import ExperimentEngine, PointOutcome, SweepPoint
+from .runner import Scale, base_config
+
+__all__ = [
+    "DEFAULT_FAULT_RATES",
+    "ROBUSTNESS_FRACTION",
+    "ROBUSTNESS_SCHEMES",
+    "figure_robustness",
+    "robustness_plan",
+    "robustness_points",
+    "robustness_sweep",
+]
+
+#: The x-axis: composite fault rate (loss probability per message).
+#: Capped at 0.2 — beyond ~0.3 the *expected* cost of a retry ladder
+#: exceeds the latency saved by cooperation and falling back immediately
+#: would win, which is a protocol-tuning question, not a robustness one.
+DEFAULT_FAULT_RATES = (0.0, 0.02, 0.05, 0.1, 0.2)
+
+#: Cooperating schemes with a fault-aware variant (plus the NC baseline).
+ROBUSTNESS_SCHEMES = ("fc", "fc-ec", "hier-gd")
+
+#: Proxy-cache fraction the sweep is pinned at: small enough that the
+#: cooperation paths carry real traffic (at large caches everything is a
+#: local proxy hit and faults have nothing to bite).
+ROBUSTNESS_FRACTION = 0.3
+
+
+def robustness_plan(rate: float, seed: int = 0) -> FaultPlan:
+    """The composite :class:`FaultPlan` at fault rate ``rate`` (table above)."""
+    if rate == 0.0:
+        return FaultPlan(seed=seed)
+    return FaultPlan(
+        p2p_loss=rate,
+        proxy_loss=rate,
+        push_loss=rate,
+        delay_rate=rate,
+        delay_factor=2.0,
+        stale_rate=rate / 2.0,
+        unresponsive_fraction=rate / 2.0,
+        churn_rate=rate / 200.0,
+        seed=seed,
+    )
+
+
+def robustness_points(
+    config,
+    rates=DEFAULT_FAULT_RATES,
+    schemes=ROBUSTNESS_SCHEMES,
+    seed: int = 0,
+) -> list[SweepPoint]:
+    """One point per (rate, scheme) plus the shared NC baseline.
+
+    Schemes without a fault-aware variant (NC here) get ``faults=None``:
+    their result cannot depend on the plan, so all rates share one store
+    key and the baseline simulates exactly once per sweep.
+    """
+    names = list(dict.fromkeys(("nc", *schemes)))
+    return [
+        SweepPoint(
+            scheme=name,
+            fraction=ROBUSTNESS_FRACTION,
+            config=config,
+            seed=seed,
+            faults=robustness_plan(rate, seed) if name in FAULTY_SCHEMES else None,
+        )
+        for rate in rates
+        for name in names
+    ]
+
+
+def robustness_sweep(
+    scale: Scale | None = None,
+    rates=DEFAULT_FAULT_RATES,
+    schemes=ROBUSTNESS_SCHEMES,
+    seed: int = 0,
+    engine: ExperimentEngine | None = None,
+) -> dict[str, SweepResult]:
+    """Latency gain and mean latency vs composite fault rate.
+
+    Returns two panels: ``"gain"`` (latency gain over NC, per scheme,
+    NC's own latency measured once) and ``"latency"`` (absolute mean
+    latency, NC included as the flat reference line).  A quarantined
+    point is an error here — a robustness figure computed from partial
+    data would silently understate degradation.
+    """
+    config = base_config(scale)
+    engine = engine or ExperimentEngine()
+    points = robustness_points(config, rates, schemes, seed)
+    outcomes = engine.run(points)
+    table: dict[tuple[str, float], SchemeResult] = {}
+    for point, outcome in zip(points, outcomes):
+        _require_ok(outcome)
+        rate = point.faults.p2p_loss if point.faults is not None else None
+        if rate is None:  # NC: one result, valid at every rate
+            for r in rates:
+                table[(point.scheme, r)] = outcome.result
+        else:
+            table[(point.scheme, rate)] = outcome.result
+
+    x_values = [100.0 * r for r in rates]
+    gain = SweepResult(
+        title="Robustness: latency gain vs fault rate "
+        f"(S={ROBUSTNESS_FRACTION:g})",
+        x_label="fault rate (%)",
+        x_values=x_values,
+    )
+    latency = SweepResult(
+        title="Robustness: mean latency vs fault rate "
+        f"(S={ROBUSTNESS_FRACTION:g})",
+        x_label="fault rate (%)",
+        x_values=x_values,
+        y_label="mean latency (x Tl)",
+    )
+    for name in schemes:
+        gain.add(
+            name,
+            [
+                100.0 * latency_gain(table[(name, r)], table[("nc", r)])
+                for r in rates
+            ],
+        )
+    for name in ("nc", *schemes):
+        latency.add(name, [table[(name, r)].mean_latency for r in rates])
+    note = "fault plan per rate r: loss=r on all links, delay rate r (x2), " \
+        "stale notices r/2, unresponsive r/2, churn r/200 events/request"
+    gain.notes = note
+    latency.notes = note
+    return {"gain": gain, "latency": latency}
+
+
+def _require_ok(outcome: PointOutcome) -> None:
+    if outcome.failed is not None or outcome.result is None:
+        raise RuntimeError(
+            f"robustness point {outcome.point.label} failed: {outcome.failed}"
+        )
+
+
+def figure_robustness(
+    scale: Scale | None = None,
+    seed: int = 0,
+    engine: ExperimentEngine | None = None,
+) -> dict[str, SweepResult]:
+    """CLI/report entry point (registered as figure id ``robust``)."""
+    return robustness_sweep(scale=scale, seed=seed, engine=engine)

@@ -4,26 +4,36 @@ Every sweep point — one ``(scheme, proxy-cache fraction)`` simulation
 under one fully resolved :class:`~repro.core.config.SimulationConfig` —
 is keyed by a SHA-256 hash of its *content*: the config (which embeds the
 workload and network parameters and therefore the scale), the scheme
-name, the fraction, and the explicit trace seed.  Two invocations that
-would simulate the same thing produce the same key, whatever order they
-run in and whatever process computes them, so
+name, the fraction, the explicit trace seed, and (when one is active)
+the fault plan.  Two invocations that would simulate the same thing
+produce the same key, whatever order they run in and whatever process
+computes them, so
 
 * re-running a finished suite touches no simulator code at all;
 * an interrupted suite resumes from the completed prefix (the store is
   append-only JSON lines — a half-written trailing line from a killed
   run is detected and ignored on reload);
 * unrelated suites can share one store file (keys never collide across
-  different configs/scales).
+  different configs/scales — or fault plans).
 
 The stored record is the full serialized
 :class:`~repro.core.metrics.SchemeResult`, so replaying from the store
 is byte-identical to re-simulating: latency gains are recomputed from the
 exact same numbers.
 
-Layout of one line::
+Layout of one line (``"schema"`` is the row format version; rows written
+before it existed load as schema 1, rows from a *newer* format are
+skipped with a warning instead of crashing the load)::
 
-    {"key": "<sha256 hex>", "label": "<human hint>",
+    {"schema": 2, "key": "<sha256 hex>", "label": "<human hint>",
      "result": {...SchemeResult fields...}, "meta": {"wall_time": ...}}
+
+A quarantined point is recorded with a ``"failed"`` object in place of
+``"result"``; failed rows never satisfy :meth:`ResultStore.get`, so the
+point re-runs on the next resume, but :meth:`ResultStore.get_failed`
+exposes them for reporting.  Later rows win over earlier ones for the
+same key (a successful re-run supersedes a failure record and vice
+versa).
 """
 
 from __future__ import annotations
@@ -31,16 +41,22 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import warnings
 from pathlib import Path
 from typing import Any
 
 from ..core.config import SimulationConfig
 from ..core.metrics import SchemeResult
 
-__all__ = ["STORE_VERSION", "point_key", "ResultStore"]
+__all__ = ["ROW_SCHEMA", "STORE_VERSION", "point_key", "ResultStore"]
 
-#: Bump to invalidate every stored result (schema/semantic changes).
+#: Bump to invalidate every stored result (semantic changes to what a
+#: point *means*).  Part of the key, not the row.
 STORE_VERSION = 1
+
+#: Version of the on-disk row format.  1 = the original implicit format
+#: (no ``schema`` field); 2 adds the field itself and failure records.
+ROW_SCHEMA = 2
 
 
 def _config_fingerprint(config: SimulationConfig) -> dict[str, Any]:
@@ -53,14 +69,19 @@ def point_key(
     scheme: str,
     fraction: float,
     seed: int,
+    faults: dict[str, Any] | None = None,
 ) -> str:
     """Content hash identifying one sweep point.
 
     The hash covers everything the simulation result depends on: the
     base configuration (including the workload — and hence the scale —
-    and the network model), the scheme, the proxy-cache fraction and the
-    explicit trace seed.  Canonical JSON (sorted keys, no whitespace)
-    keeps the digest stable across processes and Python versions.
+    and the network model), the scheme, the proxy-cache fraction, the
+    explicit trace seed and, when given, the fault plan (as a plain
+    dict).  Pass ``faults`` only for a plan that actually does
+    something: omitting it for zero plans keeps the key identical to the
+    pre-fault-subsystem key, so old stores keep resuming.  Canonical
+    JSON (sorted keys, no whitespace) keeps the digest stable across
+    processes and Python versions.
     """
     payload = {
         "v": STORE_VERSION,
@@ -69,6 +90,8 @@ def point_key(
         "fraction": float(fraction),
         "seed": int(seed),
     }
+    if faults:
+        payload["faults"] = faults
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -101,6 +124,7 @@ class ResultStore:
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self._records: dict[str, dict[str, Any]] = {}
+        self._failed: dict[str, dict[str, Any]] = {}
         self._skipped_lines = 0
         if self.path.exists():
             self._load()
@@ -113,11 +137,30 @@ class ResultStore:
             try:
                 entry = json.loads(line)
                 key = entry["key"]
-                entry["result"]  # must be present to count as complete
             except (json.JSONDecodeError, KeyError, TypeError):
                 self._skipped_lines += 1  # torn write from an interrupted run
                 continue
+            schema = entry.get("schema", 1)  # pre-schema rows are version 1
+            if not isinstance(schema, int) or schema > ROW_SCHEMA:
+                warnings.warn(
+                    f"{self.path}: skipping row with unknown schema "
+                    f"{schema!r} (this build reads <= {ROW_SCHEMA}); "
+                    "written by a newer version?",
+                    stacklevel=2,
+                )
+                self._skipped_lines += 1
+                continue
+            if "failed" in entry:
+                # Latest row wins: a failure record supersedes an older
+                # success for the same key and vice versa.
+                self._failed[key] = entry
+                self._records.pop(key, None)
+                continue
+            if "result" not in entry:
+                self._skipped_lines += 1
+                continue
             self._records[key] = entry
+            self._failed.pop(key, None)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -127,15 +170,37 @@ class ResultStore:
 
     @property
     def skipped_lines(self) -> int:
-        """Corrupt/torn lines ignored on load (0 on a clean store)."""
+        """Corrupt/torn/unknown-schema lines ignored on load."""
         return self._skipped_lines
 
     def get(self, key: str) -> SchemeResult | None:
-        """Stored result for ``key``, or ``None`` if not yet computed."""
+        """Stored result for ``key``, or ``None`` if not yet computed.
+
+        Failure records never satisfy a lookup — a previously
+        quarantined point re-runs on resume.
+        """
         entry = self._records.get(key)
         if entry is None:
             return None
         return deserialize_result(entry["result"])
+
+    def get_failed(self, key: str) -> dict[str, Any] | None:
+        """Failure record for ``key`` (``{"error", "attempts"}``) or None."""
+        entry = self._failed.get(key)
+        if entry is None:
+            return None
+        return entry["failed"]
+
+    @property
+    def failed_keys(self) -> list[str]:
+        """Keys currently recorded as failed (no superseding success)."""
+        return sorted(self._failed)
+
+    def _append(self, entry: dict[str, Any]) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            fh.flush()
 
     def put(
         self,
@@ -146,13 +211,31 @@ class ResultStore:
     ) -> None:
         """Record a completed point and append it to the backing file."""
         entry = {
+            "schema": ROW_SCHEMA,
             "key": key,
             "label": label,
             "result": serialize_result(result),
             "meta": meta or {},
         }
         self._records[key] = entry
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(json.dumps(entry, sort_keys=True) + "\n")
-            fh.flush()
+        self._failed.pop(key, None)
+        self._append(entry)
+
+    def put_failed(
+        self,
+        key: str,
+        label: str = "",
+        error: str = "",
+        attempts: int = 0,
+    ) -> None:
+        """Record a quarantined point (kept out of :meth:`get`'s way)."""
+        entry = {
+            "schema": ROW_SCHEMA,
+            "key": key,
+            "label": label,
+            "failed": {"error": error, "attempts": int(attempts)},
+            "meta": {},
+        }
+        self._failed[key] = entry
+        self._records.pop(key, None)
+        self._append(entry)

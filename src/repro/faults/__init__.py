@@ -1,0 +1,41 @@
+"""Fault injection: deterministic failures for the cooperation protocols.
+
+The paper assumes Pastry is "fault-resilient and self-organizing" and
+never charges a failure; this package makes failure a first-class,
+seeded experiment input:
+
+- :mod:`repro.faults.plan` — :class:`FaultPlan`: message loss/delay per
+  cooperation link, stale directory entries, unresponsive push targets,
+  Poisson churn; ``NO_FAULTS`` is the identity.
+- :mod:`repro.faults.injector` — named SHA-256 substreams so every
+  fault draw replays identically from the plan seed.
+- :mod:`repro.faults.poisson` — churn-event generation from a rate,
+  subsuming hand-written :class:`~repro.core.churn.ChurnEvent` lists.
+- :mod:`repro.faults.schemes` — Hier-GD / FC / FC-EC variants with
+  timeout → bounded retry (exponential backoff) → fallback-to-origin
+  semantics, every wasted round charged to latency.
+- :mod:`repro.faults.run` — :func:`run_scheme_with_faults`, the
+  dispatching entry point (zero plans take the plain code path).
+
+Layering: this package imports :mod:`repro.core` / :mod:`repro.netmodel`
+only — never :mod:`repro.experiments`, which builds on top of it.
+"""
+
+from .injector import FaultInjector, fault_seed
+from .plan import NO_FAULTS, FaultPlan
+from .poisson import poisson_churn_events
+from .run import FAULTY_SCHEMES, run_scheme_with_faults
+from .schemes import FaultyFcEcScheme, FaultyFcScheme, FaultyHierGdScheme
+
+__all__ = [
+    "FAULTY_SCHEMES",
+    "NO_FAULTS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyFcEcScheme",
+    "FaultyFcScheme",
+    "FaultyHierGdScheme",
+    "fault_seed",
+    "poisson_churn_events",
+    "run_scheme_with_faults",
+]

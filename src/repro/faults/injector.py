@@ -1,0 +1,96 @@
+"""Deterministic fault draws: named SHA-256 substreams off one seed.
+
+Fault injection must be *replayable*: the same :class:`~repro.faults.
+plan.FaultPlan` seed must produce the identical fault sequence whatever
+process runs the simulation, so stored results, the determinism guard
+and the robustness sweep all agree.  Python's ``hash()`` is salted per
+process and the global ``random`` module is ambient state, so neither is
+usable; instead every stream derives from the plan seed plus string
+labels through SHA-256 (:func:`fault_seed` — the same construction as
+``repro.experiments.child_seed``, reimplemented here because the faults
+package must stay importable without the experiment layer).
+
+Streams are independent per link and per fault process: whether the
+delay process is enabled never shifts the loss draws, so enabling one
+fault does not scramble another's sequence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Any
+
+from ..netmodel import FAULT_LINKS, LINK_P2P, LINK_PROXY, LINK_PUSH
+from .plan import FaultPlan
+
+__all__ = ["fault_seed", "FaultInjector"]
+
+
+def fault_seed(base: int, *parts: Any) -> int:
+    """Deterministic 63-bit child seed from ``base`` and string labels."""
+    canonical = repr((int(base),) + tuple(str(p) for p in parts))
+    digest = hashlib.sha256(canonical.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+class FaultInjector:
+    """Draws fault events for one simulation under one plan.
+
+    ``scope`` namespaces the substreams (e.g. the scheme name) so two
+    schemes running under the same plan do not share draw sequences.
+    """
+
+    def __init__(self, plan: FaultPlan, scope: str = "") -> None:
+        self.plan = plan
+        self._scope = scope
+        self._loss_prob = {
+            LINK_P2P: plan.p2p_loss,
+            LINK_PROXY: plan.proxy_loss,
+            LINK_PUSH: plan.push_loss,
+        }
+        self._loss = {
+            link: random.Random(fault_seed(plan.seed, scope, "loss", link))
+            for link in FAULT_LINKS
+        }
+        self._delay = {
+            link: random.Random(fault_seed(plan.seed, scope, "delay", link))
+            for link in FAULT_LINKS
+        }
+
+    def link_ok(self, link: str) -> bool:
+        """One Bernoulli draw: did the message over ``link`` get through?
+
+        Loss-free links never consume a draw, so plans differing only in
+        *which* links lose keep the other links' sequences aligned.
+        """
+        p = self._loss_prob[link]
+        if p <= 0.0:
+            return True
+        return self._loss[link].random() >= p
+
+    def delay_penalty(self, link: str) -> float:
+        """Extra RTT multiples a successful round costs (0.0 = on time)."""
+        plan = self.plan
+        if plan.delay_rate <= 0.0:
+            return 0.0
+        if self._delay[link].random() < plan.delay_rate:
+            return plan.delay_factor - 1.0
+        return 0.0
+
+    def unresponsive(self, cluster: int, client: int) -> bool:
+        """Is this client cache permanently unreachable for pushes?
+
+        Hash-based rather than drawn, so the answer is stable for the
+        whole run and independent of call order — a firewalled machine
+        stays firewalled.
+        """
+        fraction = self.plan.unresponsive_fraction
+        if fraction <= 0.0:
+            return False
+        draw = fault_seed(self.plan.seed, self._scope, "unresponsive", cluster, client)
+        return draw < fraction * float(1 << 63)
+
+    def stream(self, *parts: Any) -> random.Random:
+        """A fresh named substream (e.g. per-cluster eviction-notice loss)."""
+        return random.Random(fault_seed(self.plan.seed, self._scope, *parts))

@@ -1,0 +1,65 @@
+"""Poisson-process churn: membership events as a rate, not a hand list.
+
+``core.churn`` executes explicit :class:`~repro.core.churn.ChurnEvent`
+lists — precise but experiment-specific.  Real client populations churn
+continuously; this module generates the event list from a single rate
+(expected membership events per request, exponentially distributed
+inter-arrival times) so a :class:`~repro.faults.plan.FaultPlan` can say
+"this much churn" and subsume the hand-written schedules.
+
+The generator tracks live membership per cluster so every emitted event
+is valid by construction: a client is never failed twice, a cluster is
+never drained below one live client (an empty overlay cannot route), and
+a fail of a joined newcomer always follows its join.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.churn import ChurnEvent
+from .injector import fault_seed
+from .plan import FaultPlan
+
+__all__ = ["poisson_churn_events"]
+
+
+def poisson_churn_events(
+    plan: FaultPlan,
+    n_requests: int,
+    n_clusters: int,
+    n_clients: int,
+    join_fraction: float = 0.5,
+) -> list[ChurnEvent]:
+    """Sorted churn events for a run of ``n_requests`` total requests.
+
+    ``join_fraction`` splits events between joins and failures (default
+    half/half keeps the population roughly stable).  Deterministic in
+    ``plan.seed``; an inactive churn process yields an empty list.
+    """
+    if plan.churn_rate <= 0.0 or n_requests <= 0 or n_clusters <= 0:
+        return []
+    if not 0.0 <= join_fraction <= 1.0:
+        raise ValueError("join_fraction must be in [0, 1]")
+    rng = random.Random(fault_seed(plan.seed, "churn"))
+    live = [set(range(n_clients)) for _ in range(n_clusters)]
+    next_idx = [n_clients] * n_clusters
+    events: list[ChurnEvent] = []
+    t = rng.expovariate(plan.churn_rate)
+    while t < n_requests:
+        at = int(t)
+        cluster = rng.randrange(n_clusters)
+        if rng.random() < join_fraction:
+            events.append(ChurnEvent(at_request=at, kind="join", cluster=cluster))
+            live[cluster].add(next_idx[cluster])
+            next_idx[cluster] += 1
+        elif len(live[cluster]) > 1:
+            # Sorted so the victim choice is set-iteration-order-free.
+            victim = rng.choice(sorted(live[cluster]))
+            live[cluster].discard(victim)
+            events.append(
+                ChurnEvent(at_request=at, kind="fail", cluster=cluster, client=victim)
+            )
+        # else: a lone survivor cannot fail — the event is skipped.
+        t += rng.expovariate(plan.churn_rate)
+    return events

@@ -1,0 +1,50 @@
+"""Entry point: run any registered scheme under a fault plan.
+
+Dispatch rules keep fault-free results byte-identical to the plain code
+path (the acceptance bar for the subsystem):
+
+* a zero plan (:meth:`FaultPlan.is_zero`) routes straight to
+  :func:`repro.core.run.run_scheme` — the faulty classes are never even
+  constructed, so no extra counters, no RNG churn, nothing;
+* schemes without a faultable cooperation path (NC and the other upper
+  bounds whose remote tier is an abstraction this PR does not degrade)
+  also run plain at *any* fault rate.  NC in particular is fault-free by
+  construction — its client → proxy → origin path has no cooperation
+  link — which is what anchors the "degrades toward NC, never below"
+  claim of the robustness experiment.
+"""
+
+from __future__ import annotations
+
+from ..core.config import SimulationConfig
+from ..core.metrics import SchemeResult
+from ..core.run import generate_workloads, run_scheme
+from ..workload import Trace
+from .plan import NO_FAULTS, FaultPlan
+from .schemes import FaultyFcEcScheme, FaultyFcScheme, FaultyHierGdScheme
+
+__all__ = ["FAULTY_SCHEMES", "run_scheme_with_faults"]
+
+#: Scheme name -> fault-aware class; everything else runs plain.
+FAULTY_SCHEMES = {
+    "hier-gd": FaultyHierGdScheme,
+    "fc": FaultyFcScheme,
+    "fc-ec": FaultyFcEcScheme,
+}
+
+
+def run_scheme_with_faults(
+    name: str,
+    config: SimulationConfig,
+    traces: list[Trace] | None = None,
+    plan: FaultPlan | None = None,
+    seed: int = 0,
+) -> SchemeResult:
+    """Simulate ``name`` under ``plan`` (``None``/zero plan: plain run)."""
+    plan = NO_FAULTS if plan is None else plan
+    if plan.is_zero() or name not in FAULTY_SCHEMES:
+        return run_scheme(name, config, traces, seed=seed)
+    if traces is None:
+        traces = generate_workloads(config, seed=seed)
+    scheme = FAULTY_SCHEMES[name](config, traces, plan)
+    return scheme.run()

@@ -1,0 +1,331 @@
+"""Fault-aware scheme variants: timeout → retry → fallback semantics.
+
+The paper assumes every cooperation mechanism succeeds; these subclasses
+give the Hier-GD protocol chain and the FC/FC-EC cooperation paths
+honest failure semantics under a :class:`~repro.faults.plan.FaultPlan`:
+
+* every message over a cooperation link can be lost
+  (:meth:`FaultInjector.link_ok`); a lost message costs the sender one
+  timeout — one link RTT, charged through
+  :meth:`~repro.core.simulator.CachingScheme.add_extra_latency`, the
+  same accounting the Bloom-false-positive charge uses;
+* after a timeout the sender retries, up to ``plan.max_retries`` times,
+  with the timeout inflated by ``plan.backoff_base`` per retry
+  (exponential backoff — each wasted round is charged);
+* when the retry budget is exhausted the request *falls back* to the
+  next tier of the Hier-GD chain (own P2P → cooperating proxies → push →
+  origin), ultimately to the origin server, which never fails.  The
+  fallback ladder is why a faulty Hier-GD degrades toward NC instead of
+  below it: NC's path (client → proxy → origin) carries no cooperation
+  link, so it is fault-free by construction.
+
+Everything is surfaced in ``SchemeResult.messages`` under the
+:data:`~repro.core.metrics.FAULT_COUNTERS` keys.
+
+The classes are intentionally *not* in the scheme registry: construct
+them through :func:`repro.faults.run.run_scheme_with_faults`, which
+dispatches zero plans to the plain code path so fault-free results stay
+byte-identical to runs without this subsystem.
+"""
+
+from __future__ import annotations
+
+from ..core.churn import HierGdChurnScheme
+from ..core.config import SimulationConfig
+from ..core.directory import LossyDirectory
+from ..core.hiergd import _ClusterState
+from ..core.metrics import FAULT_COUNTERS
+from ..core.schemes.full import FcScheme
+from ..core.schemes.full_ec import FcEcScheme
+from ..netmodel import (
+    FAULT_LINKS,
+    LINK_P2P,
+    LINK_PROXY,
+    LINK_PUSH,
+    TIER_COOP_P2P,
+    TIER_COOP_PROXY,
+    TIER_LOCAL_P2P,
+    TIER_LOCAL_PROXY,
+    TIER_SERVER,
+)
+from ..workload import Trace
+from .injector import FaultInjector
+from .plan import FaultPlan
+from .poisson import poisson_churn_events
+
+__all__ = ["FaultyHierGdScheme", "FaultyFcScheme", "FaultyFcEcScheme"]
+
+
+class FaultAccountingMixin:
+    """Shared timeout/retry/fallback ladder and fault-counter plumbing."""
+
+    def _fault_setup(
+        self,
+        config: SimulationConfig,
+        plan: FaultPlan,
+        scope: str,
+        msg: dict[str, int] | None = None,
+    ) -> None:
+        """Attach an injector and zero-init the fault counters.
+
+        ``msg`` lets Hier-GD merge the counters straight into its
+        existing protocol-message dict; other schemes get a private dict
+        their ``finalize`` folds into the result.
+        """
+        self._fault_plan = plan
+        self._injector = FaultInjector(plan, scope=scope)
+        self._link_rtt = {link: config.network.link_rtt(link) for link in FAULT_LINKS}
+        target = msg if msg is not None else {}
+        for key in FAULT_COUNTERS:
+            target.setdefault(key, 0)
+        self._fault_msg = target
+
+    def _attempt(self, link: str, force_fail: bool = False) -> bool:
+        """One timeout → bounded-retry → give-up ladder over ``link``.
+
+        Returns True when a round eventually succeeds (charging any
+        delay inflation), False after the retry budget is spent (the
+        caller falls back to the next tier).  Every timed-out round is
+        charged one timeout of latency, inflated by the backoff base per
+        retry.  ``force_fail`` models a peer that will never answer
+        (an unresponsive push target): the full ladder is paid.
+        """
+        plan = self._fault_plan
+        injector = self._injector
+        msg = self._fault_msg
+        rtt = self._link_rtt[link]
+        timeout = rtt
+        for attempt in range(plan.max_retries + 1):
+            if not force_fail and injector.link_ok(link):
+                penalty = injector.delay_penalty(link)
+                if penalty:
+                    self.add_extra_latency(penalty * rtt)
+                return True
+            msg["timeouts"] += 1
+            self.add_extra_latency(timeout)
+            if attempt < plan.max_retries:
+                msg["retries"] += 1
+                timeout *= plan.backoff_base
+        msg["fallbacks"] += 1
+        return False
+
+
+class FaultyHierGdScheme(FaultAccountingMixin, HierGdChurnScheme):
+    """Hier-GD under the full fault model.
+
+    Builds on the churn scheme (reference engine, lazily repaired
+    directories, membership events) and adds message-level faults on the
+    three cooperation links, stale directories beyond Bloom false
+    positives (lossy eviction notices), unresponsive push targets, and
+    Poisson churn generated from ``plan.churn_rate`` — subsuming the
+    hand-written event lists.  Unresponsiveness bites the *push*
+    protocol only: within the own cluster the proxy redirects its own
+    client over the LAN, which the firewall story (§4.3) does not block.
+    """
+
+    name = "hier-gd"
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        traces: list[Trace],
+        plan: FaultPlan,
+    ) -> None:
+        events = poisson_churn_events(
+            plan,
+            n_requests=sum(len(t) for t in traces),
+            n_clusters=config.n_proxies,
+            n_clients=config.sizing_for(traces[0]).n_clients,
+        )
+        super().__init__(config, traces, events)
+        self._fault_setup(config, plan, scope=self.name, msg=self._msg)
+        self._exact_dir = config.directory == "exact"
+        self._in_eviction = False
+        if plan.stale_rate > 0.0:
+            for ci, state in enumerate(self.states):
+                state.directory = LossyDirectory(
+                    state.directory,
+                    drop_prob=plan.stale_rate,
+                    rng=self._injector.stream("notices", ci),
+                )
+
+    # -- lazily repaired lookup (loss-proof repair path) --------------------
+
+    def _locate(
+        self, state: _ClusterState, obj: int, owner: int | None = None
+    ) -> int | None:
+        # Same lazy repair as the churn scheme, but through ``repair()``:
+        # the proxy fixing its own directory is local and must not run
+        # through the lossy eviction-notice channel.  During eviction
+        # handling the locate is only a reachability probe — repairing
+        # there would undo the very notice drop being modelled (the
+        # proxy can't fix an entry it never learned went stale).
+        holder = super(HierGdChurnScheme, self)._locate(state, obj, owner)
+        if self._in_eviction:
+            return holder
+        if holder is None and obj in state.p2p_present:
+            state.p2p_present.discard(obj)
+        if holder is None and obj in state.directory:
+            state.directory.repair(obj)
+            self._msg["directory_repairs"] += 1
+        return holder
+
+    def _on_client_eviction(self, state: _ClusterState, holder_idx: int, obj: int) -> None:
+        self._in_eviction = True
+        try:
+            super()._on_client_eviction(state, holder_idx, obj)
+        finally:
+            self._in_eviction = False
+
+    # -- the fault-aware miss chain ----------------------------------------
+
+    def _miss_reference(self, state: _ClusterState, cluster: int, obj: int) -> str:
+        msg = self._msg
+        # 2. Own P2P client cache, via the (possibly stale) directory.
+        if obj in state.directory:
+            msg["p2p_lookups"] += 1
+            if self._attempt(LINK_P2P):
+                holder = self._locate(state, obj)
+                if holder is not None:
+                    return self._serve_p2p_hit(state, holder, obj)
+                # The directory over-claimed: a stale entry (exact) or a
+                # false positive (Bloom).  One wasted overlay round,
+                # repaired by ``_locate`` above.
+                if self._exact_dir:
+                    msg["stale_directory_hits"] += 1
+                else:
+                    msg["directory_false_positives"] += 1
+                self.add_extra_latency(self._t_p2p)
+            # On ladder exhaustion the redirect is abandoned unserved and
+            # the stale entry (if any) survives undetected.
+
+        # 3. Cooperating proxies: their proxy caches first (cheaper) ...
+        for other, other_state in enumerate(self.states):
+            if other != cluster and other_state.proxy.contains(obj):
+                if self._attempt(LINK_PROXY):
+                    self._proxy_insert(state, obj, cost=self._t_coop)
+                    return TIER_COOP_PROXY
+                break  # retry budget spent: fall back a tier, don't re-scan
+
+        # ... then their P2P client caches through the push protocol.
+        tier = self._coop_p2p_scan(state, cluster, obj)
+        if tier is not None:
+            return tier
+
+        # 4. Origin server — the fallback that never fails.
+        self._proxy_insert(state, obj, cost=self._t_server)
+        return TIER_SERVER
+
+    def _coop_p2p_scan(self, state: _ClusterState, cluster: int, obj: int) -> str | None:
+        msg = self._msg
+        for other, other_state in enumerate(self.states):
+            if other == cluster or obj not in other_state.directory:
+                continue
+            msg["push_requests"] += 1
+            holder = self._locate(other_state, obj)
+            if holder is None:
+                if self._exact_dir:
+                    msg["stale_directory_hits"] += 1
+                else:
+                    msg["directory_false_positives"] += 1
+                self.add_extra_latency(self._t_coop + self._t_p2p)
+                continue
+            if self._injector.unresponsive(other, holder):
+                # Firewalled/hung client: the push request is never
+                # answered — the proxy pays the whole timeout ladder.
+                self._attempt(LINK_PUSH, force_fail=True)
+                msg["failed_pushes"] += 1
+                continue
+            if self._attempt(LINK_PUSH):
+                return self._serve_push_hit(state, other_state, holder, obj)
+            msg["failed_pushes"] += 1
+        return None
+
+    def finalize(self) -> tuple[dict[str, int], dict[str, float]]:
+        messages, extras = super().finalize()
+        messages["dropped_eviction_notices"] = sum(
+            s.directory.dropped_notices
+            for s in self.states
+            if isinstance(s.directory, LossyDirectory)
+        )
+        return messages, extras
+
+
+class FaultyFcScheme(FaultAccountingMixin, FcScheme):
+    """FC with faults on the cooperating-proxy link.
+
+    The coordinated *placement* is an oracle (perfect frequencies), so
+    faults bite only the serving path: a remote hit that cannot be
+    fetched within the retry budget falls back to the origin server.
+    The copy-store bookkeeping is unchanged — the object is fetched and
+    placed as planned, just from farther away.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        traces: list[Trace],
+        plan: FaultPlan,
+    ) -> None:
+        super().__init__(config, traces)
+        self._fault_setup(config, plan, scope=self.name)
+
+    def process(self, cluster: int, client: int, obj: int) -> str:
+        if obj in self._local[cluster]:
+            return TIER_LOCAL_PROXY
+        if obj in self._holders and self._attempt(LINK_PROXY):
+            tier = TIER_COOP_PROXY
+        else:
+            tier = TIER_SERVER
+        self._consider_copy(obj, cluster)
+        return tier
+
+    def finalize(self) -> tuple[dict[str, int], dict[str, float]]:
+        messages, extras = super().finalize()
+        messages.update(self._fault_msg)
+        extras["extra_latency"] = self.extra_latency
+        return messages, extras
+
+
+class FaultyFcEcScheme(FaultAccountingMixin, FcEcScheme):
+    """FC-EC with faults on both cooperation links.
+
+    A remote proxy-tier hit rides the cooperating-proxy link; a remote
+    client-tier hit rides the push link (``Tc + Tp2p``).  Local tiers
+    (own proxy, own P2P partition) are LAN-side and stay fault-free,
+    matching the Hier-GD model where only cooperation links degrade.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        traces: list[Trace],
+        plan: FaultPlan,
+    ) -> None:
+        super().__init__(config, traces)
+        self._fault_setup(config, plan, scope=self.name)
+
+    def process(self, cluster: int, client: int, obj: int) -> str:
+        if obj in self._local[cluster]:
+            return (
+                TIER_LOCAL_PROXY
+                if self._tiers[cluster].in_top(obj)
+                else TIER_LOCAL_P2P
+            )
+        holders = self._holders.get(obj)
+        tier = TIER_SERVER
+        if holders:
+            proxy_side = any(self._tiers[q].in_top(obj) for q in holders)
+            if proxy_side:
+                if self._attempt(LINK_PROXY):
+                    tier = TIER_COOP_PROXY
+            elif self._attempt(LINK_PUSH):
+                tier = TIER_COOP_P2P
+        self._consider_copy(obj, cluster)
+        return tier
+
+    def finalize(self) -> tuple[dict[str, int], dict[str, float]]:
+        messages, extras = super().finalize()
+        messages.update(self._fault_msg)
+        extras["extra_latency"] = self.extra_latency
+        return messages, extras

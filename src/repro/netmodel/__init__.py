@@ -2,6 +2,10 @@
 
 from .latency import (
     ALL_TIERS,
+    FAULT_LINKS,
+    LINK_P2P,
+    LINK_PROXY,
+    LINK_PUSH,
     TIER_COOP_P2P,
     TIER_COOP_PROXY,
     TIER_LOCAL_P2P,
@@ -12,6 +16,10 @@ from .latency import (
 
 __all__ = [
     "ALL_TIERS",
+    "FAULT_LINKS",
+    "LINK_P2P",
+    "LINK_PROXY",
+    "LINK_PUSH",
     "TIER_COOP_P2P",
     "TIER_COOP_PROXY",
     "TIER_LOCAL_P2P",

@@ -40,6 +40,10 @@ __all__ = [
     "TIER_COOP_P2P",
     "TIER_SERVER",
     "ALL_TIERS",
+    "LINK_P2P",
+    "LINK_PROXY",
+    "LINK_PUSH",
+    "FAULT_LINKS",
     "NetworkConfig",
 ]
 
@@ -56,6 +60,17 @@ ALL_TIERS = (
     TIER_COOP_P2P,
     TIER_SERVER,
 )
+
+#: Cooperation links fault injection can degrade (``repro.faults``).  The
+#: client → local proxy → origin path is deliberately absent: it is the
+#: non-cooperative baseline every scheme falls back to, so faults on it
+#: would shift NC and the fallback tier alike and cancel out of the
+#: latency-gain metric.
+LINK_P2P = "p2p"  #: proxy → own P2P client cache (a directory redirect)
+LINK_PROXY = "proxy"  #: proxy → cooperating proxy
+LINK_PUSH = "push"  #: proxy → remote proxy → pushed P2P object
+
+FAULT_LINKS = (LINK_P2P, LINK_PROXY, LINK_PUSH)
 
 
 @dataclass(frozen=True)
@@ -126,6 +141,22 @@ class NetworkConfig:
         if tier == TIER_SERVER:
             return self.t_server
         raise KeyError(f"unknown tier {tier!r}")
+
+    def link_rtt(self, link: str) -> float:
+        """One round-trip over a cooperation ``link`` (see ``FAULT_LINKS``).
+
+        This is the time a proxy waits before declaring a request over
+        that link timed out — the natural timeout is one expected RTT —
+        and therefore the latency charged per wasted round when fault
+        injection makes the link lose the message.
+        """
+        if link == LINK_P2P:
+            return self.t_p2p
+        if link == LINK_PROXY:
+            return self.t_coop
+        if link == LINK_PUSH:
+            return self.t_coop + self.t_p2p
+        raise KeyError(f"unknown link {link!r}")
 
     # -- benefit terms for cost-benefit replacement -----------------------------
 

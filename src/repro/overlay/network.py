@@ -302,8 +302,13 @@ class Overlay:
         """Remove a node and repair the survivors' state.
 
         Leaf-set repair contacts the live nodes adjacent on the ring;
-        routing-table repair refills a vacated slot with any live eligible
-        node (what Pastry's lazy repair converges to).
+        routing-table repair refills a vacated slot with a live eligible
+        node (what Pastry's lazy repair converges to — §2.3 of the Pastry
+        paper: ask a same-row peer for its entry).  Survivors that only
+        learned the dead node via gossip (``_learn``) are covered too:
+        ``forget`` purges it from both the routing table and the leaf
+        set, and the vacated table slot is refilled when any eligible
+        live node exists.
         """
         if node_id not in self.nodes:
             raise KeyError(f"unknown node {self.space.format_id(node_id)}")
@@ -314,9 +319,40 @@ class Overlay:
         self.epoch += 1
         for survivor in self.nodes.values():
             in_leaves = node_id in survivor.leaves
-            survivor.forget(node_id)
+            vacated = survivor.table.remove(node_id)
+            survivor.leaves.remove(node_id)
             if in_leaves:
                 self._repair_leaves(survivor)
+            if vacated:
+                self._refill_slot(survivor, node_id)
+
+    def _refill_slot(self, survivor: PastryNode, dead_id: int) -> None:
+        """Refill the routing-table slot ``dead_id`` vacated at ``survivor``.
+
+        The slot is row ``p`` = shared-prefix-length(survivor, dead) and
+        column = the dead node's digit ``p``; every eligible replacement
+        shares exactly that prefix-plus-digit, i.e. occupies one
+        contiguous id interval, found by bisecting the sorted live ids.
+        Without the proximity heuristic the first candidate fills the
+        slot (deterministic); with it, every candidate is offered so the
+        physically closest wins — the same rule joins use.
+        """
+        space = self.space
+        p = space.prefix_len(survivor.node_id, dead_id)
+        col = space.digit(dead_id, p)
+        shift = space.bits - (p + 1) * space.b
+        # The survivor's first p digits followed by the dead node's digit.
+        prefix = (survivor.node_id >> (space.bits - p * space.b)) if p else 0
+        lo = ((prefix << space.b) | col) << shift
+        hi = lo + (1 << shift)
+        ids = self._sorted_ids
+        prefer = self._prefer_for(survivor.node_id)
+        i = bisect.bisect_left(ids, lo)
+        while i < len(ids) and ids[i] < hi:
+            survivor.table.consider(ids[i], prefer=prefer)
+            if prefer is None:
+                break  # first eligible candidate keeps the slot
+            i += 1
 
     def _repair_leaves(self, node: PastryNode) -> None:
         """Refill a node's leaf set from ring-adjacent live nodes."""

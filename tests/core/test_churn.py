@@ -122,6 +122,25 @@ class TestJoin:
         assert len(scheme.states[0].overlay) == 11
         assert r.extras["live_clients"] == 11
 
+    def test_join_shifts_dht_placement_toward_newcomer(self):
+        """A join repartitions the id space: some objects' owners move,
+        at least one onto the newcomer, and the owner memo — stale
+        wholesale after the shift — is invalidated."""
+        scheme = HierGdChurnScheme(cfg(), workload(), [])
+        state = scheme.states[0]
+        objs = range(400)
+        before = {obj: scheme._owner(state, obj) for obj in objs}
+        scheme._join_client(0)
+        assert not state.owner_memo  # memo dropped before any re-query
+        after = {obj: scheme._owner(state, obj) for obj in objs}
+        shifted = [obj for obj in objs if before[obj] != after[obj]]
+        assert shifted, "join did not move any ownership"
+        newcomer = len(state.clients) - 1
+        assert any(after[obj] == newcomer for obj in shifted)
+        # Ownership only moved onto the newcomer; unrelated assignments
+        # between incumbents are untouched (Pastry moves one arc).
+        assert all(after[obj] == newcomer for obj in shifted)
+
     def test_newcomer_receives_objects(self):
         events = [ChurnEvent(at_request=500, kind="join", cluster=0)]
         scheme = HierGdChurnScheme(cfg(), workload(seed=5), events)

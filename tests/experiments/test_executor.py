@@ -13,6 +13,7 @@ import pytest
 from repro.experiments.executor import (
     ExperimentEngine,
     PointExecutionError,
+    QuarantinedPoint,
     SweepPoint,
     child_seed,
     run_point,
@@ -54,6 +55,13 @@ def _hard_crash(arg):
 
 
 def _identity(arg):
+    return arg
+
+
+def _hang(arg):
+    import time
+
+    time.sleep(120)  # far beyond any test heartbeat; must be killed
     return arg
 
 
@@ -178,3 +186,113 @@ class TestRetry:
         engine = ExperimentEngine(workers=2)
         items = list(range(12))
         assert engine.map(_identity, items) == items
+
+    def test_retry_exhaustion_ticks_instrument(self):
+        """Every retry of a doomed item is counted before the abort."""
+        inst = RunInstrumentation()
+        engine = ExperimentEngine(workers=1, retries=2, instrument=inst)
+        with pytest.raises(PointExecutionError):
+            engine.map(_always_fails, ["x"])
+        assert inst.retries == 2
+
+    def test_retry_backoff_sleeps_between_attempts(self, monkeypatch):
+        import time as time_mod
+
+        sleeps = []
+        monkeypatch.setattr(time_mod, "sleep", sleeps.append)
+        engine = ExperimentEngine(workers=1, retries=2, retry_backoff=0.1,
+                                  quarantine=True)
+        engine.map(_always_fails, ["x"])
+        assert sleeps == [pytest.approx(0.1), pytest.approx(0.2)]  # exponential
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentEngine(heartbeat=0)
+        with pytest.raises(ValueError):
+            ExperimentEngine(retry_backoff=-1)
+
+
+class TestQuarantine:
+    def test_serial_poison_point_is_quarantined(self):
+        engine = ExperimentEngine(workers=1, retries=1, quarantine=True)
+        results = engine.map(_always_fails, ["x"])
+        (q,) = results
+        assert isinstance(q, QuarantinedPoint)
+        assert q.index == 0 and q.attempts == 2
+        assert "permanent failure" in q.error
+
+    def test_parallel_poison_point_is_quarantined(self):
+        engine = ExperimentEngine(workers=2, retries=1, quarantine=True)
+        results = engine.map(_always_fails, ["a", "b"])
+        assert all(isinstance(r, QuarantinedPoint) for r in results)
+        assert [r.index for r in results] == [0, 1]
+
+    def test_healthy_items_complete_around_poison(self, tmp_path):
+        engine = ExperimentEngine(workers=2, retries=1, quarantine=True)
+        results = engine.map(
+            _flaky,
+            [
+                (str(tmp_path / "c1"), 0, 1),
+                (str(tmp_path / "c2"), 99, 2),  # never recovers
+                (str(tmp_path / "c3"), 0, 3),
+            ],
+        )
+        assert results[0] == 10 and results[2] == 30
+        assert isinstance(results[1], QuarantinedPoint)
+
+    def test_quarantined_sweep_point_recorded_as_failed(self, tmp_path, monkeypatch):
+        """End-to-end: a poison SweepPoint lands in the store as a
+        failure record, the outcome carries the error, and the
+        instrument counts it."""
+        import repro.experiments.executor as executor_mod
+        from repro.experiments.store import ResultStore
+
+        def _boom(point):
+            raise RuntimeError("sim exploded")
+
+        monkeypatch.setattr(executor_mod, "run_point", _boom)
+        store = ResultStore(tmp_path / "store.jsonl")
+        inst = RunInstrumentation()
+        engine = ExperimentEngine(
+            workers=1, retries=0, quarantine=True, store=store, instrument=inst
+        )
+        point = SweepPoint("sc", 0.2, tiny_config(), seed=1)
+        (outcome,) = engine.run([point])
+        assert outcome.result is None
+        assert "sim exploded" in outcome.failed
+        assert inst.quarantined == 1
+        assert store.get(point.key) is None  # failures never satisfy resume
+        assert store.get_failed(point.key)["attempts"] == 1
+        # A later healthy run supersedes the failure record.
+        monkeypatch.undo()
+        reloaded = ResultStore(tmp_path / "store.jsonl")
+        assert reloaded.get_failed(point.key) is not None
+        engine2 = ExperimentEngine(workers=1, store=reloaded)
+        (ok,) = engine2.run([point])
+        assert ok.result is not None and not ok.cached
+        assert ResultStore(tmp_path / "store.jsonl").get_failed(point.key) is None
+
+
+class TestHeartbeat:
+    def test_hung_worker_is_killed_and_quarantined(self):
+        engine = ExperimentEngine(
+            workers=2, retries=0, quarantine=True, heartbeat=0.5
+        )
+        import time as time_mod
+
+        start = time_mod.monotonic()
+        results = engine.map(_hang, ["x"])
+        elapsed = time_mod.monotonic() - start
+        (q,) = results
+        assert isinstance(q, QuarantinedPoint)
+        assert "heartbeat" in q.error
+        assert elapsed < 60  # the 120 s sleep was killed, not awaited
+
+    def test_heartbeat_does_not_disturb_healthy_runs(self):
+        engine = ExperimentEngine(workers=2, heartbeat=30.0)
+        assert engine.map(_identity, list(range(6))) == list(range(6))
+
+    def test_hang_without_quarantine_aborts_bounded(self):
+        engine = ExperimentEngine(workers=2, retries=0, heartbeat=0.5)
+        with pytest.raises(PointExecutionError, match="heartbeat"):
+            engine.map(_hang, ["x"])

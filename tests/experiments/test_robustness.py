@@ -1,0 +1,116 @@
+"""Tests for the robustness (degradation-under-failure) sweep."""
+
+import pytest
+
+from repro.experiments.executor import ExperimentEngine, SweepPoint
+from repro.experiments.robustness import (
+    DEFAULT_FAULT_RATES,
+    ROBUSTNESS_FRACTION,
+    figure_robustness,
+    robustness_plan,
+    robustness_points,
+    robustness_sweep,
+)
+from repro.experiments.runner import Scale, base_config
+from repro.faults import FaultPlan
+
+TINY = Scale("tiny", 3000, 300, 10)
+RATES = (0.0, 0.2)
+SCHEMES = ("fc", "hier-gd")
+
+
+class TestPlanConstruction:
+    def test_rate_zero_is_the_zero_plan(self):
+        assert robustness_plan(0.0).is_zero()
+
+    def test_rate_drives_every_process(self):
+        plan = robustness_plan(0.1, seed=3)
+        assert plan.p2p_loss == plan.proxy_loss == plan.push_loss == 0.1
+        assert plan.delay_rate == 0.1
+        assert plan.stale_rate == 0.05
+        assert plan.unresponsive_fraction == 0.05
+        assert plan.churn_rate == pytest.approx(0.0005)
+        assert plan.seed == 3
+
+    def test_default_rates_start_at_zero(self):
+        assert DEFAULT_FAULT_RATES[0] == 0.0
+        assert list(DEFAULT_FAULT_RATES) == sorted(DEFAULT_FAULT_RATES)
+
+
+class TestPoints:
+    def test_nc_baseline_shared_across_rates(self):
+        points = robustness_points(base_config(TINY), rates=RATES, schemes=SCHEMES)
+        nc = [p for p in points if p.scheme == "nc"]
+        assert len(nc) == len(RATES)
+        assert all(p.faults is None for p in nc)
+        # ... so the baseline has ONE store key: simulated once per sweep.
+        assert len({p.key for p in nc}) == 1
+
+    def test_faulty_points_keyed_per_rate(self):
+        points = robustness_points(base_config(TINY), rates=RATES, schemes=SCHEMES)
+        hier = [p for p in points if p.scheme == "hier-gd"]
+        assert len({p.key for p in hier}) == len(RATES)
+
+    def test_zero_rate_key_matches_plain_point(self):
+        """The leftmost column of the figure resolves to the same store
+        key as a pre-fault-subsystem sweep point — old stores resume."""
+        config = base_config(TINY)
+        points = robustness_points(config, rates=(0.0,), schemes=("hier-gd",))
+        faulty_zero = next(p for p in points if p.scheme == "hier-gd")
+        plain = SweepPoint("hier-gd", ROBUSTNESS_FRACTION, config, 0)
+        assert faulty_zero.key == plain.key
+
+    def test_nonzero_plan_changes_the_key(self):
+        config = base_config(TINY)
+        a = SweepPoint("hier-gd", 0.3, config, 0, faults=robustness_plan(0.1))
+        b = SweepPoint("hier-gd", 0.3, config, 0)
+        c = SweepPoint("hier-gd", 0.3, config, 0, faults=robustness_plan(0.2))
+        assert a.key != b.key != c.key and a.key != c.key
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def sweeps(self):
+        return robustness_sweep(scale=TINY, rates=RATES, schemes=SCHEMES)
+
+    def test_panels_and_axes(self, sweeps):
+        assert set(sweeps) == {"gain", "latency"}
+        assert sweeps["gain"].x_values == [0.0, 20.0]
+        assert sweeps["gain"].labels == list(SCHEMES)
+        assert sweeps["latency"].labels == ["nc", *SCHEMES]
+
+    def test_nc_latency_flat_across_rates(self, sweeps):
+        nc = sweeps["latency"].get("nc").values
+        assert nc[0] == nc[1]  # fault-free by construction
+
+    def test_faults_degrade_but_never_below_nc(self, sweeps):
+        for name in SCHEMES:
+            gains = sweeps["gain"].get(name).values
+            assert gains[-1] < gains[0]  # faults erode the gain
+            assert all(g >= 0.0 for g in gains)  # never below NC
+            lat = sweeps["latency"].get(name).values
+            assert lat[-1] > lat[0]  # and latency only rises
+
+    def test_deterministic(self, sweeps):
+        again = robustness_sweep(scale=TINY, rates=RATES, schemes=SCHEMES)
+        assert again["gain"].to_csv() == sweeps["gain"].to_csv()
+
+    def test_figure_entry_point(self):
+        out = figure_robustness(scale=TINY)
+        assert set(out) == {"gain", "latency"}
+        assert len(out["gain"].x_values) == len(DEFAULT_FAULT_RATES)
+
+    def test_quarantined_point_is_an_error(self, monkeypatch):
+        from repro.experiments import robustness as mod
+
+        class FailingEngine(ExperimentEngine):
+            def run(self, points):
+                outcomes = super().run(points)
+                object.__setattr__(outcomes[0], "failed", "synthetic crash")
+                return outcomes
+
+        with pytest.raises(RuntimeError, match="synthetic crash"):
+            robustness_sweep(
+                scale=TINY, rates=(0.0,), schemes=("fc",),
+                engine=FailingEngine(),
+            )

@@ -117,6 +117,62 @@ class TestResultStore:
         assert ResultStore(path).get(key).extras["mean_hops"] == 9.0
 
 
+class TestRowSchema:
+    def test_rows_carry_the_schema_version(self, tmp_path):
+        from repro.experiments.store import ROW_SCHEMA
+
+        path = tmp_path / "s.jsonl"
+        ResultStore(path).put("k", sample_result())
+        row = json.loads(path.read_text().strip())
+        assert row["schema"] == ROW_SCHEMA
+
+    def test_legacy_row_without_schema_loads(self, tmp_path):
+        """Rows written before the schema field existed read as v1."""
+        path = tmp_path / "s.jsonl"
+        legacy = {"key": "old", "label": "", "meta": {},
+                  "result": serialize_result(sample_result())}
+        path.write_text(json.dumps(legacy) + "\n")
+        store = ResultStore(path)
+        assert store.get("old") == sample_result()
+        assert store.skipped_lines == 0
+
+    def test_unknown_newer_schema_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)
+        store.put("ok", sample_result())
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps({"schema": 99, "key": "future",
+                                 "result": {"from": "the future"}}) + "\n")
+        with pytest.warns(UserWarning, match="unknown schema"):
+            reloaded = ResultStore(path)
+        assert reloaded.get("ok") == sample_result()
+        assert reloaded.get("future") is None
+        assert reloaded.skipped_lines == 1
+
+    def test_failed_record_roundtrip(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)
+        store.put_failed("bad", label="sc@S=0.2", error="boom", attempts=3)
+        assert store.get("bad") is None  # failures never satisfy resume
+        assert store.get_failed("bad") == {"error": "boom", "attempts": 3}
+        reloaded = ResultStore(path)
+        assert reloaded.get_failed("bad") == {"error": "boom", "attempts": 3}
+        assert reloaded.failed_keys == ["bad"]
+
+    def test_success_supersedes_failure_and_vice_versa(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)
+        store.put_failed("k", error="boom", attempts=1)
+        store.put("k", sample_result())
+        reloaded = ResultStore(path)
+        assert reloaded.get("k") == sample_result()
+        assert reloaded.get_failed("k") is None
+        reloaded.put_failed("k", error="regressed", attempts=2)
+        final = ResultStore(path)
+        assert final.get("k") is None
+        assert final.get_failed("k")["error"] == "regressed"
+
+
 class TestResume:
     def _engine(self, path):
         return ExperimentEngine(

@@ -1,0 +1,70 @@
+"""Tests for FaultPlan validation, the zero-plan identity, and labels."""
+
+import pytest
+
+from repro.faults import NO_FAULTS, FaultPlan
+
+
+class TestValidation:
+    @pytest.mark.parametrize("name", FaultPlan._RATES)
+    def test_rates_bounded(self, name):
+        FaultPlan(**{name: 1.0})  # boundary is legal
+        with pytest.raises(ValueError):
+            FaultPlan(**{name: 1.5})
+        with pytest.raises(ValueError):
+            FaultPlan(**{name: -0.1})
+
+    def test_delay_factor_cannot_speed_up(self):
+        with pytest.raises(ValueError):
+            FaultPlan(delay_factor=0.5)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(max_retries=-1)
+
+    def test_backoff_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(backoff_base=0.9)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(seed=-1)
+
+
+class TestZeroPlan:
+    def test_default_is_zero(self):
+        assert NO_FAULTS.is_zero()
+        assert FaultPlan().is_zero()
+
+    def test_seed_and_protocol_knobs_keep_it_zero(self):
+        # Only the fault *rates* decide activity; retry knobs and the
+        # seed are protocol configuration.
+        assert FaultPlan(seed=42, max_retries=5, backoff_base=3.0).is_zero()
+
+    @pytest.mark.parametrize("name", FaultPlan._RATES)
+    def test_any_rate_activates(self, name):
+        assert not FaultPlan(**{name: 0.01}).is_zero()
+
+
+class TestLabel:
+    def test_zero_plan_label(self):
+        assert NO_FAULTS.label == "none"
+
+    def test_uniform_loss_collapses(self):
+        plan = FaultPlan(p2p_loss=0.1, proxy_loss=0.1, push_loss=0.1)
+        assert plan.label == "loss=0.1"
+
+    def test_mixed_losses_spelled_out(self):
+        plan = FaultPlan(p2p_loss=0.1, push_loss=0.2)
+        assert "p2p=0.1" in plan.label and "push=0.2" in plan.label
+
+    def test_describe_lists_non_defaults(self):
+        assert "stale_rate=0.05" in FaultPlan(stale_rate=0.05).describe()
+        assert FaultPlan().describe() == "FaultPlan(no faults)"
+
+    def test_plan_is_hashable_and_picklable(self):
+        import pickle
+
+        plan = FaultPlan(p2p_loss=0.1, seed=3)
+        assert hash(plan) == hash(FaultPlan(p2p_loss=0.1, seed=3))
+        assert pickle.loads(pickle.dumps(plan)) == plan

@@ -1,0 +1,65 @@
+"""Tests for Poisson churn-event generation."""
+
+import pytest
+
+from repro.faults import FaultPlan, poisson_churn_events
+
+
+def events(rate=0.01, n_requests=10_000, n_clusters=2, n_clients=5, **kw):
+    return poisson_churn_events(
+        FaultPlan(churn_rate=rate, seed=kw.pop("seed", 0)),
+        n_requests=n_requests,
+        n_clusters=n_clusters,
+        n_clients=n_clients,
+        **kw,
+    )
+
+
+class TestGeneration:
+    def test_zero_rate_is_empty(self):
+        assert events(rate=0.0) == []
+
+    def test_deterministic_in_seed(self):
+        assert events(seed=3) == events(seed=3)
+        assert events(seed=3) != events(seed=4)
+
+    def test_count_tracks_rate(self):
+        # E[events] = rate * n_requests = 100; Poisson sd = 10.
+        n = len(events(rate=0.01, n_requests=10_000))
+        assert 60 < n < 140
+
+    def test_sorted_and_in_range(self):
+        evs = events()
+        assert [e.at_request for e in evs] == sorted(e.at_request for e in evs)
+        assert all(0 <= e.at_request < 10_000 for e in evs)
+        assert all(e.cluster in (0, 1) for e in evs)
+
+    def test_bad_join_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            events(join_fraction=1.5)
+
+
+class TestMembershipInvariants:
+    def test_no_double_failures_and_no_drain(self):
+        """Replay the live set: nobody fails twice, no cluster empties,
+        and joined newcomers get fresh indices."""
+        n_clients = 3
+        evs = events(rate=0.05, n_requests=20_000, n_clients=n_clients)
+        live = [set(range(n_clients)), set(range(n_clients))]
+        next_idx = [n_clients, n_clients]
+        fails = joins = 0
+        for e in evs:
+            if e.kind == "join":
+                live[e.cluster].add(next_idx[e.cluster])
+                next_idx[e.cluster] += 1
+                joins += 1
+            else:
+                assert e.client in live[e.cluster], "failed a dead/unknown client"
+                assert len(live[e.cluster]) > 1, "drained a cluster"
+                live[e.cluster].discard(e.client)
+                fails += 1
+        assert fails > 0 and joins > 0
+
+    def test_join_only(self):
+        evs = events(join_fraction=1.0)
+        assert evs and all(e.kind == "join" for e in evs)

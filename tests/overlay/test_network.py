@@ -168,6 +168,82 @@ class TestChurn:
         assert ov.route(12345).root == ov.node_ids()[0]
 
 
+class TestSlotRefill:
+    """Failure repair must purge the dead node everywhere and refill the
+    vacated routing-table slots (Pastry's lazy repair, §2.3)."""
+
+    @staticmethod
+    def _eligible(ov, owner, row, col):
+        return [
+            nid
+            for nid in ov.node_ids()
+            if nid != owner
+            and ov.space.prefix_len(owner, nid) == row
+            and ov.space.digit(nid, row) == col
+        ]
+
+    @staticmethod
+    def _holders(ov, victim):
+        """(owner, row, col) of every table slot currently holding victim."""
+        return [
+            (node.node_id, row, col)
+            for node in ov.nodes.values()
+            if node.node_id != victim
+            for row, cols in enumerate(node.table.rows)
+            for col, entry in enumerate(cols)
+            if entry == victim
+        ]
+
+    def test_vacated_slots_refilled_when_candidates_exist(self):
+        ov = build(80)
+        # Pick a victim that holds at least one slot with a live
+        # replacement available (row-0 slots usually qualify at n=80).
+        victim = next(
+            v
+            for v in ov.node_ids()
+            if any(
+                [c for c in self._eligible(ov, owner, row, col) if c != v]
+                for owner, row, col in self._holders(ov, v)
+            )
+        )
+        holders = self._holders(ov, victim)
+        ov.fail(victim)
+        refilled = 0
+        for owner, row, col in holders:
+            entry = ov.node(owner).table.rows[row][col]
+            candidates = self._eligible(ov, owner, row, col)
+            if candidates:
+                assert entry in candidates
+                refilled += 1
+            else:
+                assert entry is None
+        assert refilled > 0  # the victim was chosen to make this reachable
+
+    def test_dead_nodes_purged_from_tables_and_leaves(self):
+        ov = build(50)
+        victims = ov.node_ids()[::7]
+        for victim in victims:
+            ov.fail(victim)
+        dead = set(victims)
+        for node in ov.nodes.values():
+            for cols in node.table.rows:
+                assert dead.isdisjoint(e for e in cols if e is not None)
+            assert dead.isdisjoint(node.leaves.members())
+
+    def test_route_after_fail_from_former_holder(self):
+        """A survivor whose table pointed at the dead node still routes
+        every key to the (new) numerically closest live node."""
+        ov = build(80)
+        victim = ov.node_ids()[23]
+        holders = self._holders(ov, victim)
+        assert holders
+        holder = holders[0][0]
+        ov.fail(victim)
+        for i in range(100):
+            key = ov.space.object_id(f"hold{i}")
+            assert ov.route(key, start=holder).root == ov.numerically_closest(key)
+
+
 class TestBulkAddNamed:
     """Bulk construction must converge to the sequential-join state for
     everything the simulation semantics depend on (see its docstring)."""
