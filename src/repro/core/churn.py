@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..protocol.transport import Transport
 from ..workload import Trace
 from .config import SimulationConfig
 from .hiergd import HierGdScheme, _ClusterState
@@ -79,8 +80,13 @@ class HierGdChurnScheme(HierGdScheme):
         config: SimulationConfig,
         traces: list[Trace],
         events: list[ChurnEvent],
+        transport: Transport | None = None,
     ) -> None:
-        super().__init__(config, traces)
+        super().__init__(config, traces, transport)
+        #: Read once: under a fault transport the lazy repair runs through
+        #: ``repair()`` (eviction notices are lossy — see ``_locate``).
+        self._faulty = self.transport.faulty
+        self._in_eviction = False
         for ev in events:
             if not 0 <= ev.cluster < len(self.states):
                 raise ValueError(f"event cluster {ev.cluster} out of range")
@@ -172,6 +178,21 @@ class HierGdChurnScheme(HierGdScheme):
         self, state: _ClusterState, obj: int, owner: int | None = None
     ) -> int | None:
         holder = super()._locate(state, obj, owner)
+        if self._faulty:
+            # Under a fault transport the repair runs through ``repair()``:
+            # the proxy fixing its own directory is local and must not run
+            # through the lossy eviction-notice channel.  During eviction
+            # handling the locate is only a reachability probe — repairing
+            # there would undo the very notice drop being modelled (the
+            # proxy can't fix an entry it never learned went stale).
+            if self._in_eviction:
+                return holder
+            if holder is None and obj in state.p2p_present:
+                state.p2p_present.discard(obj)
+            if holder is None and obj in state.directory:
+                state.directory.repair(obj)
+                self._msg["directory_repairs"] += 1
+            return holder
         if holder is None and obj in state.p2p_present:
             # Reachability lost through churn (owner moved): the object
             # physically exists but the DHT can no longer find it.  Treat
@@ -181,6 +202,16 @@ class HierGdChurnScheme(HierGdScheme):
             state.directory.remove(obj)
             self._msg["directory_repairs"] += 1
         return holder
+
+    def _on_client_eviction(self, state: _ClusterState, holder_idx: int, obj: int) -> None:
+        # Flagged so the faulty ``_locate`` branch treats the embedded
+        # reachability probe as read-only; harmless in plain runs (the
+        # flag is only read under a fault transport).
+        self._in_eviction = True
+        try:
+            super()._on_client_eviction(state, holder_idx, obj)
+        finally:
+            self._in_eviction = False
 
     # -- request path ----------------------------------------------------------
 

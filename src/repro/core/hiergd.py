@@ -46,9 +46,11 @@ from ..netmodel import (
     TIER_SERVER,
 )
 from ..overlay import Dht, IdSpace, Overlay, build_owner_table, object_ids_for_urls
+from ..protocol.chain import push_stage, serve_miss
+from ..protocol.transport import Transport
 from ..workload import Trace, object_url
 from .config import SimulationConfig
-from .directory import LookupDirectory, make_directory
+from .directory import LookupDirectory, LossyDirectory, make_directory
 from .presence import PresenceIndex
 from .simulator import CachingScheme
 
@@ -112,13 +114,30 @@ class HierGdScheme(CachingScheme):
     #: lazily-repaired directories) set this to pin the reference engine.
     _force_reference = False
 
-    def __init__(self, config: SimulationConfig, traces: list[Trace]) -> None:
-        super().__init__(config, traces)
+    def __init__(
+        self,
+        config: SimulationConfig,
+        traces: list[Trace],
+        transport: Transport | None = None,
+    ) -> None:
+        super().__init__(config, traces, transport)
         net = config.network
         self._t_server = net.t_server
         self._t_coop = net.t_coop
         self._t_p2p = net.t_p2p
-        self._fast = config.hot_path == "fast" and not self._force_reference
+        faulty = self.transport.faulty
+        # A fault layer needs every cooperation hop routed through the
+        # transport, which the fast engine inlines away: pin the
+        # reference engine whenever a fault process is active.
+        self._fast = config.hot_path == "fast" and not self._force_reference and not faulty
+        #: Where a directory over-claim is counted: a stale entry under
+        #: fault injection (exact directories go stale through dropped
+        #: eviction notices), a false positive otherwise (Bloom).
+        self._overclaim_key = (
+            "stale_directory_hits"
+            if faulty and config.directory == "exact"
+            else "directory_false_positives"
+        )
         self._promote = config.promote_on_p2p_hit
         self._diversion = config.object_diversion
         self._replicas_extra = config.p2p_replicas - 1
@@ -149,6 +168,9 @@ class HierGdScheme(CachingScheme):
             "directory_false_positives": 0,
             "replicas_stored": 0,
         }
+        # A fault layer merges its FAULT_COUNTERS into this dict (no-op
+        # under the base transport).
+        self.transport.install_counters(self._msg)
         space = IdSpace(b=config.pastry_b)
         self._object_keys = None  # shared objectId array, built lazily
         self.states: list[_ClusterState] = []
@@ -171,10 +193,13 @@ class HierGdScheme(CachingScheme):
                 dht=Dht(overlay, hop_sample_rate=config.hop_sample_rate),
                 idx_of_node=idx_of_node,
                 node_of_idx=node_of_idx,
-                directory=make_directory(
-                    config.directory,
-                    capacity=max(1, sizing.p2p_size),
-                    fp_rate=config.bloom_fp_rate,
+                directory=self.transport.wrap_directory(
+                    make_directory(
+                        config.directory,
+                        capacity=max(1, sizing.p2p_size),
+                        fp_rate=config.bloom_fp_rate,
+                    ),
+                    ci,
                 ),
                 cluster=ci,
             )
@@ -811,7 +836,7 @@ class HierGdScheme(CachingScheme):
         self._proxy_insert(state, obj, cost=self._t_server)
         return TIER_SERVER
 
-    # -- reference serving seams (shared with ``repro.faults.schemes``) -------
+    # -- reference serving seams (shared with ``repro.protocol.chain``) -------
 
     def _serve_p2p_hit(self, state: _ClusterState, holder: int, obj: int) -> str:
         """Serve from the own P2P cache: GD credit refresh + promotion."""
@@ -830,49 +855,20 @@ class HierGdScheme(CachingScheme):
 
     def _coop_p2p_scan(self, state: _ClusterState, cluster: int, obj: int) -> str | None:
         """Reference step-4 scan over the other clusters' directories."""
-        for other, other_state in enumerate(self.states):
-            if other == cluster or obj not in other_state.directory:
-                continue
-            self._msg["push_requests"] += 1
-            holder = self._locate(other_state, obj)
-            if holder is not None:
-                return self._serve_push_hit(state, other_state, holder, obj)
-            self._msg["directory_false_positives"] += 1
-            self.add_extra_latency(self._t_coop + self._t_p2p)
-        return None
+        return push_stage(self, state, cluster, obj)
 
     def _miss_reference(self, state: _ClusterState, cluster: int, obj: int) -> str:
-        """Reference engine: the original O(n_proxies)-scan miss path.
+        """Reference engine: the transport-mediated protocol chain.
 
-        Kept verbatim as the behavioural oracle for the fast engine (the
-        hot-path equivalence suite runs both) and as the only correct
-        engine under churn, whose lazily-repaired directories the presence
-        indexes cannot mirror.
+        :func:`repro.protocol.chain.serve_miss` under the base transport
+        is the original O(n_proxies)-scan miss path verbatim; it doubles
+        as the behavioural oracle for the fast engine (the hot-path
+        equivalence suite runs both), the only correct engine under
+        churn (whose lazily-repaired directories the presence indexes
+        cannot mirror), and — under a fault transport — the fault-aware
+        chain, without a subclass fork.
         """
-        # 2. Own P2P client cache, via the lookup directory.
-        if obj in state.directory:
-            self._msg["p2p_lookups"] += 1
-            holder = self._locate(state, obj)
-            if holder is not None:
-                return self._serve_p2p_hit(state, holder, obj)
-            # Bloom false positive: a wasted LAN round into the overlay.
-            self._msg["directory_false_positives"] += 1
-            self.add_extra_latency(self._t_p2p)
-
-        # 3. Cooperating proxies: their proxy caches first (cheaper) ...
-        for other, other_state in enumerate(self.states):
-            if other != cluster and other_state.proxy.contains(obj):
-                self._proxy_insert(state, obj, cost=self._t_coop)
-                return TIER_COOP_PROXY
-
-        # ... then their P2P client caches through the push protocol.
-        tier = self._coop_p2p_scan(state, cluster, obj)
-        if tier is not None:
-            return tier
-
-        # 4. Origin server.
-        self._proxy_insert(state, obj, cost=self._t_server)
-        return TIER_SERVER
+        return serve_miss(self, state, cluster, obj)
 
     # -- reporting ------------------------------------------------------------------
 
@@ -886,4 +882,11 @@ class HierGdScheme(CachingScheme):
             sum(s.directory.memory_bytes() for s in self.states)
         )
         extras["p2p_objects"] = float(sum(len(s.p2p_present) for s in self.states))
-        return dict(self._msg), extras
+        messages = dict(self._msg)
+        if self.transport.faulty:
+            messages["dropped_eviction_notices"] = sum(
+                s.directory.dropped_notices
+                for s in self.states
+                if isinstance(s.directory, LossyDirectory)
+            )
+        return messages, extras

@@ -17,20 +17,11 @@ from dataclasses import dataclass, field
 
 from ..netmodel import ALL_TIERS
 
-__all__ = ["FAULT_COUNTERS", "SchemeResult", "latency_gain"]
+# Canonical home is the protocol layer (the counters are emitted by the
+# fault transport); re-exported here because results are where they land.
+from ..protocol.messages import FAULT_COUNTERS
 
-#: Protocol-failure counters schemes running under a
-#: :class:`~repro.faults.plan.FaultPlan` report in ``messages``:
-#: timed-out rounds, retries after a timeout, fallbacks to the next tier
-#: after retry exhaustion, lookups that chased a stale (exact-)directory
-#: entry, and push requests that never got an answer.
-FAULT_COUNTERS = (
-    "timeouts",
-    "retries",
-    "fallbacks",
-    "stale_directory_hits",
-    "failed_pushes",
-)
+__all__ = ["FAULT_COUNTERS", "SchemeResult", "latency_gain"]
 
 
 @dataclass

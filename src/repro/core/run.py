@@ -15,6 +15,7 @@ over schemes costs one workload generation.
 from __future__ import annotations
 
 from ..perf.profiling import record_scheme_ops
+from ..protocol.transport import Transport
 from ..workload import Trace, generate_cluster_traces
 from .config import SimulationConfig
 from .metrics import SchemeResult, latency_gain
@@ -44,8 +45,14 @@ def run_scheme(
     config: SimulationConfig,
     traces: list[Trace] | None = None,
     seed: int = 0,
+    transport: Transport | None = None,
 ) -> SchemeResult:
-    """Simulate one scheme; generates the workload if none is supplied."""
+    """Simulate one scheme; generates the workload if none is supplied.
+
+    ``transport`` optionally replaces the scheme's base transport with a
+    custom stack (e.g. an observability layer); ``None`` keeps the plain
+    always-succeeds carrier.
+    """
     try:
         scheme_cls = SCHEME_REGISTRY[name]
     except KeyError:
@@ -54,10 +61,10 @@ def run_scheme(
         ) from None
     if traces is None:
         traces = generate_workloads(config, seed=seed)
-    scheme = scheme_cls(config, traces)
+    scheme = scheme_cls(config, traces, transport=transport)
     result = scheme.run()
     # Feeds repro.perf's op-counter collection; a no-op when inactive.
-    record_scheme_ops(name, scheme)
+    record_scheme_ops(name, scheme, result)
     return result
 
 

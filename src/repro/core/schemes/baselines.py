@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from ...cache import LfuCache
 from ...netmodel import TIER_COOP_PROXY, TIER_LOCAL_PROXY, TIER_SERVER
+from ...protocol.transport import Transport
 from ...workload import Trace
 from ..config import SimulationConfig
 from ..presence import PresenceIndex, probes_to
@@ -29,8 +30,13 @@ class NcScheme(CachingScheme):
 
     name = "nc"
 
-    def __init__(self, config: SimulationConfig, traces: list[Trace]) -> None:
-        super().__init__(config, traces)
+    def __init__(
+        self,
+        config: SimulationConfig,
+        traces: list[Trace],
+        transport: Transport | None = None,
+    ) -> None:
+        super().__init__(config, traces, transport)
         self.caches = [
             LfuCache(s.proxy_size, reset_on_evict=config.lfu_reset_on_evict)
             for s in self.sizings
@@ -51,8 +57,13 @@ class ScScheme(CachingScheme):
 
     name = "sc"
 
-    def __init__(self, config: SimulationConfig, traces: list[Trace]) -> None:
-        super().__init__(config, traces)
+    def __init__(
+        self,
+        config: SimulationConfig,
+        traces: list[Trace],
+        transport: Transport | None = None,
+    ) -> None:
+        super().__init__(config, traces, transport)
         self.caches = [
             LfuCache(s.proxy_size, reset_on_evict=config.lfu_reset_on_evict)
             for s in self.sizings

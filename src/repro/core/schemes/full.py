@@ -31,6 +31,8 @@ from __future__ import annotations
 
 from ...cache import HeapDict
 from ...netmodel import TIER_COOP_PROXY, TIER_LOCAL_PROXY, TIER_SERVER
+from ...protocol.messages import PROXY_FETCH
+from ...protocol.transport import Transport
 from ...workload import Trace
 from ..config import SimulationConfig
 from ..simulator import CachingScheme
@@ -43,8 +45,18 @@ class FcScheme(CachingScheme):
 
     name = "fc"
 
-    def __init__(self, config: SimulationConfig, traces: list[Trace]) -> None:
-        super().__init__(config, traces)
+    def __init__(
+        self,
+        config: SimulationConfig,
+        traces: list[Trace],
+        transport: Transport | None = None,
+    ) -> None:
+        super().__init__(config, traces, transport)
+        if self.transport.faulty:
+            # Same scheme, fault semantics from the transport: only the
+            # serving path changes, so swap it in per instance and leave
+            # the plain ``process`` on the class untouched (hot path).
+            self.process = self._process_faulty  # type: ignore[method-assign]
         self._freq = [t.reference_counts() for t in traces]
         self._freq_total = sum(self._freq)
         self.capacity = sum(s.proxy_size for s in self.sizings)
@@ -121,6 +133,29 @@ class FcScheme(CachingScheme):
         self._consider_copy(obj, cluster)
         return tier
 
+    def _process_faulty(self, cluster: int, client: int, obj: int) -> str:
+        """Serving path under a fault transport.
+
+        The coordinated *placement* is an oracle (perfect frequencies),
+        so faults bite only the serving path: a remote hit that cannot
+        be fetched within the retry budget falls back to the origin
+        server.  The copy-store bookkeeping is unchanged — the object is
+        fetched and placed as planned, just from farther away.
+        """
+        if obj in self._local[cluster]:
+            return TIER_LOCAL_PROXY
+        if obj in self._holders and self.transport.attempt(PROXY_FETCH):
+            tier = TIER_COOP_PROXY
+        else:
+            tier = TIER_SERVER
+        self._consider_copy(obj, cluster)
+        return tier
+
     def finalize(self) -> tuple[dict[str, int], dict[str, float]]:
         """Coordination cost: one update message per placement change."""
-        return {"placement_updates": self._placement_updates}, {}
+        messages = {"placement_updates": self._placement_updates}
+        extras: dict[str, float] = {}
+        if self.transport.faulty:
+            messages.update(self.transport.fault_counters)
+            extras["extra_latency"] = self.extra_latency
+        return messages, extras

@@ -33,6 +33,8 @@ from ...netmodel import (
     TIER_LOCAL_PROXY,
     TIER_SERVER,
 )
+from ...protocol.messages import PROXY_FETCH, PUSH
+from ...protocol.transport import Transport
 from ...workload import Trace
 from ..config import SimulationConfig
 from ..simulator import CachingScheme
@@ -45,8 +47,16 @@ class FcEcScheme(CachingScheme):
 
     name = "fc-ec"
 
-    def __init__(self, config: SimulationConfig, traces: list[Trace]) -> None:
-        super().__init__(config, traces)
+    def __init__(
+        self,
+        config: SimulationConfig,
+        traces: list[Trace],
+        transport: Transport | None = None,
+    ) -> None:
+        super().__init__(config, traces, transport)
+        if self.transport.faulty:
+            # Same scheme, fault semantics from the transport (see FC).
+            self.process = self._process_faulty  # type: ignore[method-assign]
         self._freq = [t.reference_counts() for t in traces]
         self._freq_total = sum(self._freq)
         self.capacity = sum(s.proxy_size + s.p2p_size for s in self.sizings)
@@ -131,6 +141,38 @@ class FcEcScheme(CachingScheme):
         self._consider_copy(obj, cluster)
         return tier
 
+    def _process_faulty(self, cluster: int, client: int, obj: int) -> str:
+        """Serving path under a fault transport.
+
+        A remote proxy-tier hit rides the cooperating-proxy link; a
+        remote client-tier hit rides the push link (``Tc + Tp2p``).
+        Local tiers (own proxy, own P2P partition) are LAN-side and stay
+        fault-free, matching the Hier-GD model where only cooperation
+        links degrade.
+        """
+        if obj in self._local[cluster]:
+            return (
+                TIER_LOCAL_PROXY
+                if self._tiers[cluster].in_top(obj)
+                else TIER_LOCAL_P2P
+            )
+        holders = self._holders.get(obj)
+        tier = TIER_SERVER
+        if holders:
+            proxy_side = any(self._tiers[q].in_top(obj) for q in holders)
+            if proxy_side:
+                if self.transport.attempt(PROXY_FETCH):
+                    tier = TIER_COOP_PROXY
+            elif self.transport.attempt(PUSH):
+                tier = TIER_COOP_P2P
+        self._consider_copy(obj, cluster)
+        return tier
+
     def finalize(self) -> tuple[dict[str, int], dict[str, float]]:
         """Coordination cost: one update message per placement change."""
-        return {"placement_updates": self._placement_updates}, {}
+        messages = {"placement_updates": self._placement_updates}
+        extras: dict[str, float] = {}
+        if self.transport.faulty:
+            messages.update(self.transport.fault_counters)
+            extras["extra_latency"] = self.extra_latency
+        return messages, extras

@@ -31,6 +31,8 @@ from __future__ import annotations
 from ...cache import LruCache
 from ...netmodel import TIER_LOCAL_P2P, TIER_SERVER
 from ...overlay import Dht, IdSpace, Overlay, build_owner_table, object_ids_for_urls
+from ...protocol.messages import P2P_FETCH
+from ...protocol.transport import Transport
 from ...workload import Trace, object_url
 from ..config import SimulationConfig
 from ..simulator import CachingScheme
@@ -46,8 +48,16 @@ class SquirrelScheme(CachingScheme):
     #: Spread the proxy cache budget over the client pool (see module doc).
     include_proxy_budget = True
 
-    def __init__(self, config: SimulationConfig, traces: list[Trace]) -> None:
-        super().__init__(config, traces)
+    def __init__(
+        self,
+        config: SimulationConfig,
+        traces: list[Trace],
+        transport: Transport | None = None,
+    ) -> None:
+        super().__init__(config, traces, transport)
+        if self.transport.faulty:
+            # Same scheme, fault semantics from the transport (see FC).
+            self.process = self._process_faulty  # type: ignore[method-assign]
         space = IdSpace(b=config.pastry_b)
         self._t_p2p = config.network.t_p2p
         self.overlays: list[Overlay] = []
@@ -122,10 +132,35 @@ class SquirrelScheme(CachingScheme):
         self.add_extra_latency(self._t_p2p)
         return TIER_SERVER
 
+    def _process_faulty(self, cluster: int, client: int, obj: int) -> str:
+        """Serving path under a fault transport.
+
+        Every request rides the overlay to its home node, so the
+        client↔client fetch is the faultable exchange: when the retry
+        budget is spent the requester fetches from the origin directly
+        and the home store learns nothing (no proxy tier exists to fall
+        back through — exactly the §6 structural weakness the paper
+        holds against Squirrel, measurable here as degradation toward
+        and below NC).
+        """
+        if not self.transport.attempt(P2P_FETCH):
+            return TIER_SERVER
+        hit, _ = self._home(cluster, obj).lookup_or_insert(obj)
+        if hit:
+            return TIER_LOCAL_P2P
+        # Home miss: the home node fetches from the origin, stores the
+        # object and relays it — one extra LAN leg on top of the server
+        # round trip.
+        self.add_extra_latency(self._t_p2p)
+        return TIER_SERVER
+
     def finalize(self) -> tuple[dict[str, int], dict[str, float]]:
         total_msgs = sum(o.stats.messages for o in self.overlays)
         total_hops = sum(o.stats.total_hops for o in self.overlays)
         extras: dict[str, float] = {"extra_latency": self.extra_latency}
         if total_msgs:
             extras["mean_pastry_hops"] = total_hops / total_msgs
-        return {}, extras
+        messages: dict[str, int] = {}
+        if self.transport.faulty:
+            messages.update(self.transport.fault_counters)
+        return messages, extras

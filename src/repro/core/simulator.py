@@ -28,6 +28,7 @@ from itertools import islice
 import numpy as np
 
 from ..netmodel import ALL_TIERS
+from ..protocol.transport import Transport
 from ..workload import Trace
 from .config import ClusterSizing, SimulationConfig
 from .metrics import SchemeResult
@@ -41,7 +42,12 @@ class CachingScheme(ABC):
     #: Registry name; subclasses must override.
     name = "abstract"
 
-    def __init__(self, config: SimulationConfig, traces: list[Trace]) -> None:
+    def __init__(
+        self,
+        config: SimulationConfig,
+        traces: list[Trace],
+        transport: Transport | None = None,
+    ) -> None:
         if len(traces) != config.n_proxies:
             raise ValueError(
                 f"{config.n_proxies} proxies need {config.n_proxies} traces, "
@@ -58,6 +64,11 @@ class CachingScheme(ABC):
         #: respects the warmup window.
         self.extra_latency = 0.0
         self._in_warmup = False
+        #: The cooperation-message carrier (:mod:`repro.protocol`): the
+        #: base transport is the fault-free identity; a fault/observability
+        #: stack gives the *same* scheme failure semantics or telemetry.
+        self.transport = Transport(config.network) if transport is None else transport
+        self.transport.bind(self)
 
     def add_extra_latency(self, amount: float) -> None:
         """Record off-tier latency (ignored during the warmup window)."""

@@ -146,7 +146,8 @@ def main(argv: list[str] | None = None) -> int:
         "--profile",
         action="store_true",
         help="run each figure under cProfile and collect per-scheme cache op "
-        "counters; writes profile_<figure>.json next to instrumentation.json "
+        "counters plus per-exchange/per-link protocol traffic; writes "
+        "profile_<figure>.json next to instrumentation.json "
         "(forces --workers 1: profiling is in-process)",
     )
     args = parser.parse_args(argv)
@@ -182,6 +183,21 @@ def main(argv: list[str] | None = None) -> int:
                     f"  [profile] {fn['tottime_sec']:8.3f}s "
                     f"{fn['ncalls']:>9} calls  {fn['function']}"
                 )
+            for sname, slot in collector.per_scheme.items():
+                proto = slot.get("protocol")
+                if not proto:
+                    continue
+                links = "  ".join(
+                    f"{link}={n:,}" for link, n in sorted(proto["links"].items()) if n
+                )
+                exchanges = "  ".join(
+                    f"{kind}={n:,}"
+                    for kind, n in sorted(proto["exchanges"].items())
+                    if n
+                )
+                print(f"  [protocol] {sname}: links {links or '-'}")
+                if exchanges:
+                    print(f"  [protocol] {sname}: exchanges {exchanges}")
             if args.out is not None:
                 profile_path = args.out / f"profile_{name}.json"
                 profile_path.write_text(

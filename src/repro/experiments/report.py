@@ -146,8 +146,14 @@ FIGURE_CLAIMS: dict[str, list[Claim]] = {
             lambda s: all(
                 min(s["latency"].get(name).values)
                 >= s["latency"].get(name).values[0] - 1e-9
-                for name in ("fc", "fc-ec", "hier-gd")
+                for name in ("fc", "fc-ec", "hier-gd", "squirrel")
             ),
+        ),
+        Claim(
+            "Squirrel has no fallback tier: faults erode its gain "
+            "monotonically toward (or below) NC",
+            lambda s: s["gain"].get("squirrel").values[-1]
+            < s["gain"].get("squirrel").values[0],
         ),
     ],
 }

@@ -50,8 +50,11 @@ __all__ = [
 #: would win, which is a protocol-tuning question, not a robustness one.
 DEFAULT_FAULT_RATES = (0.0, 0.02, 0.05, 0.1, 0.2)
 
-#: Cooperating schemes with a fault-aware variant (plus the NC baseline).
-ROBUSTNESS_SCHEMES = ("fc", "fc-ec", "hier-gd")
+#: Cooperating schemes with a faultable cooperation path (plus the NC
+#: baseline).  Squirrel rides along since the fault transport covers its
+#: home-node fetch: with no proxy tier to fall back through, it is the
+#: one scheme that can degrade *below* NC — measurable, not rhetorical.
+ROBUSTNESS_SCHEMES = ("fc", "fc-ec", "hier-gd", "squirrel")
 
 #: Proxy-cache fraction the sweep is pinned at: small enough that the
 #: cooperation paths carry real traffic (at large caches everything is a

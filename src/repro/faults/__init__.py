@@ -11,30 +11,29 @@ seeded experiment input:
   fault draw replays identically from the plan seed.
 - :mod:`repro.faults.poisson` — churn-event generation from a rate,
   subsuming hand-written :class:`~repro.core.churn.ChurnEvent` lists.
-- :mod:`repro.faults.schemes` — Hier-GD / FC / FC-EC variants with
-  timeout → bounded retry (exponential backoff) → fallback-to-origin
-  semantics, every wasted round charged to latency.
 - :mod:`repro.faults.run` — :func:`run_scheme_with_faults`, the
   dispatching entry point (zero plans take the plain code path).
 
-Layering: this package imports :mod:`repro.core` / :mod:`repro.netmodel`
-only — never :mod:`repro.experiments`, which builds on top of it.
+The failure *semantics* — timeout → bounded retry (exponential backoff)
+→ fallback-to-origin, every wasted round charged to latency — live in
+:class:`repro.protocol.transport.FaultTransport`: a faulty run is the
+same scheme carrying a fault transport, not a subclass fork.
+
+Layering: this package imports :mod:`repro.core` / :mod:`repro.protocol`
+/ :mod:`repro.netmodel` only — never :mod:`repro.experiments`, which
+builds on top of it.
 """
 
 from .injector import FaultInjector, fault_seed
 from .plan import NO_FAULTS, FaultPlan
 from .poisson import poisson_churn_events
 from .run import FAULTY_SCHEMES, run_scheme_with_faults
-from .schemes import FaultyFcEcScheme, FaultyFcScheme, FaultyHierGdScheme
 
 __all__ = [
     "FAULTY_SCHEMES",
     "NO_FAULTS",
     "FaultInjector",
     "FaultPlan",
-    "FaultyFcEcScheme",
-    "FaultyFcScheme",
-    "FaultyHierGdScheme",
     "fault_seed",
     "poisson_churn_events",
     "run_scheme_with_faults",

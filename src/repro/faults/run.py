@@ -1,35 +1,106 @@
 """Entry point: run any registered scheme under a fault plan.
 
-Dispatch rules keep fault-free results byte-identical to the plain code
-path (the acceptance bar for the subsystem):
+Fault semantics no longer live in scheme subclasses: a faulty run is the
+*same* scheme instance carrying a
+:class:`~repro.protocol.transport.FaultTransport`, assembled here per
+scheme.  Dispatch rules keep fault-free results byte-identical to the
+plain code path (the acceptance bar for the subsystem):
 
 * a zero plan (:meth:`FaultPlan.is_zero`) routes straight to
-  :func:`repro.core.run.run_scheme` — the faulty classes are never even
+  :func:`repro.core.run.run_scheme` — no fault layer is even
   constructed, so no extra counters, no RNG churn, nothing;
 * schemes without a faultable cooperation path (NC and the other upper
-  bounds whose remote tier is an abstraction this PR does not degrade)
-  also run plain at *any* fault rate.  NC in particular is fault-free by
-  construction — its client → proxy → origin path has no cooperation
-  link — which is what anchors the "degrades toward NC, never below"
-  claim of the robustness experiment.
+  bounds whose remote tier is an abstraction fault injection does not
+  degrade) also run plain at *any* fault rate.  NC in particular is
+  fault-free by construction — its client → proxy → origin path has no
+  cooperation link — which is what anchors the "degrades toward NC,
+  never below" claim of the robustness experiment.
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
+from ..core.churn import HierGdChurnScheme
 from ..core.config import SimulationConfig
 from ..core.metrics import SchemeResult
 from ..core.run import generate_workloads, run_scheme
+from ..core.schemes.full import FcScheme
+from ..core.schemes.full_ec import FcEcScheme
+from ..core.schemes.squirrel import SquirrelScheme
+from ..core.simulator import CachingScheme
+from ..protocol.transport import FaultTransport, Transport
 from ..workload import Trace
 from .plan import NO_FAULTS, FaultPlan
-from .schemes import FaultyFcEcScheme, FaultyFcScheme, FaultyHierGdScheme
+from .poisson import poisson_churn_events
 
 __all__ = ["FAULTY_SCHEMES", "run_scheme_with_faults"]
 
-#: Scheme name -> fault-aware class; everything else runs plain.
-FAULTY_SCHEMES = {
-    "hier-gd": FaultyHierGdScheme,
-    "fc": FaultyFcScheme,
-    "fc-ec": FaultyFcEcScheme,
+
+def _fault_transport(
+    config: SimulationConfig, plan: FaultPlan, scope: str
+) -> FaultTransport:
+    return FaultTransport(Transport(config.network), plan, scope=scope)
+
+
+def _faulty_hiergd(
+    config: SimulationConfig, traces: list[Trace], plan: FaultPlan
+) -> CachingScheme:
+    """Hier-GD under the full fault model.
+
+    Builds on the churn scheme (reference engine, lazily repaired
+    directories, membership events) with a fault transport carrying
+    message-level faults on the three cooperation links, stale
+    directories beyond Bloom false positives (lossy eviction notices),
+    unresponsive push targets — plus Poisson churn generated from
+    ``plan.churn_rate``, subsuming the hand-written event lists.
+    Unresponsiveness bites the *push* protocol only: within the own
+    cluster the proxy redirects its own client over the LAN, which the
+    firewall story (§4.3) does not block.
+    """
+    events = poisson_churn_events(
+        plan,
+        n_requests=sum(len(t) for t in traces),
+        n_clusters=config.n_proxies,
+        n_clients=config.sizing_for(traces[0]).n_clients,
+    )
+    scheme = HierGdChurnScheme(
+        config, traces, events, transport=_fault_transport(config, plan, "hier-gd")
+    )
+    # Report as the scheme under test, not the churn-harness subclass.
+    scheme.name = "hier-gd"
+    return scheme
+
+
+def _faulty_fc(
+    config: SimulationConfig, traces: list[Trace], plan: FaultPlan
+) -> CachingScheme:
+    return FcScheme(config, traces, transport=_fault_transport(config, plan, "fc"))
+
+
+def _faulty_fc_ec(
+    config: SimulationConfig, traces: list[Trace], plan: FaultPlan
+) -> CachingScheme:
+    return FcEcScheme(config, traces, transport=_fault_transport(config, plan, "fc-ec"))
+
+
+def _faulty_squirrel(
+    config: SimulationConfig, traces: list[Trace], plan: FaultPlan
+) -> CachingScheme:
+    return SquirrelScheme(
+        config, traces, transport=_fault_transport(config, plan, "squirrel")
+    )
+
+
+#: Scheme name -> builder assembling (scheme, fault transport) for a
+#: non-zero plan; everything else runs plain.
+FAULTY_SCHEMES: dict[
+    str, Callable[[SimulationConfig, list[Trace], FaultPlan], CachingScheme]
+] = {
+    "hier-gd": _faulty_hiergd,
+    "fc": _faulty_fc,
+    "fc-ec": _faulty_fc_ec,
+    "squirrel": _faulty_squirrel,
 }
 
 

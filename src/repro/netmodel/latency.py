@@ -158,6 +158,10 @@ class NetworkConfig:
             return self.t_coop + self.t_p2p
         raise KeyError(f"unknown link {link!r}")
 
+    def link_rtts(self) -> dict[str, float]:
+        """RTT per cooperation link — the fault transport's charge table."""
+        return {link: self.link_rtt(link) for link in FAULT_LINKS}
+
     # -- benefit terms for cost-benefit replacement -----------------------------
 
     @property

@@ -15,6 +15,9 @@ package provides the instrumentation that keeps the speedups honest.
   figure code.
 * :func:`profile_scheme` — one-call convenience: simulate one scheme
   under the profiler and return profile + op counters + result summary.
+* :func:`protocol_traffic_for` — per-exchange / per-link cooperation
+  traffic of a finished run (:mod:`repro.protocol` taxonomy), collected
+  alongside the op counters.
 
 The ``repro-experiments --profile`` flag is the CLI frontend: it writes
 one ``profile_<figure>.json`` per figure next to ``instrumentation.json``.
@@ -26,6 +29,7 @@ from .profiling import (
     op_counters_for,
     profile_call,
     profile_scheme,
+    protocol_traffic_for,
     record_scheme_ops,
 )
 
@@ -35,5 +39,6 @@ __all__ = [
     "op_counters_for",
     "profile_call",
     "profile_scheme",
+    "protocol_traffic_for",
     "record_scheme_ops",
 ]

@@ -16,6 +16,8 @@ from contextlib import contextmanager
 from typing import Any, Callable, Iterator
 
 from ..cache.base import Cache
+from ..protocol.messages import exchange_traffic, link_traffic
+from ..protocol.transport import ObservabilityTransport
 
 __all__ = [
     "profile_call",
@@ -23,6 +25,7 @@ __all__ = [
     "OpCounterCollector",
     "collecting_op_counters",
     "record_scheme_ops",
+    "protocol_traffic_for",
     "profile_scheme",
 ]
 
@@ -127,18 +130,48 @@ def op_counters_for(scheme: Any) -> dict[str, Any]:
     return {"n_caches": n_caches, **totals, "by_cache_type": by_type}
 
 
+def protocol_traffic_for(scheme: Any, result: Any) -> dict[str, Any]:
+    """Per-exchange and per-link cooperation traffic of one finished run.
+
+    Derived from the result's message/tier accounting
+    (:func:`repro.protocol.messages.exchange_traffic`), so it covers
+    every engine — including fast paths that serve exchanges inline.
+    When the scheme's transport stack carries an
+    :class:`~repro.protocol.transport.ObservabilityTransport`, its
+    observed attempt/outcome counts are included verbatim under
+    ``"observed"``.
+    """
+    exchanges = exchange_traffic(result.messages, result.tier_counts)
+    traffic: dict[str, Any] = {
+        "exchanges": exchanges,
+        "links": link_traffic(exchanges),
+    }
+    layer = getattr(scheme, "transport", None)
+    while layer is not None:
+        if isinstance(layer, ObservabilityTransport):
+            traffic["observed"] = layer.observed
+            break
+        layer = getattr(layer, "inner", None)
+    return traffic
+
+
 class OpCounterCollector:
     """Accumulates :func:`op_counters_for` reports keyed by scheme name.
 
     Multiple runs of the same scheme (sweep points) are summed, with a
-    ``runs`` count so means can be recovered.
+    ``runs`` count so means can be recovered.  When the finished
+    :class:`~repro.core.metrics.SchemeResult` is supplied, the slot also
+    carries the protocol-layer traffic breakdown
+    (:func:`protocol_traffic_for`), summed the same way.
     """
 
     def __init__(self) -> None:
         self.per_scheme: dict[str, dict[str, Any]] = {}
 
-    def record(self, name: str, scheme: Any) -> None:
+    def record(self, name: str, scheme: Any, result: Any = None) -> None:
         counters = op_counters_for(scheme)
+        if result is not None:
+            counters["protocol"] = protocol_traffic_for(scheme, result)
         slot = self.per_scheme.get(name)
         if slot is None:
             counters["runs"] = 1
@@ -156,6 +189,15 @@ class OpCounterCollector:
             dest["n_caches"] = max(dest["n_caches"], bucket["n_caches"])
             for key in ("hits", "misses", "insertions", "evictions"):
                 dest[key] += bucket[key]
+        proto = counters.get("protocol")
+        if proto is not None:
+            dest_proto = slot.setdefault(
+                "protocol", {"exchanges": {}, "links": {}}
+            )
+            for section in ("exchanges", "links"):
+                dest_section = dest_proto[section]
+                for key, n in proto[section].items():
+                    dest_section[key] = dest_section.get(key, 0) + n
 
 
 #: Process-wide active collector (None = collection off).  Checked once
@@ -176,14 +218,14 @@ def collecting_op_counters() -> Iterator[OpCounterCollector]:
         _ACTIVE_COLLECTOR = previous
 
 
-def record_scheme_ops(name: str, scheme: Any) -> None:
+def record_scheme_ops(name: str, scheme: Any, result: Any = None) -> None:
     """Report a finished scheme to the active collector (if any).
 
     Called by :func:`repro.core.run.run_scheme`; a no-op unless inside a
     :func:`collecting_op_counters` block.
     """
     if _ACTIVE_COLLECTOR is not None:
-        _ACTIVE_COLLECTOR.record(name, scheme)
+        _ACTIVE_COLLECTOR.record(name, scheme, result)
 
 
 def profile_scheme(

@@ -1,0 +1,68 @@
+"""Protocol layer: typed cooperation exchanges over composable transports.
+
+One cooperation-message engine for plain, faulty and observable runs:
+
+- :mod:`repro.protocol.messages` — the six exchange types every scheme's
+  request flow is built from, each bound to its faultable link, plus
+  per-exchange traffic derivation for finished results.
+- :mod:`repro.protocol.transport` — the :class:`Transport` stack: a base
+  layer that always succeeds, a :class:`FaultTransport` adding the
+  :class:`~repro.faults.plan.FaultPlan` timeout/retry/fallback ladder
+  (a zero plan is the identity), and an :class:`ObservabilityTransport`
+  emitting per-exchange counts and traces for :mod:`repro.perf`.
+- :mod:`repro.protocol.chain` — Hier-GD's miss chain decomposed into
+  transport-mediated stages shared by the plain, churn and faulty runs.
+
+Layering: this package imports :mod:`repro.netmodel` only at module
+scope (fault-layer internals are imported lazily), so the core layer can
+build on it without cycles; :mod:`repro.faults` supplies plans and
+injectors, :mod:`repro.core` supplies the schemes that ride the stack.
+"""
+
+from .chain import coop_proxy_stage, lookup_stage, origin_stage, push_stage, serve_miss
+from .messages import (
+    ALL_EXCHANGES,
+    COOP_EXCHANGES,
+    EVICTION_NOTICE,
+    FAULT_COUNTERS,
+    LOOKUP_QUERY,
+    P2P_FETCH,
+    PASS_DOWN,
+    PROXY_FETCH,
+    PUSH,
+    Exchange,
+    exchange_traffic,
+    link_traffic,
+)
+from .transport import (
+    FaultTransport,
+    ObservabilityTransport,
+    Transport,
+    TransportLayer,
+    build_transport,
+)
+
+__all__ = [
+    "ALL_EXCHANGES",
+    "COOP_EXCHANGES",
+    "EVICTION_NOTICE",
+    "FAULT_COUNTERS",
+    "LOOKUP_QUERY",
+    "P2P_FETCH",
+    "PASS_DOWN",
+    "PROXY_FETCH",
+    "PUSH",
+    "Exchange",
+    "FaultTransport",
+    "ObservabilityTransport",
+    "Transport",
+    "TransportLayer",
+    "build_transport",
+    "coop_proxy_stage",
+    "exchange_traffic",
+    "link_traffic",
+    "lookup_stage",
+    "origin_stage",
+    "push_stage",
+    "serve_miss",
+]

@@ -1,0 +1,164 @@
+"""The cooperation-message taxonomy: six typed exchanges.
+
+Every scheme in the paper is a composition of the same handful of
+cooperation messages (§3–§4); this module names them once so the
+request flows in :mod:`repro.core` and the fault semantics in
+:mod:`repro.faults` stop re-deriving them independently:
+
+==================  ========  ==============================================
+exchange            link      meaning
+==================  ========  ==============================================
+``LOOKUP_QUERY``    p2p       proxy → own P2P cache: a lookup-directory
+                              redirect into the overlay (Hier-GD step 2)
+``P2P_FETCH``       p2p       client ↔ client cache fetch over Pastry
+                              (Squirrel's home-node request)
+``PROXY_FETCH``     proxy     proxy → cooperating proxy miss service
+                              (SC-style cooperation, Hier-GD step 3)
+``PUSH``            push      proxy → remote proxy → firewalled client
+                              push protocol (§4.5, Hier-GD step 4)
+``PASS_DOWN``       —         proxy → owner client destage (Figure 1);
+                              LAN-side, not a faultable cooperation link
+``EVICTION_NOTICE``  —        client → proxy directory update; its failure
+                              mode is *staleness* (dropped notices via
+                              :class:`~repro.core.directory.LossyDirectory`),
+                              not a timeout ladder
+==================  ========  ==============================================
+
+The ``link`` column binds each exchange to the fault-injection link of
+:data:`repro.netmodel.FAULT_LINKS`; exchanges with no link ride the LAN
+inside a cluster and never time out (the §4.3 firewall story only
+degrades *cooperation* links).  The mapping is what lets a single
+:class:`~repro.protocol.transport.FaultTransport` give every scheme the
+same timeout → retry → fallback semantics without per-scheme subclasses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netmodel import (
+    LINK_P2P,
+    LINK_PROXY,
+    LINK_PUSH,
+    TIER_COOP_P2P,
+    TIER_COOP_PROXY,
+    TIER_LOCAL_P2P,
+)
+
+__all__ = [
+    "FAULT_COUNTERS",
+    "Exchange",
+    "LOOKUP_QUERY",
+    "P2P_FETCH",
+    "PROXY_FETCH",
+    "PUSH",
+    "PASS_DOWN",
+    "EVICTION_NOTICE",
+    "ALL_EXCHANGES",
+    "COOP_EXCHANGES",
+    "exchange_traffic",
+    "link_traffic",
+]
+
+
+#: Protocol-failure counters the fault transport emits into a scheme's
+#: ``messages``: timed-out rounds, retries after a timeout, fallbacks to
+#: the next tier after retry exhaustion, lookups that chased a stale
+#: (exact-)directory entry, and push requests that never got an answer.
+#: Re-exported by :mod:`repro.core.metrics`, where results carry them.
+FAULT_COUNTERS = (
+    "timeouts",
+    "retries",
+    "fallbacks",
+    "stale_directory_hits",
+    "failed_pushes",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Exchange:
+    """One cooperation-message type: a name plus its (faultable) link."""
+
+    kind: str
+    #: Member of :data:`repro.netmodel.FAULT_LINKS`, or ``None`` for
+    #: LAN-side exchanges fault injection never degrades.
+    link: str | None
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return self.kind
+
+
+LOOKUP_QUERY = Exchange("lookup_query", LINK_P2P)
+P2P_FETCH = Exchange("p2p_fetch", LINK_P2P)
+PROXY_FETCH = Exchange("proxy_fetch", LINK_PROXY)
+PUSH = Exchange("push", LINK_PUSH)
+PASS_DOWN = Exchange("pass_down", None)
+EVICTION_NOTICE = Exchange("eviction_notice", None)
+
+ALL_EXCHANGES = (
+    LOOKUP_QUERY,
+    P2P_FETCH,
+    PROXY_FETCH,
+    PUSH,
+    PASS_DOWN,
+    EVICTION_NOTICE,
+)
+
+#: The exchanges that cross a faultable cooperation link.
+COOP_EXCHANGES = tuple(e for e in ALL_EXCHANGES if e.link is not None)
+
+
+def exchange_traffic(
+    messages: dict[str, int], tier_counts: dict[str, int]
+) -> dict[str, int]:
+    """Per-exchange-type cooperation traffic of one finished run.
+
+    Derived from a :class:`~repro.core.metrics.SchemeResult`'s message
+    and tier accounting rather than observed on a transport, so it works
+    for every engine — including the fast Hier-GD path, which serves
+    exchanges inline.  The rules are uniform across schemes:
+
+    * ``lookup_query`` — directory redirects (``p2p_lookups``) plus
+      SC-style ICP probes (``coop_probes``);
+    * ``p2p_fetch`` — every request served from a P2P client tier
+      (``local_p2p``): the client↔client serving leg;
+    * ``proxy_fetch`` — every request served by a cooperating proxy
+      (``coop_proxy``): one inter-proxy fetch each;
+    * ``push`` — push-protocol rounds when the scheme counts them
+      (``push_requests``, which includes over-claims and failures),
+      otherwise the served ``coop_p2p`` tier count;
+    * ``pass_down`` / ``eviction_notice`` — Hier-GD's Figure-1 destages
+      and the client → directory notices.
+
+    Placement-coordination messages of the FC oracles
+    (``placement_updates``) are control-plane, not a cooperation
+    exchange, and are deliberately not mapped.
+    """
+    get_msg = messages.get
+    get_tier = tier_counts.get
+    return {
+        LOOKUP_QUERY.kind: get_msg("p2p_lookups", 0) + get_msg("coop_probes", 0),
+        P2P_FETCH.kind: get_tier(TIER_LOCAL_P2P, 0),
+        PROXY_FETCH.kind: get_tier(TIER_COOP_PROXY, 0),
+        PUSH.kind: (
+            messages["push_requests"]
+            if "push_requests" in messages
+            else get_tier(TIER_COOP_P2P, 0)
+        ),
+        PASS_DOWN.kind: get_msg("passdowns", 0),
+        EVICTION_NOTICE.kind: get_msg("client_evictions", 0),
+    }
+
+
+def link_traffic(exchange_counts: dict[str, int]) -> dict[str, int]:
+    """Roll per-exchange counts up to per-link totals.
+
+    LAN-side exchanges (no cooperation link) are reported under
+    ``"lan"`` so the breakdown still sums to the total message count.
+    """
+    totals: dict[str, int] = {}
+    for exchange in ALL_EXCHANGES:
+        n = exchange_counts.get(exchange.kind, 0)
+        key = exchange.link if exchange.link is not None else "lan"
+        totals[key] = totals.get(key, 0) + n
+    return totals

@@ -1,0 +1,291 @@
+"""Composable transports: who carries an exchange, and what can go wrong.
+
+A :class:`Transport` answers one question per cooperation message — did
+this exchange get through, and what did the attempt cost?  Schemes call
+:meth:`Transport.attempt` at every point their request flow crosses a
+cooperation link and branch on the answer; everything else (timeout
+ladders, retry budgets, fault counters, per-exchange telemetry) lives in
+the transport stack, not in scheme subclasses:
+
+* :class:`Transport` — the base layer: every exchange succeeds
+  immediately.  Tier latency stays charged by the simulator's request
+  loop (the §5.1 additive model sums per *serving tier*, and keeping the
+  float summation there preserves byte-identical totals), so success
+  costs the transport nothing extra.
+* :class:`FaultTransport` — wraps an inner transport with a
+  :class:`~repro.faults.plan.FaultPlan`: per-link Bernoulli loss drives
+  the timeout → bounded-exponential-backoff-retry → fallback ladder,
+  every wasted round charged through the bound scheme's
+  ``add_extra_latency``; delay inflation on successful rounds;
+  hash-stable unresponsive push targets; lossy eviction-notice channels
+  (:meth:`wrap_directory`).  A **zero plan is the identity layer**: the
+  wrapper delegates everything unchanged and installs nothing, so
+  results are byte-identical to the base transport.
+* :class:`ObservabilityTransport` — counts attempts/outcomes per
+  exchange type and (optionally) records a bounded trace of events;
+  never changes behaviour.  Stack it outside a fault layer to observe
+  logical exchanges (one per ladder), inside to observe successful
+  wire rounds; charged latency is identical either way because the
+  fault layer owns all charging.
+
+One transport instance serves one scheme run: :meth:`bind` attaches the
+scheme's latency sink (and is how a layer reaches ``add_extra_latency``
+without the scheme knowing the stack's shape).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..netmodel import NetworkConfig
+from .messages import ALL_EXCHANGES, FAULT_COUNTERS, Exchange
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.plan import FaultPlan
+
+__all__ = [
+    "Transport",
+    "TransportLayer",
+    "FaultTransport",
+    "ObservabilityTransport",
+    "build_transport",
+]
+
+
+def _discard_latency(_amount: float) -> None:
+    """Default sink before :meth:`Transport.bind` attaches a scheme."""
+
+
+class Transport:
+    """Base transport: every cooperation exchange succeeds immediately.
+
+    Also the stack's contract — layers override a subset and delegate
+    the rest (:class:`TransportLayer`).
+    """
+
+    #: True when a fault process is active somewhere in the stack.
+    #: Schemes branch on this once at construction/finalize time (never
+    #: per request) to keep fault-only accounting out of plain results.
+    faulty = False
+
+    def __init__(self, network: NetworkConfig) -> None:
+        self.network = network
+        self._charge = _discard_latency
+
+    def bind(self, scheme: Any) -> None:
+        """Attach the running scheme's warmup-aware latency sink."""
+        self._charge = scheme.add_extra_latency
+
+    def attempt(self, exchange: Exchange, force_fail: bool = False) -> bool:
+        """Carry one exchange; True iff it (eventually) got through."""
+        return True
+
+    def unresponsive(self, cluster: int, client: int) -> bool:
+        """Will this client cache never answer a push request?"""
+        return False
+
+    def wrap_directory(self, directory: Any, cluster: int) -> Any:
+        """Give a cluster's lookup directory this stack's failure modes."""
+        return directory
+
+    def install_counters(self, msg: dict[str, int]) -> None:
+        """Point fault-counter accounting at the scheme's message dict.
+
+        Hier-GD merges the :data:`~repro.core.metrics.FAULT_COUNTERS`
+        straight into its protocol-message dict; schemes that skip this
+        keep the transport's private dict and fold
+        :attr:`fault_counters` in at finalize.  A no-op unless a fault
+        layer is active.
+        """
+
+    @property
+    def fault_counters(self) -> dict[str, int]:
+        """The stack's fault-counter dict ({} when no fault layer is active)."""
+        return {}
+
+
+class TransportLayer(Transport):
+    """A transport wrapping another: delegates everything by default."""
+
+    def __init__(self, inner: Transport) -> None:
+        super().__init__(inner.network)
+        self.inner = inner
+
+    @property
+    def faulty(self) -> bool:  # type: ignore[override]
+        return self.inner.faulty
+
+    def bind(self, scheme: Any) -> None:
+        super().bind(scheme)
+        self.inner.bind(scheme)
+
+    def attempt(self, exchange: Exchange, force_fail: bool = False) -> bool:
+        return self.inner.attempt(exchange, force_fail)
+
+    def unresponsive(self, cluster: int, client: int) -> bool:
+        return self.inner.unresponsive(cluster, client)
+
+    def wrap_directory(self, directory: Any, cluster: int) -> Any:
+        return self.inner.wrap_directory(directory, cluster)
+
+    def install_counters(self, msg: dict[str, int]) -> None:
+        self.inner.install_counters(msg)
+
+    @property
+    def fault_counters(self) -> dict[str, int]:
+        return self.inner.fault_counters
+
+
+class FaultTransport(TransportLayer):
+    """The fault layer: a :class:`FaultPlan`'s failure semantics.
+
+    Ports the timeout/retry/fallback ladder the ``Faulty*`` scheme
+    subclasses used to carry, verbatim: a lost message costs one link
+    RTT (the natural timeout), retries inflate the timeout by
+    ``plan.backoff_base`` each round, and an exhausted budget returns
+    False so the caller falls back to the next tier.  ``force_fail``
+    models a peer that will never answer (an unresponsive push target):
+    the full ladder is paid.
+
+    ``scope`` namespaces the injector's substreams (the scheme name, so
+    two schemes under one plan draw independent sequences).
+    """
+
+    def __init__(self, inner: Transport, plan: "FaultPlan", scope: str = "") -> None:
+        super().__init__(inner)
+        # Deferred import: repro.faults imports the core layer, which
+        # imports this module — by the time a fault layer is built, the
+        # cycle has resolved.
+        from ..faults.injector import FaultInjector
+
+        self.plan = plan
+        self.scope = scope
+        self._active = not plan.is_zero()
+        self.injector = FaultInjector(plan, scope=scope)
+        self._link_rtt = inner.network.link_rtts()
+        self._counters = dict.fromkeys(FAULT_COUNTERS, 0)
+
+    @property
+    def faulty(self) -> bool:  # type: ignore[override]
+        return self._active or self.inner.faulty
+
+    def attempt(self, exchange: Exchange, force_fail: bool = False) -> bool:
+        link = exchange.link
+        if not self._active or link is None:
+            # Identity layer (zero plan) or a LAN-side exchange: the
+            # cooperation-fault model never touches it.
+            return self.inner.attempt(exchange, force_fail)
+        plan = self.plan
+        injector = self.injector
+        msg = self._counters
+        rtt = self._link_rtt[link]
+        timeout = rtt
+        for attempt in range(plan.max_retries + 1):
+            if not force_fail and injector.link_ok(link):
+                penalty = injector.delay_penalty(link)
+                if penalty:
+                    self._charge(penalty * rtt)
+                return self.inner.attempt(exchange)
+            msg["timeouts"] += 1
+            self._charge(timeout)
+            if attempt < plan.max_retries:
+                msg["retries"] += 1
+                timeout *= plan.backoff_base
+        msg["fallbacks"] += 1
+        return False
+
+    def unresponsive(self, cluster: int, client: int) -> bool:
+        if not self._active:
+            return self.inner.unresponsive(cluster, client)
+        return self.injector.unresponsive(cluster, client)
+
+    def wrap_directory(self, directory: Any, cluster: int) -> Any:
+        directory = self.inner.wrap_directory(directory, cluster)
+        if self._active and self.plan.stale_rate > 0.0:
+            from ..core.directory import LossyDirectory
+
+            directory = LossyDirectory(
+                directory,
+                drop_prob=self.plan.stale_rate,
+                rng=self.injector.stream("notices", cluster),
+            )
+        return directory
+
+    def install_counters(self, msg: dict[str, int]) -> None:
+        if self._active:
+            for key in FAULT_COUNTERS:
+                msg.setdefault(key, 0)
+            self._counters = msg
+        self.inner.install_counters(msg)
+
+    @property
+    def fault_counters(self) -> dict[str, int]:
+        return self._counters if self._active else self.inner.fault_counters
+
+
+class ObservabilityTransport(TransportLayer):
+    """Telemetry layer: per-exchange attempt/outcome counts + traces.
+
+    Pure observation — delegates every decision to the inner transport
+    and never charges latency, so stacking it anywhere in a transport
+    stack cannot change a result.
+    """
+
+    def __init__(
+        self, inner: Transport, trace: bool = False, max_trace: int = 10_000
+    ) -> None:
+        super().__init__(inner)
+        self.counts: dict[str, dict[str, int]] = {
+            e.kind: {"attempts": 0, "ok": 0, "failed": 0} for e in ALL_EXCHANGES
+        }
+        self._trace_on = trace
+        self._max_trace = max_trace
+        #: (kind, link, ok) tuples when tracing, bounded by ``max_trace``.
+        self.events: list[tuple[str, str | None, bool]] = []
+
+    def attempt(self, exchange: Exchange, force_fail: bool = False) -> bool:
+        ok = self.inner.attempt(exchange, force_fail)
+        slot = self.counts.setdefault(
+            exchange.kind, {"attempts": 0, "ok": 0, "failed": 0}
+        )
+        slot["attempts"] += 1
+        slot["ok" if ok else "failed"] += 1
+        if self._trace_on and len(self.events) < self._max_trace:
+            self.events.append((exchange.kind, exchange.link, ok))
+        return ok
+
+    @property
+    def observed(self) -> dict[str, Any]:
+        """JSON-safe snapshot: per-exchange counts + per-link rollup."""
+        links: dict[str, dict[str, int]] = {}
+        by_link = {e.kind: (e.link or "lan") for e in ALL_EXCHANGES}
+        for kind, slot in self.counts.items():
+            key = by_link.get(kind, "lan")
+            dest = links.setdefault(key, {"attempts": 0, "ok": 0, "failed": 0})
+            for field in ("attempts", "ok", "failed"):
+                dest[field] += slot[field]
+        return {
+            "exchanges": {k: dict(v) for k, v in self.counts.items()},
+            "links": links,
+        }
+
+
+def build_transport(
+    network: NetworkConfig,
+    plan: "FaultPlan | None" = None,
+    scope: str = "",
+    observe: bool = False,
+    trace: bool = False,
+) -> Transport:
+    """Assemble the standard stack: base → fault layer → observability.
+
+    ``plan=None`` (or a zero plan) yields the identity semantics; with
+    ``observe=True`` the observability layer sits outermost, counting
+    logical exchanges (one per retry ladder, not per wire round).
+    """
+    transport: Transport = Transport(network)
+    if plan is not None:
+        transport = FaultTransport(transport, plan, scope=scope)
+    if observe:
+        transport = ObservabilityTransport(transport, trace=trace)
+    return transport

@@ -6,6 +6,7 @@ from repro.experiments.executor import ExperimentEngine, SweepPoint
 from repro.experiments.robustness import (
     DEFAULT_FAULT_RATES,
     ROBUSTNESS_FRACTION,
+    ROBUSTNESS_SCHEMES,
     figure_robustness,
     robustness_plan,
     robustness_points,
@@ -114,3 +115,24 @@ class TestSweep:
                 scale=TINY, rates=(0.0,), schemes=("fc",),
                 engine=FailingEngine(),
             )
+
+
+class TestSquirrelDegradation:
+    """Regression guard: Squirrel rides the fault transport with no proxy
+    fallback tier, so faults erode its gain *without* the >= 0 floor the
+    Hier-GD claim relies on — it can land below NC."""
+
+    @pytest.fixture(scope="class")
+    def sweeps(self):
+        return robustness_sweep(scale=TINY, rates=RATES, schemes=("squirrel",))
+
+    def test_squirrel_is_in_the_default_sweep(self):
+        assert "squirrel" in ROBUSTNESS_SCHEMES
+
+    def test_gain_erodes_with_fault_rate(self, sweeps):
+        gains = sweeps["gain"].get("squirrel").values
+        assert gains[-1] < gains[0]
+
+    def test_latency_only_rises(self, sweeps):
+        lat = sweeps["latency"].get("squirrel").values
+        assert lat[-1] > lat[0]

@@ -1,0 +1,76 @@
+"""Unit tests for the exchange taxonomy and traffic derivation."""
+
+from repro.netmodel import FAULT_LINKS, LINK_P2P, LINK_PROXY, LINK_PUSH
+from repro.protocol import (
+    ALL_EXCHANGES,
+    COOP_EXCHANGES,
+    EVICTION_NOTICE,
+    LOOKUP_QUERY,
+    P2P_FETCH,
+    PASS_DOWN,
+    PROXY_FETCH,
+    PUSH,
+    exchange_traffic,
+    link_traffic,
+)
+
+
+class TestTaxonomy:
+    def test_six_exchanges_unique_kinds(self):
+        kinds = [e.kind for e in ALL_EXCHANGES]
+        assert len(kinds) == 6
+        assert len(set(kinds)) == 6
+
+    def test_links_bind_to_fault_links(self):
+        assert LOOKUP_QUERY.link == LINK_P2P
+        assert P2P_FETCH.link == LINK_P2P
+        assert PROXY_FETCH.link == LINK_PROXY
+        assert PUSH.link == LINK_PUSH
+        assert PASS_DOWN.link is None
+        assert EVICTION_NOTICE.link is None
+        for e in COOP_EXCHANGES:
+            assert e.link in FAULT_LINKS
+
+    def test_coop_exchanges_are_the_linked_ones(self):
+        assert set(COOP_EXCHANGES) == {e for e in ALL_EXCHANGES if e.link is not None}
+
+
+class TestTrafficDerivation:
+    def test_hiergd_style_messages(self):
+        messages = {
+            "p2p_lookups": 10,
+            "push_requests": 4,
+            "passdowns": 7,
+            "client_evictions": 3,
+        }
+        tiers = {"local_p2p": 8, "coop_proxy": 5, "coop_p2p": 2, "server": 1}
+        traffic = exchange_traffic(messages, tiers)
+        assert traffic == {
+            "lookup_query": 10,
+            "p2p_fetch": 8,
+            "proxy_fetch": 5,
+            "push": 4,  # push_requests wins over the coop_p2p tier count
+            "pass_down": 7,
+            "eviction_notice": 3,
+        }
+
+    def test_sc_style_probes_and_push_fallback(self):
+        # No push_requests counter: the served coop_p2p tier stands in.
+        messages = {"coop_probes": 12}
+        tiers = {"coop_p2p": 6}
+        traffic = exchange_traffic(messages, tiers)
+        assert traffic["lookup_query"] == 12
+        assert traffic["push"] == 6
+
+    def test_link_rollup_sums_to_total(self):
+        traffic = {
+            "lookup_query": 10,
+            "p2p_fetch": 8,
+            "proxy_fetch": 5,
+            "push": 4,
+            "pass_down": 7,
+            "eviction_notice": 3,
+        }
+        links = link_traffic(traffic)
+        assert links == {"p2p": 18, "proxy": 5, "push": 4, "lan": 10}
+        assert sum(links.values()) == sum(traffic.values())

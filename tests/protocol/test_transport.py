@@ -1,0 +1,253 @@
+"""Unit and stacking tests for the composable transport stack.
+
+The load-bearing contracts:
+
+* **ladder accounting** — the fault layer charges exactly the old
+  ``Faulty*`` timeout/retry/fallback arithmetic through the bound
+  scheme's latency sink;
+* **zero-plan identity** — a ``FaultTransport`` with an all-zero plan is
+  a pure pass-through: not faulty, installs nothing, and a full scheme
+  run through it is byte-identical to the plain path;
+* **stacking-order invariance** — the observability layer never charges
+  or decides, so placing it inside or outside the fault layer cannot
+  change a ``SchemeResult``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.run import run_scheme
+from repro.faults import FaultPlan
+from repro.protocol import (
+    EVICTION_NOTICE,
+    FAULT_COUNTERS,
+    P2P_FETCH,
+    PASS_DOWN,
+    PROXY_FETCH,
+    PUSH,
+    FaultTransport,
+    ObservabilityTransport,
+    Transport,
+    build_transport,
+)
+from repro.workload import ProWGenConfig, generate_cluster_traces
+
+TINY = ProWGenConfig(n_requests=3000, n_objects=300, n_clients=10)
+
+PLAN = FaultPlan(
+    p2p_loss=0.1,
+    proxy_loss=0.1,
+    push_loss=0.1,
+    delay_rate=0.1,
+    stale_rate=0.05,
+    unresponsive_fraction=0.1,
+    seed=7,
+)
+
+
+def cfg(**kw):
+    kw.setdefault("n_proxies", 2)
+    kw.setdefault("proxy_cache_fraction", 0.3)
+    return SimulationConfig(workload=TINY, **kw)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return generate_cluster_traces(TINY, 2, seed=0)
+
+
+class _Sink:
+    """Stand-in scheme: just the latency seam the transport binds to."""
+
+    def __init__(self):
+        self.charged = 0.0
+
+    def add_extra_latency(self, amount):
+        self.charged += amount
+
+
+def _fault(plan, scope=""):
+    transport = FaultTransport(Transport(cfg().network), plan, scope=scope)
+    sink = _Sink()
+    transport.bind(sink)
+    return transport, sink
+
+
+class TestFaultLadder:
+    def test_exhausted_ladder_charges_backoff_series(self):
+        plan = FaultPlan(p2p_loss=1.0, max_retries=1, seed=3)
+        transport, sink = _fault(plan)
+        rtt = cfg().network.link_rtts()[P2P_FETCH.link]
+
+        assert transport.attempt(P2P_FETCH) is False
+        counters = transport.fault_counters
+        assert counters["timeouts"] == 2
+        assert counters["retries"] == 1
+        assert counters["fallbacks"] == 1
+        # One timeout at rtt, one retry at rtt * backoff_base.
+        assert sink.charged == pytest.approx(rtt * (1.0 + plan.backoff_base))
+
+    def test_force_fail_pays_the_full_ladder_on_a_lossless_link(self):
+        # push_loss stays 0.0: an unresponsive peer fails the exchange
+        # anyway, and the caller pays every round of the default budget.
+        plan = FaultPlan(p2p_loss=0.1, seed=3)
+        transport, sink = _fault(plan)
+        rtt = cfg().network.link_rtts()[PUSH.link]
+
+        assert transport.attempt(PUSH, force_fail=True) is False
+        counters = transport.fault_counters
+        assert counters["timeouts"] == plan.max_retries + 1
+        assert counters["retries"] == plan.max_retries
+        assert counters["fallbacks"] == 1
+        expected = sum(rtt * plan.backoff_base**i for i in range(plan.max_retries + 1))
+        assert sink.charged == pytest.approx(expected)
+
+    def test_delay_penalty_charges_extra_rtt_multiples(self):
+        plan = FaultPlan(delay_rate=1.0, delay_factor=3.0, seed=3)
+        transport, sink = _fault(plan)
+        rtt = cfg().network.link_rtts()[PROXY_FETCH.link]
+
+        assert transport.attempt(PROXY_FETCH) is True
+        assert sink.charged == pytest.approx((plan.delay_factor - 1.0) * rtt)
+        assert transport.fault_counters["timeouts"] == 0
+
+    def test_lan_exchanges_never_enter_the_ladder(self):
+        plan = FaultPlan(p2p_loss=1.0, proxy_loss=1.0, push_loss=1.0, seed=3)
+        transport, sink = _fault(plan)
+
+        assert transport.attempt(PASS_DOWN) is True
+        assert transport.attempt(EVICTION_NOTICE) is True
+        assert sink.charged == 0.0
+        assert all(n == 0 for n in transport.fault_counters.values())
+
+    def test_install_counters_rebinds_the_scheme_dict(self):
+        plan = FaultPlan(p2p_loss=1.0, max_retries=0, seed=3)
+        transport, _ = _fault(plan)
+        msg = {"p2p_lookups": 5}
+        transport.install_counters(msg)
+
+        assert transport.attempt(P2P_FETCH) is False
+        assert transport.fault_counters is msg
+        assert msg["p2p_lookups"] == 5  # existing accounting untouched
+        assert msg["timeouts"] == 1
+        assert msg["fallbacks"] == 1
+
+
+class TestZeroPlanIdentity:
+    def test_zero_plan_layer_is_pure_passthrough(self):
+        transport, sink = _fault(FaultPlan())
+
+        assert transport.faulty is False
+        assert transport.attempt(P2P_FETCH) is True
+        assert transport.unresponsive(0, 0) is False
+        assert sink.charged == 0.0
+
+        msg = {}
+        transport.install_counters(msg)
+        assert msg == {}
+        assert transport.fault_counters == {}
+
+        directory = object()
+        assert transport.wrap_directory(directory, 0) is directory
+
+    @pytest.mark.parametrize("name", ["hier-gd", "fc", "squirrel"])
+    def test_zero_plan_run_byte_identical_to_plain(self, name, traces):
+        plain = run_scheme(name, cfg(), traces)
+        layered = run_scheme(
+            name,
+            cfg(),
+            traces,
+            transport=FaultTransport(Transport(cfg().network), FaultPlan()),
+        )
+        assert dataclasses.asdict(layered) == dataclasses.asdict(plain)
+        assert not any(key in layered.messages for key in FAULT_COUNTERS)
+
+
+class TestObservability:
+    def test_counts_attempts_and_outcomes(self):
+        obs = ObservabilityTransport(Transport(cfg().network))
+        for _ in range(3):
+            assert obs.attempt(P2P_FETCH) is True
+        slot = obs.counts[P2P_FETCH.kind]
+        assert slot == {"attempts": 3, "ok": 3, "failed": 0}
+        assert obs.observed["links"][P2P_FETCH.link]["attempts"] == 3
+
+    def test_counts_failures_from_an_inner_fault_layer(self):
+        plan = FaultPlan(p2p_loss=1.0, max_retries=0, seed=3)
+        obs = ObservabilityTransport(FaultTransport(Transport(cfg().network), plan))
+        obs.bind(_Sink())
+        assert obs.attempt(P2P_FETCH) is False
+        assert obs.counts[P2P_FETCH.kind] == {"attempts": 1, "ok": 0, "failed": 1}
+
+    def test_trace_is_bounded(self):
+        obs = ObservabilityTransport(Transport(cfg().network), trace=True, max_trace=2)
+        for _ in range(5):
+            obs.attempt(PUSH)
+        assert obs.events == [(PUSH.kind, PUSH.link, True)] * 2
+        assert obs.counts[PUSH.kind]["attempts"] == 5
+
+    def test_observed_run_byte_identical_to_plain(self, traces):
+        # Reference engine so every exchange actually crosses the stack.
+        plain = run_scheme("hier-gd", cfg(hot_path="reference"), traces)
+        observing = build_transport(cfg().network, observe=True)
+        observed = run_scheme(
+            "hier-gd", cfg(hot_path="reference"), traces, transport=observing
+        )
+        assert dataclasses.asdict(observed) == dataclasses.asdict(plain)
+        counted = observing.observed["exchanges"]
+        assert counted["lookup_query"]["attempts"] == observed.messages["p2p_lookups"]
+        assert counted["push"]["attempts"] == observed.messages["push_requests"]
+
+
+class TestStackingOrder:
+    @pytest.mark.parametrize("name", ["hier-gd", "fc", "fc-ec", "squirrel"])
+    def test_fault_and_observability_layers_commute(self, name, traces):
+        obs_outside = ObservabilityTransport(
+            FaultTransport(Transport(cfg().network), PLAN, scope=name)
+        )
+        obs_inside = FaultTransport(
+            ObservabilityTransport(Transport(cfg().network)), PLAN, scope=name
+        )
+        outside = run_scheme(name, cfg(), traces, transport=obs_outside)
+        inside = run_scheme(name, cfg(), traces, transport=obs_inside)
+        assert dataclasses.asdict(outside) == dataclasses.asdict(inside)
+
+    def test_outside_layer_sees_ladders_inside_sees_rounds(self):
+        plan = FaultPlan(p2p_loss=1.0, max_retries=2, seed=3)
+        outer = ObservabilityTransport(FaultTransport(Transport(cfg().network), plan))
+        inner_obs = ObservabilityTransport(Transport(cfg().network))
+        inner = FaultTransport(inner_obs, plan)
+        outer.bind(_Sink())
+        inner.bind(_Sink())
+
+        assert outer.attempt(P2P_FETCH) is False
+        assert inner.attempt(P2P_FETCH) is False
+        # Outside the fault layer: one logical exchange, failed.
+        assert outer.counts[P2P_FETCH.kind] == {"attempts": 1, "ok": 0, "failed": 1}
+        # Inside: only successful wire rounds reach the base, so a fully
+        # exhausted ladder records nothing at all.
+        assert inner_obs.counts[P2P_FETCH.kind]["attempts"] == 0
+
+
+class TestBuildTransport:
+    def test_default_is_the_bare_base_layer(self):
+        transport = build_transport(cfg().network)
+        assert type(transport) is Transport
+        assert transport.faulty is False
+
+    def test_full_stack_assembly(self):
+        transport = build_transport(
+            cfg().network, plan=PLAN, scope="fc", observe=True, trace=True
+        )
+        assert isinstance(transport, ObservabilityTransport)
+        assert isinstance(transport.inner, FaultTransport)
+        assert transport.inner.scope == "fc"
+        assert transport.faulty is True
+        assert transport._trace_on is True
+
+    def test_zero_plan_stack_is_not_faulty(self):
+        transport = build_transport(cfg().network, plan=FaultPlan())
+        assert isinstance(transport, FaultTransport)
+        assert transport.faulty is False
