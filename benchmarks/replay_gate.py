@@ -1,0 +1,127 @@
+"""Replay round-trip gate: record, replay, demand byte-identity.
+
+The record/replay subsystem's acceptance bar, run as a CI smoke job:
+
+* for every faultable scheme (fc, fc-ec, hier-gd, squirrel) at fault
+  rate 0 and at the gate rate, a simulate-with-record then replay must
+  yield a **byte-identical** ``SchemeResult`` with zero divergences and
+  the whole recorded exchange stream consumed;
+* a deliberately corrupted trace (first ``"x"`` event's exchange kind
+  flipped) must produce a divergence report naming exactly that
+  exchange index — the harness must *find* corruption, not paper over
+  it.
+
+Usage::
+
+    REPRO_SCALE=smoke PYTHONPATH=src python benchmarks/replay_gate.py
+    python benchmarks/replay_gate.py --rate 0.1 --out /tmp/replay_traces
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.experiments.robustness import ROBUSTNESS_FRACTION, robustness_plan
+from repro.experiments.runner import base_config
+from repro.faults.run import run_scheme_with_faults
+from repro.protocol.replay import format_report, replay_trace
+from repro.protocol.trace import recording_traces
+
+GATE_SCHEMES = ("fc", "fc-ec", "hier-gd", "squirrel")
+
+
+def corrupt_first_exchange(trace_path: Path, out_path: Path) -> int:
+    """Flip the first ``"x"`` event's kind; return its event index."""
+    lines = trace_path.read_text(encoding="utf-8").splitlines()
+    event_index = -1
+    for i, line in enumerate(lines):
+        entry = json.loads(line)
+        if not isinstance(entry, list):
+            continue
+        event_index += 1
+        if entry[0] == "x":
+            entry[2] = "proxy_fetch" if entry[2] != "proxy_fetch" else "push"
+            lines[i] = json.dumps(entry)
+            out_path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+            return event_index
+    raise SystemExit(f"{trace_path}: no 'x' events to corrupt")
+
+
+def run_gate(rate: float, out_dir: Path) -> list[str]:
+    """Record+replay every gate point; return failure messages (empty = pass)."""
+    failures: list[str] = []
+    config = base_config().with_changes(proxy_cache_fraction=ROBUSTNESS_FRACTION)
+    corruptible: Path | None = None
+    for scheme in GATE_SCHEMES:
+        for r in (0.0, rate):
+            label = f"{scheme}@rate={r:g}"
+            plan = robustness_plan(r)
+            with recording_traces(out_dir) as recorder:
+                run_scheme_with_faults(scheme, config, plan=plan, seed=0)
+            trace_path = recorder.written[-1]
+            report = replay_trace(trace_path)
+            if report.divergence is not None:
+                failures.append(f"{label}: unexpected divergence")
+                print(format_report(report))
+                continue
+            if not report.identical:
+                failures.append(f"{label}: replayed result differs from recording")
+                print(format_report(report))
+                continue
+            print(
+                f"  ok {label}: {report.events_replayed} exchanges replayed, "
+                "result byte-identical"
+            )
+            if r > 0:
+                corruptible = trace_path
+
+    if corruptible is None:
+        failures.append("no faulty trace recorded to corrupt (rate 0?)")
+        return failures
+
+    corrupted = out_dir / f"corrupted-{corruptible.name}"
+    expected_index = corrupt_first_exchange(corruptible, corrupted)
+    report = replay_trace(corrupted)
+    print(f"\ncorruption check ({corrupted.name}):")
+    print(format_report(report))
+    if report.divergence is None:
+        failures.append("corrupted trace replayed clean — divergence not detected")
+    elif report.divergence.index != expected_index:
+        failures.append(
+            f"divergence reported at exchange {report.divergence.index}, "
+            f"corrupted exchange is {expected_index}"
+        )
+    else:
+        print(
+            f"  ok corruption detected at exchange {expected_index}, as injected"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rate", type=float, default=0.1,
+                        help="faulty gate point's composite fault rate")
+    parser.add_argument("--out", type=Path, default=None, metavar="DIR",
+                        help="trace directory (default: a temp dir)")
+    args = parser.parse_args(argv)
+    out_dir = args.out or Path(tempfile.mkdtemp(prefix="replay_gate_"))
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    failures = run_gate(args.rate, out_dir)
+    if failures:
+        print("\nREPLAY GATE FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nreplay gate passed: every round trip byte-identical, "
+          "corruption detected")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@ over schemes costs one workload generation.
 from __future__ import annotations
 
 from ..perf.profiling import record_scheme_ops
+from ..protocol.trace import active_trace_recorder
 from ..protocol.transport import Transport
 from ..workload import Trace, generate_cluster_traces
 from .config import SimulationConfig
@@ -52,6 +53,13 @@ def run_scheme(
     ``transport`` optionally replaces the scheme's base transport with a
     custom stack (e.g. an observability layer); ``None`` keeps the plain
     always-succeeds carrier.
+
+    Inside a :func:`repro.protocol.trace.recording_traces` block the
+    run's transport (supplied or base) is wrapped in a recording layer
+    and the wire-level exchange trace lands in the recorder's directory.
+    ``seed`` names the trace seed in the recording header: callers that
+    pass pre-generated ``traces`` must pass the seed those traces were
+    generated from, or the recording will not replay.
     """
     try:
         scheme_cls = SCHEME_REGISTRY[name]
@@ -61,8 +69,21 @@ def run_scheme(
         ) from None
     if traces is None:
         traces = generate_workloads(config, seed=seed)
+    recorder = active_trace_recorder()
+    recording = None
+    if recorder is not None:
+        base = Transport(config.network) if transport is None else transport
+        transport = recording = recorder.open(name, config, seed, None, base)
     scheme = scheme_cls(config, traces, transport=transport)
-    result = scheme.run()
+    if recording is not None:
+        recording.attach(scheme)
+    result = None
+    try:
+        result = scheme.run()
+    finally:
+        if recording is not None:
+            # A crashed run seals an *incomplete* trace (result=None).
+            recorder.close(recording, result)
     # Feeds repro.perf's op-counter collection; a no-op when inactive.
     record_scheme_ops(name, scheme, result)
     return result

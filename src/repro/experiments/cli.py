@@ -21,6 +21,22 @@ run.  ``--resume [PATH]`` attaches the JSON-lines result store (default
 ``repro_store.jsonl``, placed inside ``--out`` when given): completed
 points are skipped on re-invocation, so an interrupted suite picks up
 where it stopped.  ``--progress`` prints one line per finished point.
+
+Record & replay (``repro.protocol`` wire traces)::
+
+    repro-experiments fig2a --record --resume --out results
+                                           # one exchange trace per point,
+                                           # next to the result store
+    repro-experiments --replay results/repro_store_traces/hier-gd-....jsonl
+                                           # re-drive it; byte-identical or
+                                           # a first-divergence report
+
+``--record [DIR]`` streams every simulated point's cooperation exchanges
+to a content-addressed JSONL trace (default directory: the result
+store's ``<store>_traces/`` sibling, else ``repro_traces/`` under
+``--out``).  Recording is in-process, so it forces ``--workers 1``.
+``--replay <trace>`` needs no figure ids; exit status 1 signals a
+divergent or non-identical replay.
 """
 
 from __future__ import annotations
@@ -30,11 +46,13 @@ import json
 import os
 import sys
 import time
+from contextlib import nullcontext
 from pathlib import Path
 
 from ..analysis.plots import ascii_plot
 from ..analysis.results import SweepResult
 from ..perf import collecting_op_counters, profile_call
+from ..protocol.trace import recording_traces
 from .executor import ExperimentEngine
 from .figure2 import figure2a, figure2b
 from .figure3 import figure3
@@ -103,9 +121,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "figures",
-        nargs="+",
-        choices=[*FIGURES, "all"],
-        help="figure ids to run ('all' for every figure)",
+        nargs="*",
+        metavar="FIGURE",
+        # the bare list keeps zero-figure invocations (--replay) valid on
+        # Pythons where nargs="*" validates the empty default too
+        choices=[*FIGURES, "all", []],
+        help="figure ids to run ('all' for every figure; optional with "
+        "--replay)",
     )
     parser.add_argument(
         "--scale",
@@ -150,7 +172,35 @@ def main(argv: list[str] | None = None) -> int:
         "profile_<figure>.json next to instrumentation.json "
         "(forces --workers 1: profiling is in-process)",
     )
+    parser.add_argument(
+        "--record",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="DIR",
+        help="record every simulated point's wire-level exchange trace "
+        "(repro.protocol JSONL) into DIR; default DIR is the result "
+        "store's <store>_traces/ sibling, else repro_traces/ under --out "
+        "(forces --workers 1: recording is in-process)",
+    )
+    parser.add_argument(
+        "--replay",
+        metavar="TRACE",
+        default=None,
+        help="replay one recorded exchange trace and report byte-identity "
+        "or the first divergence; no figure ids needed (exit 1 on "
+        "divergence)",
+    )
     args = parser.parse_args(argv)
+
+    if args.replay is not None:
+        from ..protocol.replay import format_report, replay_trace
+
+        report = replay_trace(args.replay)
+        print(format_report(report))
+        return 0 if report.identical and report.divergence is None else 1
+    if not args.figures:
+        parser.error("at least one figure id is required (or --replay TRACE)")
 
     if args.scale is not None:
         os.environ["REPRO_SCALE"] = args.scale
@@ -159,64 +209,85 @@ def main(argv: list[str] | None = None) -> int:
     if args.profile and args.workers != 1:
         print("[--profile forces --workers 1]")
         args.workers = 1
+    if args.record is not None and args.workers != 1:
+        print("[--record forces --workers 1]")
+        args.workers = 1
 
     engine = build_engine(args.workers, args.resume, args.progress, args.out)
     if engine.store is not None:
         print(f"result store: {engine.store.path} ({len(engine.store)} points)")
+
+    record_dir: Path | None = None
+    if args.record is not None:
+        if args.record != "auto":
+            record_dir = Path(args.record)
+        elif engine.store is not None:
+            record_dir = engine.store.trace_dir
+        else:
+            record_dir = (args.out or Path(".")) / "repro_traces"
+        print(f"recording exchange traces to {record_dir}")
 
     names = list(FIGURES) if "all" in args.figures else list(dict.fromkeys(args.figures))
     scale = current_scale()
     print(f"scale={scale.label} ({scale.n_requests} requests, "
           f"{scale.n_objects} objects, {scale.n_clients} clients per cluster), "
           f"workers={engine.workers}")
-    for name in names:
-        started = time.time()
-        print(f"\n### {name} ...", flush=True)
-        if args.profile:
-            with collecting_op_counters() as collector:
-                result, report = profile_call(
-                    FIGURES[name], seed=args.seed, engine=engine
-                )
-            _emit(name, result, args.out)
-            for fn in report["top_functions"][:5]:
-                print(
-                    f"  [profile] {fn['tottime_sec']:8.3f}s "
-                    f"{fn['ncalls']:>9} calls  {fn['function']}"
-                )
-            for sname, slot in collector.per_scheme.items():
-                proto = slot.get("protocol")
-                if not proto:
-                    continue
-                links = "  ".join(
-                    f"{link}={n:,}" for link, n in sorted(proto["links"].items()) if n
-                )
-                exchanges = "  ".join(
-                    f"{kind}={n:,}"
-                    for kind, n in sorted(proto["exchanges"].items())
-                    if n
-                )
-                print(f"  [protocol] {sname}: links {links or '-'}")
-                if exchanges:
-                    print(f"  [protocol] {sname}: exchanges {exchanges}")
-            if args.out is not None:
-                profile_path = args.out / f"profile_{name}.json"
-                profile_path.write_text(
-                    json.dumps(
-                        {
-                            "figure": name,
-                            "profile": report,
-                            "op_counters": collector.per_scheme,
-                        },
-                        indent=2,
+    record_ctx = (
+        recording_traces(record_dir) if record_dir is not None else nullcontext()
+    )
+    with record_ctx as recorder:
+        for name in names:
+            started = time.time()
+            print(f"\n### {name} ...", flush=True)
+            if args.profile:
+                with collecting_op_counters() as collector:
+                    result, report = profile_call(
+                        FIGURES[name], seed=args.seed, engine=engine
                     )
-                    + "\n",
-                    encoding="utf-8",
-                )
-                print(f"[saved {profile_path}]")
-        else:
-            result = FIGURES[name](seed=args.seed, engine=engine)
-            _emit(name, result, args.out)
-        print(f"[{name} done in {time.time() - started:.1f}s]")
+                _emit(name, result, args.out)
+                for fn in report["top_functions"][:5]:
+                    print(
+                        f"  [profile] {fn['tottime_sec']:8.3f}s "
+                        f"{fn['ncalls']:>9} calls  {fn['function']}"
+                    )
+                for sname, slot in collector.per_scheme.items():
+                    proto = slot.get("protocol")
+                    if not proto:
+                        continue
+                    links = "  ".join(
+                        f"{link}={n:,}"
+                        for link, n in sorted(proto["links"].items())
+                        if n
+                    )
+                    exchanges = "  ".join(
+                        f"{kind}={n:,}"
+                        for kind, n in sorted(proto["exchanges"].items())
+                        if n
+                    )
+                    print(f"  [protocol] {sname}: links {links or '-'}")
+                    if exchanges:
+                        print(f"  [protocol] {sname}: exchanges {exchanges}")
+                if args.out is not None:
+                    profile_path = args.out / f"profile_{name}.json"
+                    profile_path.write_text(
+                        json.dumps(
+                            {
+                                "figure": name,
+                                "profile": report,
+                                "op_counters": collector.per_scheme,
+                            },
+                            indent=2,
+                        )
+                        + "\n",
+                        encoding="utf-8",
+                    )
+                    print(f"[saved {profile_path}]")
+            else:
+                result = FIGURES[name](seed=args.seed, engine=engine)
+                _emit(name, result, args.out)
+            print(f"[{name} done in {time.time() - started:.1f}s]")
+    if recorder is not None:
+        print(f"\n[recorded {len(recorder.written)} exchange traces in {record_dir}]")
 
     inst = engine.instrument
     if inst is not None and inst.total:

@@ -191,7 +191,11 @@ def run_point(point: SweepPoint) -> dict[str, Any]:
     started = time.perf_counter()
     cfg = point.resolved_config
     traces = _cluster_traces(cfg, point.seed)
-    result = run_scheme_with_faults(point.scheme, cfg, traces, plan=point.faults)
+    # seed rides along so a recording made of this point carries the true
+    # trace seed (replay regenerates the workload from it).
+    result = run_scheme_with_faults(
+        point.scheme, cfg, traces, plan=point.faults, seed=point.seed
+    )
     return {
         "result": serialize_result(result),
         "wall_time": time.perf_counter() - started,

@@ -17,11 +17,13 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from contextlib import nullcontext
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
 from ..analysis.results import SweepResult
+from ..protocol.trace import recording_traces
 from .executor import ExperimentEngine
 from .figure2 import figure2a, figure2b
 from .figure3 import figure3
@@ -234,14 +236,35 @@ def main(argv: list[str] | None = None) -> int:  # pragma: no cover - thin CLI
                         metavar="PATH", help="resume from a JSONL result store")
     parser.add_argument("--progress", action="store_true",
                         help="print one line per completed sweep point")
+    parser.add_argument("--record", nargs="?", const="auto", default=None,
+                        metavar="DIR",
+                        help="record wire-level exchange traces for every "
+                        "simulated point (default DIR: the result store's "
+                        "<store>_traces/ sibling, else repro_traces/; "
+                        "forces --workers 1)")
     args = parser.parse_args(argv)
     if args.scale:
         os.environ["REPRO_SCALE"] = args.scale
+    if args.record is not None and args.workers != 1:
+        print("[--record forces --workers 1]")
+        args.workers = 1
     from .cli import build_engine
 
     engine = build_engine(args.workers, args.resume, args.progress,
                           args.out.parent if args.out else None)
-    report = generate_report(seed=args.seed, engine=engine)
+    record_ctx = nullcontext()
+    if args.record is not None:
+        if args.record != "auto":
+            record_dir = Path(args.record)
+        elif engine.store is not None:
+            record_dir = engine.store.trace_dir
+        else:
+            base = args.out.parent if args.out else Path(".")
+            record_dir = base / "repro_traces"
+        print(f"recording exchange traces to {record_dir}")
+        record_ctx = recording_traces(record_dir)
+    with record_ctx:
+        report = generate_report(seed=args.seed, engine=engine)
     if args.out:
         args.out.write_text(report, encoding="utf-8")
         print(f"wrote {args.out}")

@@ -173,6 +173,18 @@ class ResultStore:
         """Corrupt/torn/unknown-schema lines ignored on load."""
         return self._skipped_lines
 
+    @property
+    def trace_dir(self) -> Path:
+        """Where wire-level exchange traces for this store's points land.
+
+        A sibling directory of the store file (``repro_store.jsonl`` ->
+        ``repro_store_traces/``), so recordings travel with the results
+        they belong to.  Trace files are content-addressed by
+        :func:`repro.protocol.trace.trace_key`; this property only names
+        the directory.
+        """
+        return self.path.with_name(self.path.stem + "_traces")
+
     def get(self, key: str) -> SchemeResult | None:
         """Stored result for ``key``, or ``None`` if not yet computed.
 

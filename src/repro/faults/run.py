@@ -29,6 +29,7 @@ from ..core.schemes.full import FcScheme
 from ..core.schemes.full_ec import FcEcScheme
 from ..core.schemes.squirrel import SquirrelScheme
 from ..core.simulator import CachingScheme
+from ..protocol.trace import active_trace_recorder
 from ..protocol.transport import FaultTransport, Transport
 from ..workload import Trace
 from .plan import NO_FAULTS, FaultPlan
@@ -44,7 +45,10 @@ def _fault_transport(
 
 
 def _faulty_hiergd(
-    config: SimulationConfig, traces: list[Trace], plan: FaultPlan
+    config: SimulationConfig,
+    traces: list[Trace],
+    plan: FaultPlan,
+    transport: Transport | None = None,
 ) -> CachingScheme:
     """Hier-GD under the full fault model.
 
@@ -57,6 +61,12 @@ def _faulty_hiergd(
     Unresponsiveness bites the *push* protocol only: within the own
     cluster the proxy redirects its own client over the LAN, which the
     firewall story (§4.3) does not block.
+
+    ``transport`` substitutes the whole carrier stack (a recording
+    wrapper, a replay transport); ``None`` builds the standard fault
+    transport.  Churn events are regenerated from the plan either way —
+    they are a pure function of it, which is what lets a replayed run
+    reconstruct them without the wire trace carrying membership.
     """
     events = poisson_churn_events(
         plan,
@@ -64,38 +74,53 @@ def _faulty_hiergd(
         n_clusters=config.n_proxies,
         n_clients=config.sizing_for(traces[0]).n_clients,
     )
-    scheme = HierGdChurnScheme(
-        config, traces, events, transport=_fault_transport(config, plan, "hier-gd")
-    )
+    if transport is None:
+        transport = _fault_transport(config, plan, "hier-gd")
+    scheme = HierGdChurnScheme(config, traces, events, transport=transport)
     # Report as the scheme under test, not the churn-harness subclass.
     scheme.name = "hier-gd"
     return scheme
 
 
 def _faulty_fc(
-    config: SimulationConfig, traces: list[Trace], plan: FaultPlan
+    config: SimulationConfig,
+    traces: list[Trace],
+    plan: FaultPlan,
+    transport: Transport | None = None,
 ) -> CachingScheme:
-    return FcScheme(config, traces, transport=_fault_transport(config, plan, "fc"))
+    if transport is None:
+        transport = _fault_transport(config, plan, "fc")
+    return FcScheme(config, traces, transport=transport)
 
 
 def _faulty_fc_ec(
-    config: SimulationConfig, traces: list[Trace], plan: FaultPlan
+    config: SimulationConfig,
+    traces: list[Trace],
+    plan: FaultPlan,
+    transport: Transport | None = None,
 ) -> CachingScheme:
-    return FcEcScheme(config, traces, transport=_fault_transport(config, plan, "fc-ec"))
+    if transport is None:
+        transport = _fault_transport(config, plan, "fc-ec")
+    return FcEcScheme(config, traces, transport=transport)
 
 
 def _faulty_squirrel(
-    config: SimulationConfig, traces: list[Trace], plan: FaultPlan
+    config: SimulationConfig,
+    traces: list[Trace],
+    plan: FaultPlan,
+    transport: Transport | None = None,
 ) -> CachingScheme:
-    return SquirrelScheme(
-        config, traces, transport=_fault_transport(config, plan, "squirrel")
-    )
+    if transport is None:
+        transport = _fault_transport(config, plan, "squirrel")
+    return SquirrelScheme(config, traces, transport=transport)
 
 
-#: Scheme name -> builder assembling (scheme, fault transport) for a
-#: non-zero plan; everything else runs plain.
+#: Scheme name -> builder assembling the scheme for a non-zero plan
+#: (everything else runs plain).  The optional ``transport`` replaces
+#: the standard fault stack — the seam the record/replay harness uses.
 FAULTY_SCHEMES: dict[
-    str, Callable[[SimulationConfig, list[Trace], FaultPlan], CachingScheme]
+    str,
+    Callable[..., CachingScheme],
 ] = {
     "hier-gd": _faulty_hiergd,
     "fc": _faulty_fc,
@@ -111,11 +136,30 @@ def run_scheme_with_faults(
     plan: FaultPlan | None = None,
     seed: int = 0,
 ) -> SchemeResult:
-    """Simulate ``name`` under ``plan`` (``None``/zero plan: plain run)."""
+    """Simulate ``name`` under ``plan`` (``None``/zero plan: plain run).
+
+    Inside a :func:`repro.protocol.trace.recording_traces` block the
+    fault stack is wrapped in a recording layer, so faulty runs record
+    exactly like plain ones.  As with :func:`~repro.core.run.run_scheme`,
+    callers that supply ``traces`` must pass the ``seed`` they were
+    generated from for the recording header to be replayable.
+    """
     plan = NO_FAULTS if plan is None else plan
     if plan.is_zero() or name not in FAULTY_SCHEMES:
         return run_scheme(name, config, traces, seed=seed)
     if traces is None:
         traces = generate_workloads(config, seed=seed)
-    scheme = FAULTY_SCHEMES[name](config, traces, plan)
-    return scheme.run()
+    recorder = active_trace_recorder()
+    if recorder is None:
+        return FAULTY_SCHEMES[name](config, traces, plan).run()
+    transport = recorder.open(
+        name, config, seed, plan, _fault_transport(config, plan, name)
+    )
+    scheme = FAULTY_SCHEMES[name](config, traces, plan, transport=transport)
+    transport.attach(scheme)
+    result = None
+    try:
+        result = scheme.run()
+    finally:
+        recorder.close(transport, result)
+    return result

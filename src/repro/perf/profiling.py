@@ -17,6 +17,7 @@ from typing import Any, Callable, Iterator
 
 from ..cache.base import Cache
 from ..protocol.messages import exchange_traffic, link_traffic
+from ..protocol.trace import RecordingTransport
 from ..protocol.transport import ObservabilityTransport
 
 __all__ = [
@@ -139,7 +140,9 @@ def protocol_traffic_for(scheme: Any, result: Any) -> dict[str, Any]:
     When the scheme's transport stack carries an
     :class:`~repro.protocol.transport.ObservabilityTransport`, its
     observed attempt/outcome counts are included verbatim under
-    ``"observed"``.
+    ``"observed"``; a :class:`~repro.protocol.trace.RecordingTransport`
+    in the stack contributes the recorded trace's path and event
+    accounting under ``"recorded"``.
     """
     exchanges = exchange_traffic(result.messages, result.tier_counts)
     traffic: dict[str, Any] = {
@@ -148,9 +151,14 @@ def protocol_traffic_for(scheme: Any, result: Any) -> dict[str, Any]:
     }
     layer = getattr(scheme, "transport", None)
     while layer is not None:
-        if isinstance(layer, ObservabilityTransport):
+        if isinstance(layer, ObservabilityTransport) and "observed" not in traffic:
             traffic["observed"] = layer.observed
-            break
+        if isinstance(layer, RecordingTransport) and "recorded" not in traffic:
+            traffic["recorded"] = {
+                "trace": str(layer.writer.path),
+                "events": layer.writer.events_written,
+                "dropped": layer.writer.events_dropped,
+            }
         layer = getattr(layer, "inner", None)
     return traffic
 

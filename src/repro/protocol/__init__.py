@@ -12,6 +12,14 @@ One cooperation-message engine for plain, faulty and observable runs:
   emitting per-exchange counts and traces for :mod:`repro.perf`.
 - :mod:`repro.protocol.chain` — Hier-GD's miss chain decomposed into
   transport-mediated stages shared by the plain, churn and faulty runs.
+- :mod:`repro.protocol.trace` — wire-level recording: a
+  :class:`RecordingTransport` streaming every exchange (outcome, exact
+  latency charges, fault-counter deltas) to a content-addressed JSONL
+  trace, armed process-wide via :func:`recording_traces`.
+- :mod:`repro.protocol.replay` — the inverse: a :class:`ReplayTransport`
+  answering the transport contract from a recorded stream, and
+  :func:`replay_trace` re-driving a whole scheme to a byte-identical
+  result or a first-divergence report.
 
 Layering: this package imports :mod:`repro.netmodel` only at module
 scope (fault-layer internals are imported lazily), so the core layer can
@@ -34,6 +42,29 @@ from .messages import (
     exchange_traffic,
     link_traffic,
 )
+from .replay import (
+    Divergence,
+    RecordedTrace,
+    ReplayDivergence,
+    ReplayReport,
+    ReplayTransport,
+    TraceError,
+    TraceFormatError,
+    TraceIncompleteError,
+    TraceSchemaError,
+    format_report,
+    load_trace,
+    replay_trace,
+)
+from .trace import (
+    TRACE_SCHEMA,
+    RecordingTransport,
+    TraceRecorder,
+    TraceWriter,
+    active_trace_recorder,
+    recording_traces,
+    trace_key,
+)
 from .transport import (
     FaultTransport,
     ObservabilityTransport,
@@ -52,17 +83,36 @@ __all__ = [
     "PASS_DOWN",
     "PROXY_FETCH",
     "PUSH",
+    "TRACE_SCHEMA",
+    "Divergence",
     "Exchange",
     "FaultTransport",
     "ObservabilityTransport",
+    "RecordedTrace",
+    "RecordingTransport",
+    "ReplayDivergence",
+    "ReplayReport",
+    "ReplayTransport",
+    "TraceError",
+    "TraceFormatError",
+    "TraceIncompleteError",
+    "TraceRecorder",
+    "TraceSchemaError",
+    "TraceWriter",
     "Transport",
     "TransportLayer",
+    "active_trace_recorder",
     "build_transport",
     "coop_proxy_stage",
     "exchange_traffic",
+    "format_report",
     "link_traffic",
+    "load_trace",
     "lookup_stage",
     "origin_stage",
     "push_stage",
+    "recording_traces",
+    "replay_trace",
     "serve_miss",
+    "trace_key",
 ]

@@ -1,0 +1,477 @@
+"""Replay harness: re-drive a scheme from a recorded exchange stream.
+
+The counterpart of :mod:`repro.protocol.trace`: a
+:class:`ReplayTransport` implements the :class:`~repro.protocol.
+transport.Transport` contract but answers :meth:`attempt` /
+:meth:`unresponsive` from the recorded event stream instead of the fault
+injector's RNG — the recorded outcome is returned, the recorded latency
+charges are re-applied one by one in their original order (float
+addition is not associative; per-amount replay is what makes
+``total_latency`` byte-identical), and the recorded fault-counter deltas
+are booked.  Everything else in a simulation is already deterministic
+given the same ``(config, scheme, seed, plan)``: the workload regrows
+from the seed, stale-directory notices and Poisson churn come from named
+plan substreams the replay rebuilds, and the caches do what the caches
+do.
+
+If the scheme under replay ever asks for an exchange the recording did
+not contain — different kind, different link, different request index, a
+stream that runs dry, or events left over after the run — the transport
+raises :class:`ReplayDivergence` and :func:`replay_trace` converts it
+into a :class:`Divergence` report: the first mismatched exchange index,
+the recorded event, what the scheme actually asked for, and the
+surrounding recorded events for context.  That is the debugging story:
+a divergence pinpoints *where* two builds of the simulator disagree
+without re-simulating anything twice.
+
+Module-scope imports stay protocol-internal (the core layer imports the
+protocol package); the core/faults/workload machinery used to rebuild a
+run is imported inside functions, after the cycle has resolved.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+from .messages import Exchange
+from .trace import TRACE_KIND, TRACE_SCHEMA, attach_request_counter
+from .transport import Transport
+
+__all__ = [
+    "TraceError",
+    "TraceFormatError",
+    "TraceSchemaError",
+    "TraceIncompleteError",
+    "ReplayDivergence",
+    "RecordedTrace",
+    "load_trace",
+    "ReplayTransport",
+    "Divergence",
+    "ReplayReport",
+    "replay_trace",
+    "format_report",
+]
+
+
+class TraceError(Exception):
+    """Base class for unusable trace files."""
+
+
+class TraceFormatError(TraceError):
+    """The file is not a well-formed exchange trace."""
+
+
+class TraceSchemaError(TraceError):
+    """The trace speaks a different format version than this build."""
+
+
+class TraceIncompleteError(TraceError):
+    """The trace is truncated (dropped events or an unfinished run)."""
+
+
+class ReplayDivergence(Exception):
+    """The scheme asked for something the recording does not contain.
+
+    ``index`` is the position in the recorded event stream (equal to the
+    stream length when the scheme asked for one exchange too many);
+    ``expected`` is the recorded event at that position (``None`` past
+    the end); ``observed`` describes what the scheme actually did.
+    """
+
+    def __init__(self, index: int, expected: list[Any] | None, observed: str):
+        self.index = index
+        self.expected = expected
+        self.observed = observed
+        want = json.dumps(expected) if expected is not None else "<end of stream>"
+        super().__init__(
+            f"replay diverged at exchange {index}: expected {want}, "
+            f"observed {observed}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class RecordedTrace:
+    """A parsed trace file: header, event list, footer."""
+
+    path: Path
+    header: dict[str, Any]
+    events: list[list[Any]]
+    footer: dict[str, Any]
+
+    @property
+    def scheme(self) -> str:
+        return self.header["scheme"]
+
+    @property
+    def seed(self) -> int:
+        return int(self.header["seed"])
+
+    @property
+    def complete(self) -> bool:
+        return bool(self.footer.get("complete"))
+
+    @property
+    def recorded_result(self) -> dict[str, Any] | None:
+        return self.footer.get("result")
+
+
+def load_trace(path: str | Path) -> RecordedTrace:
+    """Parse one trace file, validating format and schema version."""
+    path = Path(path)
+    lines = [
+        line for line in path.read_text(encoding="utf-8").splitlines() if line.strip()
+    ]
+    if not lines:
+        raise TraceFormatError(f"{path}: empty file is not an exchange trace")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"{path}: unparsable header line: {exc}") from exc
+    if not isinstance(header, dict) or header.get("kind") != TRACE_KIND:
+        raise TraceFormatError(f"{path}: header does not identify a {TRACE_KIND}")
+    schema = header.get("schema")
+    if schema != TRACE_SCHEMA:
+        raise TraceSchemaError(
+            f"{path}: trace schema {schema!r}, this build replays only "
+            f"{TRACE_SCHEMA} (recorded by a different version?)"
+        )
+    for field in ("scheme", "seed", "config"):
+        if field not in header:
+            raise TraceFormatError(f"{path}: header is missing {field!r}")
+    events: list[list[Any]] = []
+    footer: dict[str, Any] | None = None
+    for i, line in enumerate(lines[1:], start=2):
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"{path}:{i}: unparsable line: {exc}") from exc
+        if isinstance(entry, list):
+            if footer is not None:
+                raise TraceFormatError(f"{path}:{i}: event after the footer")
+            if not entry or entry[0] not in ("x", "u"):
+                raise TraceFormatError(f"{path}:{i}: unknown event {entry!r}")
+            events.append(entry)
+        elif isinstance(entry, dict) and entry.get("end"):
+            footer = entry
+        else:
+            raise TraceFormatError(f"{path}:{i}: unexpected line {entry!r}")
+    if footer is None:
+        # No footer: the recording run died mid-stream.  Loadable enough
+        # to inspect, but never complete.
+        footer = {"end": True, "events": len(events), "dropped": 0,
+                  "complete": False, "result": None}
+    return RecordedTrace(path=path, header=header, events=events, footer=footer)
+
+
+class ReplayTransport(Transport):
+    """Answers the transport contract from a recorded event stream.
+
+    Active (plan-driven) replays rebuild the plan's *named* RNG
+    substreams where determinism does not depend on the wire —
+    stale-notice drops via :meth:`wrap_directory` use the ``"notices"``
+    substream exactly as :class:`~repro.protocol.transport.
+    FaultTransport` does — while every wire decision (loss, delay,
+    unresponsiveness) comes from the recording, so the injector's
+    loss/delay streams are never drawn from at all.
+    """
+
+    def __init__(
+        self,
+        network: Any,
+        events: list[list[Any]],
+        plan: Any = None,
+        scope: str = "",
+    ) -> None:
+        super().__init__(network)
+        self.events = events
+        self.pos = 0
+        self.plan = plan
+        self.scope = scope
+        self._active = plan is not None and not plan.is_zero()
+        self._counters: dict[str, int] = {}
+        if self._active:
+            from .messages import FAULT_COUNTERS
+
+            self._counters = dict.fromkeys(FAULT_COUNTERS, 0)
+        self._injector = None
+        self._req = -1
+
+    @property
+    def faulty(self) -> bool:  # type: ignore[override]
+        return self._active
+
+    @property
+    def remaining(self) -> int:
+        """Recorded events not yet consumed."""
+        return len(self.events) - self.pos
+
+    def attach(self, scheme: Any) -> None:
+        """Start counting request indices (call after scheme construction)."""
+        attach_request_counter(self, scheme)
+
+    def _injector_for_streams(self) -> Any:
+        if self._injector is None:
+            from ..faults.injector import FaultInjector
+
+            self._injector = FaultInjector(self.plan, scope=self.scope)
+        return self._injector
+
+    def _pop(self, tag: str, observed: str) -> list[Any]:
+        if self.pos >= len(self.events):
+            raise ReplayDivergence(self.pos, None, observed)
+        event = self.events[self.pos]
+        self.pos += 1
+        if event[0] != tag:
+            raise ReplayDivergence(self.pos - 1, event, observed)
+        return event
+
+    def attempt(self, exchange: Exchange, force_fail: bool = False) -> bool:
+        observed = (
+            f"attempt({exchange.kind}, link={exchange.link}, "
+            f"force_fail={force_fail}) at request {self._req}"
+        )
+        event = self._pop("x", observed)
+        _, req, kind, link, ok, charges, deltas = event
+        if kind != exchange.kind or link != exchange.link or req != self._req:
+            raise ReplayDivergence(self.pos - 1, event, observed)
+        for amount in charges:
+            self._charge(amount)
+        counters = self._counters
+        for key, d in deltas.items():
+            counters[key] = counters.get(key, 0) + d
+        return ok
+
+    def unresponsive(self, cluster: int, client: int) -> bool:
+        if not self._active:
+            # Recording skips "u" events on plain stacks (the answer is
+            # the base transport's constant False); mirror that.
+            return False
+        observed = (
+            f"unresponsive(cluster={cluster}, client={client}) "
+            f"at request {self._req}"
+        )
+        event = self._pop("u", observed)
+        _, req, ev_cluster, ev_client, answer = event
+        if ev_cluster != cluster or ev_client != client or req != self._req:
+            raise ReplayDivergence(self.pos - 1, event, observed)
+        return answer
+
+    def wrap_directory(self, directory: Any, cluster: int) -> Any:
+        if self._active and self.plan.stale_rate > 0.0:
+            from ..core.directory import LossyDirectory
+
+            directory = LossyDirectory(
+                directory,
+                drop_prob=self.plan.stale_rate,
+                rng=self._injector_for_streams().stream("notices", cluster),
+            )
+        return directory
+
+    def install_counters(self, msg: dict[str, int]) -> None:
+        if self._active and self._counters is not msg:
+            from .messages import FAULT_COUNTERS
+
+            for key in FAULT_COUNTERS:
+                msg[key] = msg.get(key, 0) + self._counters.get(key, 0)
+            self._counters = msg
+
+    @property
+    def fault_counters(self) -> dict[str, int]:
+        return self._counters if self._active else {}
+
+
+@dataclasses.dataclass(frozen=True)
+class Divergence:
+    """First point where the replayed run left the recording."""
+
+    #: Index into the recorded event stream (== stream length when the
+    #: replay asked for an exchange past the end).
+    index: int
+    #: The recorded event at that index (None past the end).
+    expected: list[Any] | None
+    #: What the replayed scheme actually did.
+    observed: str
+    #: ``(index, event)`` pairs around the mismatch.
+    context: list[tuple[int, list[Any]]]
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplayReport:
+    """Outcome of one :func:`replay_trace` run."""
+
+    path: str
+    scheme: str
+    seed: int
+    plan_label: str
+    n_events: int
+    events_replayed: int
+    #: None for a clean replay.
+    divergence: Divergence | None
+    #: Replayed result == recorded result, field for field, byte for byte.
+    identical: bool
+    result: Any | None
+    recorded: dict[str, Any] | None
+
+
+def _config_from_fingerprint(fingerprint: dict[str, Any]) -> Any:
+    from ..core.config import SimulationConfig
+    from ..netmodel import NetworkConfig
+    from ..workload import ProWGenConfig
+
+    rest = {
+        key: value
+        for key, value in fingerprint.items()
+        if key not in ("workload", "network")
+    }
+    return SimulationConfig(
+        workload=ProWGenConfig(**fingerprint["workload"]),
+        network=NetworkConfig(**fingerprint["network"]),
+        **rest,
+    )
+
+
+def _context(events: list[list[Any]], index: int, radius: int = 3):
+    lo = max(0, index - radius)
+    hi = min(len(events), index + radius + 1)
+    return [(i, events[i]) for i in range(lo, hi)]
+
+
+def _divergence(trace: RecordedTrace, exc: ReplayDivergence) -> Divergence:
+    return Divergence(
+        index=exc.index,
+        expected=exc.expected,
+        observed=exc.observed,
+        context=_context(trace.events, exc.index),
+    )
+
+
+def replay_trace(path: str | Path) -> ReplayReport:
+    """Re-drive the recorded run and compare against the recording.
+
+    Raises the :class:`TraceError` family for unusable files (including
+    incomplete recordings — a truncated stream cannot round-trip); a
+    *divergent* replay is not an error but a finding, returned in the
+    report.
+    """
+    trace = load_trace(path)
+    if not trace.complete:
+        raise TraceIncompleteError(
+            f"{trace.path}: trace is incomplete "
+            f"({trace.footer.get('dropped', 0)} dropped events, "
+            f"result={'present' if trace.recorded_result else 'missing'}) — "
+            "refusing to replay a truncated recording"
+        )
+    config = _config_from_fingerprint(trace.header["config"])
+    plan = None
+    if trace.header.get("plan") is not None:
+        from ..faults.plan import FaultPlan
+
+        plan = FaultPlan(**trace.header["plan"])
+    from ..workload import generate_cluster_traces
+
+    traces = generate_cluster_traces(
+        config.workload, config.n_proxies, seed=trace.seed
+    )
+    transport = ReplayTransport(
+        config.network, trace.events, plan=plan, scope=trace.scheme
+    )
+    name = trace.scheme
+    if plan is not None and not plan.is_zero():
+        from ..faults.run import FAULTY_SCHEMES
+
+        if name not in FAULTY_SCHEMES:
+            raise TraceFormatError(
+                f"{trace.path}: no faulty builder for scheme {name!r} "
+                f"(have: {', '.join(FAULTY_SCHEMES)})"
+            )
+        scheme = FAULTY_SCHEMES[name](config, traces, plan, transport=transport)
+    else:
+        from ..core.schemes import SCHEME_REGISTRY
+
+        if name not in SCHEME_REGISTRY:
+            raise TraceFormatError(
+                f"{trace.path}: unknown scheme {name!r} "
+                f"(have: {', '.join(SCHEME_REGISTRY)})"
+            )
+        scheme = SCHEME_REGISTRY[name](config, traces, transport=transport)
+    transport.attach(scheme)
+
+    divergence: Divergence | None = None
+    result = None
+    try:
+        result = scheme.run()
+    except ReplayDivergence as exc:
+        divergence = _divergence(trace, exc)
+    else:
+        if transport.remaining:
+            divergence = Divergence(
+                index=transport.pos,
+                expected=trace.events[transport.pos],
+                observed=(
+                    f"run finished with {transport.remaining} recorded "
+                    "exchanges left unconsumed"
+                ),
+                context=_context(trace.events, transport.pos),
+            )
+    identical = (
+        divergence is None
+        and result is not None
+        and dataclasses.asdict(result) == trace.recorded_result
+    )
+    return ReplayReport(
+        path=str(trace.path),
+        scheme=name,
+        seed=trace.seed,
+        plan_label=plan.label if plan is not None else "none",
+        n_events=len(trace.events),
+        events_replayed=transport.pos,
+        divergence=divergence,
+        identical=identical,
+        result=result,
+        recorded=trace.recorded_result,
+    )
+
+
+def format_report(report: ReplayReport) -> str:
+    """Human-readable replay verdict (CLI ``--replay``, the CI gate)."""
+    lines = [
+        f"replay {report.path}",
+        f"  scheme={report.scheme} seed={report.seed} "
+        f"plan={report.plan_label} events={report.n_events}",
+    ]
+    if report.divergence is None:
+        lines.append(
+            f"  clean replay: {report.events_replayed}/{report.n_events} "
+            "recorded exchanges consumed"
+        )
+        if report.identical:
+            lines.append("  result: byte-identical to the recording")
+        else:
+            lines.append("  result: DIFFERS from the recording")
+            if report.result is not None and report.recorded is not None:
+                replayed = dataclasses.asdict(report.result)
+                for field in sorted(set(replayed) | set(report.recorded)):
+                    if replayed.get(field) != report.recorded.get(field):
+                        lines.append(
+                            f"    {field}: replayed {replayed.get(field)!r} "
+                            f"vs recorded {report.recorded.get(field)!r}"
+                        )
+    else:
+        d = report.divergence
+        expected = (
+            json.dumps(d.expected)
+            if d.expected is not None
+            else "<end of recorded stream>"
+        )
+        lines.append(f"  DIVERGENCE at exchange {d.index}:")
+        lines.append(f"    expected: {expected}")
+        lines.append(f"    observed: {d.observed}")
+        if d.context:
+            lines.append("    context:")
+            for idx, event in d.context:
+                marker = ">" if idx == d.index else " "
+                lines.append(f"    {marker} {idx:>6}: {json.dumps(event)}")
+    return "\n".join(lines)

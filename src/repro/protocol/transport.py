@@ -77,8 +77,14 @@ class Transport:
         self._charge = scheme.add_extra_latency
 
     def attempt(self, exchange: Exchange, force_fail: bool = False) -> bool:
-        """Carry one exchange; True iff it (eventually) got through."""
-        return True
+        """Carry one exchange; True iff it (eventually) got through.
+
+        ``force_fail`` marks a peer that will never answer (an
+        explicitly-unresponsive push target): the exchange fails on every
+        transport, fault layer or not — only the *cost* of failing (the
+        timeout ladder) is the fault layer's business.
+        """
+        return not force_fail
 
     def unresponsive(self, cluster: int, client: int) -> bool:
         """Will this client cache never answer a push request?"""
@@ -212,9 +218,12 @@ class FaultTransport(TransportLayer):
         return directory
 
     def install_counters(self, msg: dict[str, int]) -> None:
-        if self._active:
+        if self._active and self._counters is not msg:
+            # Merge, don't rebind-and-drop: any timeouts/retries/fallbacks
+            # accumulated before installation must survive the handover
+            # (the identity guard keeps a re-install from double-counting).
             for key in FAULT_COUNTERS:
-                msg.setdefault(key, 0)
+                msg[key] = msg.get(key, 0) + self._counters.get(key, 0)
             self._counters = msg
         self.inner.install_counters(msg)
 
@@ -242,6 +251,11 @@ class ObservabilityTransport(TransportLayer):
         self._max_trace = max_trace
         #: (kind, link, ok) tuples when tracing, bounded by ``max_trace``.
         self.events: list[tuple[str, str | None, bool]] = []
+        #: Events that arrived after the trace buffer filled up.  Nonzero
+        #: means :attr:`events` is a truncated prefix, not the full run —
+        #: consumers (the replay recorder above all) must never present a
+        #: truncated buffer as complete.
+        self.events_dropped = 0
 
     def attempt(self, exchange: Exchange, force_fail: bool = False) -> bool:
         ok = self.inner.attempt(exchange, force_fail)
@@ -250,8 +264,11 @@ class ObservabilityTransport(TransportLayer):
         )
         slot["attempts"] += 1
         slot["ok" if ok else "failed"] += 1
-        if self._trace_on and len(self.events) < self._max_trace:
-            self.events.append((exchange.kind, exchange.link, ok))
+        if self._trace_on:
+            if len(self.events) < self._max_trace:
+                self.events.append((exchange.kind, exchange.link, ok))
+            else:
+                self.events_dropped += 1
         return ok
 
     @property
@@ -267,6 +284,7 @@ class ObservabilityTransport(TransportLayer):
         return {
             "exchanges": {k: dict(v) for k, v in self.counts.items()},
             "links": links,
+            "events_dropped": self.events_dropped,
         }
 
 

@@ -122,6 +122,25 @@ class TestFaultLadder:
         assert sink.charged == 0.0
         assert all(n == 0 for n in transport.fault_counters.values())
 
+    def test_install_counters_merges_counts_accrued_before_install(self):
+        # Regression: schemes attempt exchanges during construction,
+        # *then* install their message dict.  Rebind-and-drop lost those
+        # early timeouts/fallbacks from the reported totals.
+        plan = FaultPlan(p2p_loss=1.0, max_retries=0, seed=3)
+        transport, _ = _fault(plan)
+        assert transport.attempt(P2P_FETCH) is False  # before install
+
+        msg = {"timeouts": 0, "p2p_lookups": 5}
+        transport.install_counters(msg)
+        assert transport.fault_counters is msg
+        assert msg["timeouts"] == 1  # pre-install count survived
+        assert msg["fallbacks"] == 1
+        assert msg["p2p_lookups"] == 5
+
+        # Re-installing the same dict must not double-count.
+        transport.install_counters(msg)
+        assert msg["timeouts"] == 1
+
     def test_install_counters_rebinds_the_scheme_dict(self):
         plan = FaultPlan(p2p_loss=1.0, max_retries=0, seed=3)
         transport, _ = _fault(plan)
@@ -133,6 +152,21 @@ class TestFaultLadder:
         assert msg["p2p_lookups"] == 5  # existing accounting untouched
         assert msg["timeouts"] == 1
         assert msg["fallbacks"] == 1
+
+
+class TestBaseTransport:
+    def test_attempt_honors_force_fail(self):
+        # Regression: the base layer ignored force_fail and reported an
+        # unresponsive peer's exchange as delivered.  The *cost* of the
+        # failure is the fault layer's business, but the outcome is not.
+        transport = Transport(cfg().network)
+        assert transport.attempt(PUSH) is True
+        assert transport.attempt(PUSH, force_fail=True) is False
+
+    def test_zero_plan_fault_layer_delegates_force_fail(self):
+        transport, sink = _fault(FaultPlan())
+        assert transport.attempt(PUSH, force_fail=True) is False
+        assert sink.charged == 0.0  # zero plan: no ladder, no charges
 
 
 class TestZeroPlanIdentity:
@@ -187,6 +221,21 @@ class TestObservability:
             obs.attempt(PUSH)
         assert obs.events == [(PUSH.kind, PUSH.link, True)] * 2
         assert obs.counts[PUSH.kind]["attempts"] == 5
+
+    def test_dropped_trace_events_are_reported(self):
+        # Regression: the bounded buffer dropped events silently, so a
+        # truncated trace looked complete to anything reading it back.
+        obs = ObservabilityTransport(Transport(cfg().network), trace=True, max_trace=2)
+        for _ in range(5):
+            obs.attempt(PUSH)
+        assert obs.events_dropped == 3
+        assert obs.observed["events_dropped"] == 3
+
+    def test_untruncated_trace_reports_zero_dropped(self):
+        obs = ObservabilityTransport(Transport(cfg().network), trace=True, max_trace=8)
+        obs.attempt(PUSH)
+        assert obs.events_dropped == 0
+        assert obs.observed["events_dropped"] == 0
 
     def test_observed_run_byte_identical_to_plain(self, traces):
         # Reference engine so every exchange actually crosses the stack.
