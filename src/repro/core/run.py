@@ -28,6 +28,7 @@ __all__ = [
     "run_scheme",
     "run_all_schemes",
     "gains_vs_nc",
+    "with_backend",
 ]
 
 
@@ -41,18 +42,39 @@ def generate_workloads(config: SimulationConfig, seed: int = 0) -> list[Trace]:
     return generate_cluster_traces(config.workload, config.n_proxies, seed=seed)
 
 
+def with_backend(transport: Transport, backend: str) -> Transport:
+    """Wrap a finished stack in the selected execution backend.
+
+    ``"sync"`` returns the stack unchanged; ``"async"`` wraps it
+    outermost in an :class:`~repro.protocol.aio.AsyncTransport` on the
+    deterministic simulated clock, so the same run is driven through the
+    awaitable ladder path with byte-identical results (the async
+    equivalence gate).
+    """
+    if backend == "async":
+        from ..protocol.aio import AsyncTransport
+
+        return AsyncTransport(transport)
+    if backend != "sync":
+        raise ValueError(f"unknown backend {backend!r}; expected sync or async")
+    return transport
+
+
 def run_scheme(
     name: str,
     config: SimulationConfig,
     traces: list[Trace] | None = None,
     seed: int = 0,
     transport: Transport | None = None,
+    backend: str = "sync",
 ) -> SchemeResult:
     """Simulate one scheme; generates the workload if none is supplied.
 
     ``transport`` optionally replaces the scheme's base transport with a
     custom stack (e.g. an observability layer); ``None`` keeps the plain
-    always-succeeds carrier.
+    always-succeeds carrier.  ``backend="async"`` drives the same stack
+    through :class:`~repro.protocol.aio.AsyncTransport` on the simulated
+    clock — results stay byte-identical to the synchronous path.
 
     Inside a :func:`repro.protocol.trace.recording_traces` block the
     run's transport (supplied or base) is wrapped in a recording layer
@@ -74,6 +96,10 @@ def run_scheme(
     if recorder is not None:
         base = Transport(config.network) if transport is None else transport
         transport = recording = recorder.open(name, config, seed, None, base)
+    if backend != "sync":
+        transport = with_backend(
+            Transport(config.network) if transport is None else transport, backend
+        )
     scheme = scheme_cls(config, traces, transport=transport)
     if recording is not None:
         recording.attach(scheme)

@@ -1,0 +1,367 @@
+"""Live driver: run a real scheme against running cache daemons.
+
+The counterpart of :mod:`repro.protocol.replay` for the live path: a
+:class:`DaemonTransport` implements the :class:`~repro.protocol.
+transport.Transport` contract but answers :meth:`attempt` /
+:meth:`unresponsive` **over TCP** — every cooperation exchange becomes a
+wire request to the daemon whose role serves it
+(:data:`~repro.protocol.wire.SERVED_BY`), and the daemon's response (a
+trace event, byte for byte) supplies the outcome, the exact latency
+charges and the fault-counter deltas the driver re-applies locally in
+recorded order.
+
+:func:`drive_scheme` is the entry point: it rebuilds a run exactly like
+:func:`~repro.protocol.replay.replay_trace` does (same workload
+regrowth, same scheme construction, same request counter) but carries it
+over a :class:`DaemonTransport`, optionally wrapped in the PR-5
+:class:`~repro.protocol.trace.RecordingTransport` — so a **live** run
+produces the same JSONL exchange traces as a simulated one, replayable
+by the same harness.  With one daemon per role, every fault link's RNG
+substream lives whole on one connection and advances in the scheme's
+serial call order, which makes the live trace byte-identical to a
+simulated recording of the same ``(config, scheme, seed, plan)``.
+
+Determinism fine print: the driver keeps exactly the fault decisions that
+never crossed the wire in the simulator local — lossy eviction notices
+(:meth:`DaemonTransport.wrap_directory` rebuilds the plan's ``"notices"``
+substream) — while loss, delay and unresponsiveness are the daemons'
+business.  Multiple daemons per role round-robin per exchange; recorded
+traces still round-trip (replay consumes the recording, not the RNG),
+but byte-identity *against a simulation* holds only for one daemon per
+role.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import socket
+from pathlib import Path
+from typing import Any
+
+from ..protocol.messages import FAULT_COUNTERS, Exchange
+from ..protocol.trace import (
+    DEFAULT_MAX_EVENTS,
+    TraceRecorder,
+    attach_request_counter,
+)
+from ..protocol.transport import Transport
+from ..protocol.wire import (
+    ROLE_CLIENT,
+    ROLES,
+    SERVED_BY,
+    WireProtocolError,
+    WireRoleError,
+    decode_frame,
+    encode_frame,
+    hello_frame,
+    parse_ack,
+    parse_answer,
+    parse_event,
+    probe_frame,
+    request_frame,
+)
+
+__all__ = ["DaemonTransport", "DriveReport", "drive_scheme"]
+
+
+class _DaemonLink:
+    """One driver ↔ daemon connection: hello'd, role-verified, line-framed."""
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        scope: str,
+        network: Any,
+        plan: Any,
+    ) -> None:
+        self.address = address
+        self._sock = socket.create_connection(address)
+        self._rfile = self._sock.makefile("rb")
+        self.send(hello_frame(scope, network, plan))
+        self.role, self.node = parse_ack(self.recv())
+
+    def send(self, frame: Any) -> None:
+        self._sock.sendall(encode_frame(frame))
+
+    def recv(self) -> Any:
+        """One response line; daemon refusals surface as protocol errors.
+
+        EOF (or a partial line) from a daemon that died mid-exchange
+        reaches :func:`~repro.protocol.wire.decode_frame` without its
+        newline and is refused as truncation — never half-parsed.
+        """
+        entry = decode_frame(self._rfile.readline())
+        if isinstance(entry, dict) and "error" in entry:
+            raise WireProtocolError(
+                f"daemon {self.address} refused: {entry['error']}"
+            )
+        return entry
+
+    def close(self) -> None:
+        for closer in (self._rfile.close, self._sock.close):
+            try:
+                closer()
+            except OSError:  # pragma: no cover - teardown race
+                pass
+
+
+class DaemonTransport(Transport):
+    """Answers the transport contract from live daemons over TCP.
+
+    ``routes`` maps role (``"proxy"`` / ``"client"``) to one ``(host,
+    port)`` address or a list of them; one connection is opened per
+    address, each hello'd with ``(scope, network, plan)`` so the daemon
+    builds the matching deterministic fault stack.  Outcomes, charges
+    and counter deltas all come from the wire; only the fault decisions
+    that never crossed the wire in the simulator (lossy eviction
+    notices) are drawn locally, exactly as
+    :class:`~repro.protocol.replay.ReplayTransport` does.
+    """
+
+    def __init__(
+        self,
+        network: Any,
+        routes: dict[str, Any],
+        plan: Any = None,
+        scope: str = "",
+    ) -> None:
+        super().__init__(network)
+        self.plan = plan
+        self.scope = scope
+        self._active = plan is not None and not plan.is_zero()
+        self._counters: dict[str, int] = {}
+        if self._active:
+            self._counters = dict.fromkeys(FAULT_COUNTERS, 0)
+        self._injector = None
+        self._req = -1
+        #: Wire exchanges sent / unresponsiveness probes sent.
+        self.exchanges_sent = 0
+        self.probes_sent = 0
+        self._links: dict[str, list[_DaemonLink]] = {}
+        self._rr: dict[str, int] = {}
+        try:
+            for role, addrs in routes.items():
+                if role not in ROLES:
+                    raise ValueError(
+                        f"routes key must be one of {ROLES}, got {role!r}"
+                    )
+                if isinstance(addrs, tuple):
+                    addrs = [addrs]
+                links: list[_DaemonLink] = []
+                self._links[role] = links
+                self._rr[role] = 0
+                for addr in addrs:
+                    link = _DaemonLink(tuple(addr), scope, network, plan)
+                    links.append(link)
+                    if link.role != role:
+                        raise WireRoleError(
+                            f"daemon at {addr} identifies as {link.role!r}, "
+                            f"but is routed as {role!r}"
+                        )
+            for role in ROLES:
+                if not self._links.get(role):
+                    raise ValueError(
+                        f"routes must name at least one {role!r} daemon"
+                    )
+        except BaseException:
+            self.close()
+            raise
+
+    # -- connection management ----------------------------------------------
+
+    def _pick(self, role: str) -> _DaemonLink:
+        """Next connection for a role (round-robin, deterministic)."""
+        links = self._links[role]
+        i = self._rr[role]
+        self._rr[role] = (i + 1) % len(links)
+        return links[i]
+
+    def close(self) -> None:
+        """Close every daemon connection (idempotent)."""
+        for links in self._links.values():
+            for link in links:
+                link.close()
+        self._links = {}
+
+    def __enter__(self) -> "DaemonTransport":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- the transport contract, over the wire -------------------------------
+
+    @property
+    def faulty(self) -> bool:  # type: ignore[override]
+        """True when the connections carry an active fault plan."""
+        return self._active
+
+    def attach(self, scheme: Any) -> None:
+        """Start counting request indices (call after scheme construction)."""
+        attach_request_counter(self, scheme)
+
+    def attempt(self, exchange: Exchange, force_fail: bool = False) -> bool:
+        """Carry the exchange over the wire; echo-check the response."""
+        link = self._pick(SERVED_BY[exchange.kind])
+        link.send(request_frame(self._req, exchange, force_fail))
+        self.exchanges_sent += 1
+        req, kind, ev_link, ok, charges, deltas = parse_event(link.recv())
+        if req != self._req or kind != exchange.kind or ev_link != exchange.link:
+            raise WireProtocolError(
+                f"daemon {link.address} answered a different exchange: sent "
+                f"(req={self._req}, {exchange.kind}, {exchange.link}), got "
+                f"(req={req}, {kind}, {ev_link})"
+            )
+        # Re-apply the daemon's charges one by one in wire order: float
+        # addition is not associative, and this is what keeps a recorded
+        # live run byte-identical to a simulated one.
+        for amount in charges:
+            self._charge(amount)
+        counters = self._counters
+        for key, d in deltas.items():
+            counters[key] = counters.get(key, 0) + d
+        return ok
+
+    def unresponsive(self, cluster: int, client: int) -> bool:
+        """Probe a client daemon (plain stacks answer False off-wire)."""
+        if not self._active:
+            # Plain stacks answer a constant False without an exchange;
+            # skip the wire exactly as recording skips the event.
+            return False
+        link = self._pick(ROLE_CLIENT)
+        link.send(probe_frame(self._req, cluster, client))
+        self.probes_sent += 1
+        req, ev_cluster, ev_client, answer = parse_answer(link.recv())
+        if (req, ev_cluster, ev_client) != (self._req, cluster, client):
+            raise WireProtocolError(
+                f"daemon {link.address} answered a different probe: sent "
+                f"(req={self._req}, cluster={cluster}, client={client}), "
+                f"got (req={req}, cluster={ev_cluster}, client={ev_client})"
+            )
+        return answer
+
+    def _injector_for_streams(self) -> Any:
+        if self._injector is None:
+            from ..faults.injector import FaultInjector
+
+            self._injector = FaultInjector(self.plan, scope=self.scope)
+        return self._injector
+
+    def wrap_directory(self, directory: Any, cluster: int) -> Any:
+        """Rebuild the plan's lossy-notice channel locally (never on wire)."""
+        if self._active and self.plan.stale_rate > 0.0:
+            from ..core.directory import LossyDirectory
+
+            directory = LossyDirectory(
+                directory,
+                drop_prob=self.plan.stale_rate,
+                rng=self._injector_for_streams().stream("notices", cluster),
+            )
+        return directory
+
+    def install_counters(self, msg: dict[str, int]) -> None:
+        """Fold wire-received counter deltas into the scheme's dict."""
+        if self._active and self._counters is not msg:
+            for key in FAULT_COUNTERS:
+                msg[key] = msg.get(key, 0) + self._counters.get(key, 0)
+            self._counters = msg
+
+    @property
+    def fault_counters(self) -> dict[str, int]:
+        """Counters accumulated from wire deltas ({} when plan-free)."""
+        return self._counters if self._active else {}
+
+
+@dataclasses.dataclass(frozen=True)
+class DriveReport:
+    """Outcome of one :func:`drive_scheme` run against live daemons."""
+
+    scheme: str
+    seed: int
+    plan_label: str
+    #: Requests the scheme processed.
+    n_requests: int
+    #: Cooperation exchanges / unresponsiveness probes sent on the wire.
+    exchanges: int
+    probes: int
+    #: The finished :class:`~repro.core.metrics.SchemeResult`.
+    result: Any
+    #: Recorded trace file (None when recording was off).
+    trace_path: Path | None
+
+
+def drive_scheme(
+    name: str,
+    config: Any,
+    *,
+    routes: dict[str, Any],
+    plan: Any = None,
+    seed: int = 0,
+    record_dir: str | Path | None = None,
+    max_events: int = DEFAULT_MAX_EVENTS,
+) -> DriveReport:
+    """Run scheme ``name`` live against the daemons in ``routes``.
+
+    Construction mirrors :func:`~repro.protocol.replay.replay_trace`:
+    the workload regrows from ``seed``, the scheme is built through the
+    same registry/builder dispatch, and the transport — here a
+    :class:`DaemonTransport` — answers every cooperation exchange.  With
+    ``record_dir`` the transport is wrapped in the standard
+    :class:`~repro.protocol.trace.RecordingTransport`, so the live run
+    leaves the same JSONL exchange trace a simulated run would, sealed
+    complete only if the run finishes.
+    """
+    from ..core.schemes import SCHEME_REGISTRY
+    from ..workload import generate_cluster_traces
+
+    active = plan is not None and not plan.is_zero()
+    if active:
+        from ..faults.run import FAULTY_SCHEMES
+
+        if name not in FAULTY_SCHEMES:
+            raise ValueError(
+                f"no faulty builder for scheme {name!r} "
+                f"(have: {', '.join(FAULTY_SCHEMES)})"
+            )
+    elif name not in SCHEME_REGISTRY:
+        raise ValueError(
+            f"unknown scheme {name!r} (have: {', '.join(SCHEME_REGISTRY)})"
+        )
+    traces = generate_cluster_traces(config.workload, config.n_proxies, seed=seed)
+    transport = DaemonTransport(
+        config.network, routes, plan=plan if active else None, scope=name
+    )
+    recorder = recording = None
+    carrier: Transport = transport
+    if record_dir is not None:
+        recorder = TraceRecorder(record_dir, max_events=max_events)
+        recording = recorder.open(
+            name, config, seed, plan if active else None, transport
+        )
+        carrier = recording
+    result = None
+    try:
+        if active:
+            scheme = FAULTY_SCHEMES[name](config, traces, plan, transport=carrier)
+        else:
+            scheme = SCHEME_REGISTRY[name](config, traces, transport=carrier)
+        # Both layers keep their own request counter; the wrappers chain.
+        transport.attach(scheme)
+        if recording is not None:
+            recording.attach(scheme)
+        result = scheme.run()
+    finally:
+        if recorder is not None and recording is not None:
+            # A crashed run seals an *incomplete* trace (result=None).
+            recorder.close(recording, result)
+        transport.close()
+    return DriveReport(
+        scheme=name,
+        seed=seed,
+        plan_label=plan.label if active else "none",
+        n_requests=sum(len(t) for t in traces),
+        exchanges=transport.exchanges_sent,
+        probes=transport.probes_sent,
+        result=result,
+        trace_path=recorder.written[-1] if recorder is not None else None,
+    )

@@ -37,6 +37,18 @@ store's ``<store>_traces/`` sibling, else ``repro_traces/`` under
 ``--out``).  Recording is in-process, so it forces ``--workers 1``.
 ``--replay <trace>`` needs no figure ids; exit status 1 signals a
 divergent or non-identical replay.
+
+Live daemons (``repro.daemon``)::
+
+    repro-experiments serve --role proxy --port 7000
+    repro-experiments serve --role client --port 7001
+    repro-experiments drive --scheme fc --proxy 127.0.0.1:7000 \\
+        --client 127.0.0.1:7001 --rate 0.1 --record traces/ --replay-check
+
+``serve`` runs one cache daemon in the foreground; ``drive`` replays a
+generated workload against running daemons over the wire protocol of
+``docs/PROTOCOL.md`` and can record/replay-check the live exchange
+trace.  Both subcommands are dispatched to :mod:`repro.daemon.cli`.
 """
 
 from __future__ import annotations
@@ -115,6 +127,13 @@ def _emit(name: str, result: SweepResult | dict, out_dir: Path | None) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in ("serve", "drive"):
+        # Live-daemon subcommands (see repro.daemon.cli) dispatch before
+        # the figure parser: they share the entry point, not its flags.
+        from ..daemon.cli import daemon_main
+
+        return daemon_main(argv)
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the figures of Zhu & Hu (ICPP 2003).",

@@ -24,7 +24,7 @@ from collections.abc import Callable
 from ..core.churn import HierGdChurnScheme
 from ..core.config import SimulationConfig
 from ..core.metrics import SchemeResult
-from ..core.run import generate_workloads, run_scheme
+from ..core.run import generate_workloads, run_scheme, with_backend
 from ..core.schemes.full import FcScheme
 from ..core.schemes.full_ec import FcEcScheme
 from ..core.schemes.squirrel import SquirrelScheme
@@ -135,6 +135,7 @@ def run_scheme_with_faults(
     traces: list[Trace] | None = None,
     plan: FaultPlan | None = None,
     seed: int = 0,
+    backend: str = "sync",
 ) -> SchemeResult:
     """Simulate ``name`` under ``plan`` (``None``/zero plan: plain run).
 
@@ -143,23 +144,27 @@ def run_scheme_with_faults(
     exactly like plain ones.  As with :func:`~repro.core.run.run_scheme`,
     callers that supply ``traces`` must pass the ``seed`` they were
     generated from for the recording header to be replayable.
+    ``backend="async"`` drives the stack through the awaitable ladder
+    path on the simulated clock, byte-identical to the synchronous run.
     """
     plan = NO_FAULTS if plan is None else plan
     if plan.is_zero() or name not in FAULTY_SCHEMES:
-        return run_scheme(name, config, traces, seed=seed)
+        return run_scheme(name, config, traces, seed=seed, backend=backend)
     if traces is None:
         traces = generate_workloads(config, seed=seed)
     recorder = active_trace_recorder()
     if recorder is None:
-        return FAULTY_SCHEMES[name](config, traces, plan).run()
-    transport = recorder.open(
+        carrier = with_backend(_fault_transport(config, plan, name), backend)
+        return FAULTY_SCHEMES[name](config, traces, plan, transport=carrier).run()
+    recording = recorder.open(
         name, config, seed, plan, _fault_transport(config, plan, name)
     )
-    scheme = FAULTY_SCHEMES[name](config, traces, plan, transport=transport)
-    transport.attach(scheme)
+    carrier = with_backend(recording, backend)
+    scheme = FAULTY_SCHEMES[name](config, traces, plan, transport=carrier)
+    recording.attach(scheme)
     result = None
     try:
         result = scheme.run()
     finally:
-        recorder.close(transport, result)
+        recorder.close(recording, result)
     return result

@@ -27,6 +27,7 @@ build on it without cycles; :mod:`repro.faults` supplies plans and
 injectors, :mod:`repro.core` supplies the schemes that ride the stack.
 """
 
+from .aio import AsyncTransport, RealClock, SimClock
 from .chain import coop_proxy_stage, lookup_stage, origin_stage, push_stage, serve_miss
 from .messages import (
     ALL_EXCHANGES,
@@ -67,10 +68,25 @@ from .trace import (
 )
 from .transport import (
     FaultTransport,
+    LadderOutcome,
     ObservabilityTransport,
     Transport,
     TransportLayer,
     build_transport,
+)
+from .wire import (
+    SERVED_BY,
+    WIRE_KIND,
+    WIRE_SCHEMA,
+    WireFormatError,
+    WireProtocolError,
+    WireRoleError,
+    WireSchemaError,
+    decode_frame,
+    encode_frame,
+    parse_event,
+    parse_hello,
+    parse_request,
 )
 
 __all__ = [
@@ -83,16 +99,23 @@ __all__ = [
     "PASS_DOWN",
     "PROXY_FETCH",
     "PUSH",
+    "SERVED_BY",
     "TRACE_SCHEMA",
+    "WIRE_KIND",
+    "WIRE_SCHEMA",
+    "AsyncTransport",
     "Divergence",
     "Exchange",
     "FaultTransport",
+    "LadderOutcome",
     "ObservabilityTransport",
+    "RealClock",
     "RecordedTrace",
     "RecordingTransport",
     "ReplayDivergence",
     "ReplayReport",
     "ReplayTransport",
+    "SimClock",
     "TraceError",
     "TraceFormatError",
     "TraceIncompleteError",
@@ -101,8 +124,17 @@ __all__ = [
     "TraceWriter",
     "Transport",
     "TransportLayer",
+    "WireFormatError",
+    "WireProtocolError",
+    "WireRoleError",
+    "WireSchemaError",
     "active_trace_recorder",
     "build_transport",
+    "decode_frame",
+    "encode_frame",
+    "parse_event",
+    "parse_hello",
+    "parse_request",
     "coop_proxy_stage",
     "exchange_traffic",
     "format_report",

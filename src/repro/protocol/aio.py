@@ -1,0 +1,255 @@
+"""Async transport backend: cooperation ladders as awaitables.
+
+The synchronous :class:`~repro.protocol.transport.Transport` stack
+serves every exchange inline — one :meth:`attempt` call, latency charged
+serially, nothing ever overlapping in flight.  This module re-expresses
+the same stack's timeout → backoff-retry → fallback ladder as
+awaitables, behind the same contract:
+
+* :class:`AsyncTransport` wraps any transport stack and drives its
+  :meth:`~repro.protocol.transport.Transport.ladder_steps` generator,
+  awaiting each wait on a pluggable clock.  Its synchronous
+  :meth:`attempt` runs the coroutine to completion on the simulated
+  clock, so a scheme carrying an ``AsyncTransport`` produces
+  **byte-identical** results to the plain stack (the equivalence gate);
+  :meth:`attempt_async` / :meth:`begin` are the concurrent forms the
+  daemon and any asyncio caller use to keep many ladders in flight.
+* :class:`SimClock` is a deterministic virtual clock with a miniature
+  event loop: no wall time passes, waits advance ``now``, and
+  :meth:`SimClock.gather` interleaves many ladders by (deadline, start
+  order) — reproducible to the byte, run after run.
+* :class:`RealClock` maps simulated waits onto ``asyncio.sleep`` with a
+  configurable scale (``scale=0`` still yields to the event loop, so
+  concurrency is real while smoke runs stay fast).
+
+Determinism under concurrency rests on one invariant, enforced by the
+transport layer rather than here: **all RNG draws of a ladder happen
+atomically on its first step** (:meth:`FaultTransport.draw`), so the
+per-link fault substreams advance in ladder start order no matter how
+the waits later interleave.  Cancelling an in-flight ladder keeps its
+draw (the substreams advanced and the fault counters were booked with
+it) and the waits already charged; the remaining waits are abandoned and
+a recording layer writes no event for the half-run ladder — tested
+behaviour, specified in docs/PROTOCOL.md.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+from typing import Any, Awaitable, Coroutine
+
+from .messages import Exchange
+from .transport import Transport, TransportLayer
+
+__all__ = ["SimClock", "RealClock", "AsyncTransport"]
+
+
+class _SimSleep:
+    """Awaitable handed out by :meth:`SimClock.sleep`.
+
+    Yields itself exactly once; only a :class:`SimClock` driver knows how
+    to resume it (awaiting one under a real asyncio loop is an error —
+    simulated waits must never block a wall-clock reactor).
+    """
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float) -> None:
+        self.duration = duration
+
+    def __await__(self):
+        """Suspend once, surfacing the wait to the driving clock."""
+        yield self
+
+
+class SimClock:
+    """Deterministic virtual clock + miniature event loop.
+
+    Time is a float in the simulator's latency units and advances only
+    when a driven coroutine awaits :meth:`sleep` — :meth:`run` drives one
+    coroutine inline (the synchronous equivalence mode), and
+    :meth:`gather` drives many with deterministic interleaving: ready
+    coroutines resume in (deadline, submission order), so two runs of
+    the same program observe the same schedule byte for byte.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def sleep(self, duration: float) -> Awaitable[None]:
+        """A virtual wait: suspends the ladder, advances no wall clock."""
+        return _SimSleep(float(duration))
+
+    @staticmethod
+    def _as_sleep(step: Any) -> _SimSleep:
+        """Validate that a driven coroutine yielded one of our waits."""
+        if not isinstance(step, _SimSleep):
+            raise RuntimeError(
+                "a coroutine driven by SimClock awaited something other "
+                f"than SimClock.sleep: {step!r} (real I/O belongs on "
+                "RealClock under asyncio)"
+            )
+        return step
+
+    def run(self, coro: Coroutine[Any, Any, Any]) -> Any:
+        """Drive one coroutine to completion, advancing virtual time."""
+        try:
+            while True:
+                step = self._as_sleep(coro.send(None))
+                self.now += step.duration
+        except StopIteration as stop:
+            return stop.value
+
+    def gather(self, *coros: Coroutine[Any, Any, Any]) -> list[Any]:
+        """Drive many coroutines concurrently; results in submission order.
+
+        The deterministic counterpart of ``asyncio.gather``: every
+        coroutine takes its first step in submission order (which is when
+        a ladder does all its RNG draws), then resumption follows
+        (deadline, FIFO-at-equal-deadline).  Virtual time ends at the
+        latest deadline reached — overlapping ladders finish in
+        max-of-waits, not sum-of-waits, which is the concurrency the
+        async backend exists to model.
+        """
+        heap: list[tuple[float, int, int]] = []
+        pending: dict[int, Coroutine[Any, Any, Any]] = {}
+        results: list[Any] = [None] * len(coros)
+        seq = 0
+        for i, coro in enumerate(coros):
+            heapq.heappush(heap, (self.now, seq, i))
+            pending[i] = coro
+            seq += 1
+        while heap:
+            at, _, i = heapq.heappop(heap)
+            if at > self.now:
+                self.now = at
+            coro = pending[i]
+            try:
+                step = self._as_sleep(coro.send(None))
+            except StopIteration as stop:
+                results[i] = stop.value
+                del pending[i]
+                continue
+            except BaseException:
+                # A crashed ladder must not strand its siblings' cleanup.
+                del pending[i]
+                for other in pending.values():
+                    other.close()
+                raise
+            heapq.heappush(heap, (self.now + step.duration, seq, i))
+            seq += 1
+        return results
+
+
+class RealClock:
+    """Wall-clock adapter: simulated waits become ``asyncio.sleep``.
+
+    ``scale`` converts simulator latency units to seconds.  The default
+    of ``0`` still awaits ``asyncio.sleep(0)`` — every wait is a genuine
+    suspension point, so ladders interleave on the event loop — without
+    making smoke runs wait out simulated timeouts in real time.
+    """
+
+    def __init__(self, scale: float = 0.0) -> None:
+        if scale < 0:
+            raise ValueError("scale must be >= 0")
+        self.scale = scale
+
+    def sleep(self, duration: float) -> Awaitable[None]:
+        """One simulated wait as real event-loop time."""
+        return asyncio.sleep(duration * self.scale)
+
+
+class AsyncTransport(TransportLayer):
+    """Async backend over any transport stack, same ``Transport`` contract.
+
+    Wraps a stack (base, fault, observability, recording — stacking
+    preserved, this layer sits outermost) and drives its ladder
+    generators on a clock:
+
+    * :meth:`attempt` — the synchronous contract, satisfied by running
+      the ladder coroutine to completion on a :class:`SimClock`.  Charges
+      and RNG draws happen inside the wrapped stack's generator in the
+      exact serial order, so results are byte-identical to the plain
+      stack: the deterministic equivalence mode.
+    * :meth:`attempt_async` — the same ladder as a coroutine; await many
+      under ``asyncio`` (:class:`RealClock`) or :meth:`SimClock.gather`
+      to overlap their waits.
+    * :meth:`begin` — two-phase form for the daemon: the first ladder
+      step (all RNG draws, first charge) runs synchronously *now*, the
+      returned awaitable finishes the waits later.  Calling ``begin`` in
+      arrival order is what pins the fault substreams under concurrency.
+    """
+
+    def __init__(self, inner: Transport, clock: Any = None) -> None:
+        super().__init__(inner)
+        #: The wait driver: a :class:`SimClock` (deterministic, default)
+        #: or :class:`RealClock` (asyncio).
+        self.clock = SimClock() if clock is None else clock
+
+    def attempt(self, exchange: Exchange, force_fail: bool = False) -> bool:
+        """Synchronous contract: run the ladder coroutine to completion."""
+        clock = self.clock
+        if not isinstance(clock, SimClock):
+            raise RuntimeError(
+                "AsyncTransport.attempt needs the deterministic SimClock; "
+                "under a RealClock, await attempt_async inside an event loop"
+            )
+        return clock.run(self.attempt_async(exchange, force_fail))
+
+    async def attempt_async(
+        self, exchange: Exchange, force_fail: bool = False
+    ) -> bool:
+        """Carry one exchange, awaiting every ladder wait on the clock."""
+        gen = self.inner.ladder_steps(exchange, force_fail)
+        try:
+            try:
+                wait = gen.send(None)
+                while True:
+                    await self.clock.sleep(wait)
+                    wait = gen.send(None)
+            except StopIteration as stop:
+                return bool(stop.value)
+        finally:
+            # Cancellation mid-wait: close the ladder.  The atomic draw
+            # (and its counters) stand, waits already taken stay charged;
+            # the remaining waits are abandoned and a recording layer
+            # writes no event.
+            gen.close()
+
+    def begin(
+        self, exchange: Exchange, force_fail: bool = False
+    ) -> Awaitable[bool]:
+        """Start a ladder now; return an awaitable that finishes it.
+
+        The first generator step — every RNG draw, plus the first wait's
+        charge — happens synchronously inside this call, so a server
+        invoking ``begin`` per request in arrival order gets
+        deterministic fault substreams even though the returned
+        awaitables run concurrently.
+        """
+        gen = self.inner.ladder_steps(exchange, force_fail)
+        try:
+            first = gen.send(None)
+        except StopIteration as stop:
+            return _resolved(bool(stop.value))
+
+        async def _finish() -> bool:
+            wait = first
+            try:
+                try:
+                    while True:
+                        await self.clock.sleep(wait)
+                        wait = gen.send(None)
+                except StopIteration as stop:
+                    return bool(stop.value)
+            finally:
+                gen.close()
+
+        return _finish()
+
+
+async def _resolved(value: bool) -> bool:
+    """An already-decided ladder (no waits) as a trivial awaitable."""
+    return value

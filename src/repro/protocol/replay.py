@@ -103,18 +103,22 @@ class RecordedTrace:
 
     @property
     def scheme(self) -> str:
+        """The recorded run's scheme name."""
         return self.header["scheme"]
 
     @property
     def seed(self) -> int:
+        """The workload seed the recorded run grew from."""
         return int(self.header["seed"])
 
     @property
     def complete(self) -> bool:
+        """True when every event landed and the run finished."""
         return bool(self.footer.get("complete"))
 
     @property
     def recorded_result(self) -> dict[str, Any] | None:
+        """The recorded ``SchemeResult`` as a dict (None if the run died)."""
         return self.footer.get("result")
 
 
@@ -201,6 +205,7 @@ class ReplayTransport(Transport):
 
     @property
     def faulty(self) -> bool:  # type: ignore[override]
+        """True when the recording was made under an active plan."""
         return self._active
 
     @property
@@ -229,6 +234,7 @@ class ReplayTransport(Transport):
         return event
 
     def attempt(self, exchange: Exchange, force_fail: bool = False) -> bool:
+        """Answer from the recording; diverge loudly on any mismatch."""
         observed = (
             f"attempt({exchange.kind}, link={exchange.link}, "
             f"force_fail={force_fail}) at request {self._req}"
@@ -245,6 +251,7 @@ class ReplayTransport(Transport):
         return ok
 
     def unresponsive(self, cluster: int, client: int) -> bool:
+        """Answer a probe from the recorded ``"u"`` stream."""
         if not self._active:
             # Recording skips "u" events on plain stacks (the answer is
             # the base transport's constant False); mirror that.
@@ -260,6 +267,7 @@ class ReplayTransport(Transport):
         return answer
 
     def wrap_directory(self, directory: Any, cluster: int) -> Any:
+        """Rebuild the plan's lossy-notice channel from its named substream."""
         if self._active and self.plan.stale_rate > 0.0:
             from ..core.directory import LossyDirectory
 
@@ -271,6 +279,7 @@ class ReplayTransport(Transport):
         return directory
 
     def install_counters(self, msg: dict[str, int]) -> None:
+        """Fold replayed counter deltas into the scheme's message dict."""
         if self._active and self._counters is not msg:
             from .messages import FAULT_COUNTERS
 
@@ -280,6 +289,7 @@ class ReplayTransport(Transport):
 
     @property
     def fault_counters(self) -> dict[str, int]:
+        """Counters rebuilt from the recorded deltas ({} when plan-free)."""
         return self._counters if self._active else {}
 
 

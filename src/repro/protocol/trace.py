@@ -128,9 +128,11 @@ class TraceWriter:
 
     @property
     def closed(self) -> bool:
+        """True once the footer has been written and the file sealed."""
         return self._fh is None
 
     def write_event(self, event: list[Any]) -> None:
+        """Append one event line (counted as dropped past the bound)."""
         if self._fh is None:
             raise ValueError(f"trace {self.path} is already closed")
         if self.events_written >= self.max_events:
@@ -198,6 +200,7 @@ class RecordingTransport(TransportLayer):
         self._charges: list[float] | None = None
 
     def bind(self, scheme: Any) -> None:
+        """Bind the stack through a charge tap so every amount is seen."""
         # The recorder itself charges through the scheme directly; the
         # wrapped stack charges through the tap so every amount is seen
         # (and forwarded untouched) on its way to the scheme.
@@ -208,20 +211,24 @@ class RecordingTransport(TransportLayer):
         """Start counting request indices (call after scheme construction)."""
         attach_request_counter(self, scheme)
 
-    def attempt(self, exchange: Exchange, force_fail: bool = False) -> bool:
+    def _snapshot(self) -> dict[str, int] | None:
+        """Fault-counter state before an exchange (None = no fault layer)."""
         counters = self.inner.fault_counters
-        before = (
-            {key: counters.get(key, 0) for key in FAULT_COUNTERS}
-            if counters
-            else None
-        )
-        self._charges = []
-        try:
-            ok = self.inner.attempt(exchange, force_fail)
-        finally:
-            charges, self._charges = self._charges, None
+        if not counters:
+            return None
+        return {key: counters.get(key, 0) for key in FAULT_COUNTERS}
+
+    def _write_exchange(
+        self,
+        exchange: Exchange,
+        ok: bool,
+        charges: list[float],
+        before: dict[str, int] | None,
+    ) -> None:
+        """Emit one ``"x"`` event from the observed attempt."""
         deltas: dict[str, int] = {}
         if before is not None:
+            counters = self.inner.fault_counters
             for key in FAULT_COUNTERS:
                 d = counters.get(key, 0) - before[key]
                 if d:
@@ -229,9 +236,31 @@ class RecordingTransport(TransportLayer):
         self.writer.write_event(
             ["x", self._req, exchange.kind, exchange.link, ok, charges, deltas]
         )
+
+    def attempt(self, exchange: Exchange, force_fail: bool = False) -> bool:
+        """Carry the exchange through the stack and record one event."""
+        before = self._snapshot()
+        self._charges = []
+        try:
+            ok = self.inner.attempt(exchange, force_fail)
+        finally:
+            charges, self._charges = self._charges, None
+        self._write_exchange(exchange, ok, charges, before)
+        return ok
+
+    def ladder_steps(self, exchange: Exchange, force_fail: bool = False):
+        """Record the async path identically: one event per logical ladder."""
+        before = self._snapshot()
+        self._charges = []
+        try:
+            ok = yield from self.inner.ladder_steps(exchange, force_fail)
+        finally:
+            charges, self._charges = self._charges, None
+        self._write_exchange(exchange, ok, charges, before)
         return ok
 
     def unresponsive(self, cluster: int, client: int) -> bool:
+        """Record the probe as a ``"u"`` event when a fault layer answers."""
         answer = self.inner.unresponsive(cluster, client)
         if self.inner.faulty:
             self.writer.write_event(["u", self._req, cluster, client, answer])

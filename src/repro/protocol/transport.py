@@ -35,7 +35,8 @@ without the scheme knowing the stack's shape).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Generator
 
 from ..netmodel import NetworkConfig
 from .messages import ALL_EXCHANGES, FAULT_COUNTERS, Exchange
@@ -44,6 +45,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..faults.plan import FaultPlan
 
 __all__ = [
+    "LadderOutcome",
     "Transport",
     "TransportLayer",
     "FaultTransport",
@@ -54,6 +56,61 @@ __all__ = [
 
 def _discard_latency(_amount: float) -> None:
     """Default sink before :meth:`Transport.bind` attaches a scheme."""
+
+
+def drain(steps: Generator[float, None, bool]) -> bool:
+    """Run a :meth:`Transport.ladder_steps` generator synchronously.
+
+    The synchronous driver of the ladder contract: every yielded wait is
+    simulated time already charged by the layer that yielded it, so a
+    serial simulation simply discards the waits — only the async backend
+    (:mod:`repro.protocol.aio`) turns them into awaitables.
+    """
+    try:
+        while True:
+            next(steps)
+    except StopIteration as stop:
+        return bool(stop.value)
+
+
+@dataclass(frozen=True)
+class LadderOutcome:
+    """One retry ladder's wire decisions, drawn atomically.
+
+    The pure data core of the timeout → backoff-retry → fallback ladder:
+    whether the exchange eventually got through, the timeout charged per
+    failed round (in order, already backoff-inflated), and the extra
+    delay charge when the successful round was slow.  Because every RNG
+    draw behind an outcome happens in one synchronous step
+    (:meth:`FaultTransport.draw`), concurrent ladders consume the
+    per-link fault substreams in a deterministic order — ladder start
+    order — no matter how their waits later interleave in flight.
+    """
+
+    #: Did the exchange (eventually) get through?
+    ok: bool
+    #: Timeout charged per failed round, in ladder order.
+    waits: tuple[float, ...] = ()
+    #: Extra charge on a slow success (0.0 = on time).
+    delay: float = 0.0
+
+    @property
+    def charges(self) -> tuple[float, ...]:
+        """Every latency charge the ladder books, in charge order."""
+        return self.waits + (self.delay,) if self.delay else self.waits
+
+    def counter_deltas(self) -> dict[str, int]:
+        """Fault-counter increments this ladder books (trace/wire deltas)."""
+        deltas: dict[str, int] = {}
+        n = len(self.waits)
+        if n:
+            deltas["timeouts"] = n
+            retries = n if self.ok else n - 1
+            if retries:
+                deltas["retries"] = retries
+        if not self.ok:
+            deltas["fallbacks"] = 1
+        return deltas
 
 
 class Transport:
@@ -85,6 +142,39 @@ class Transport:
         timeout ladder) is the fault layer's business.
         """
         return not force_fail
+
+    def ladder_steps(
+        self, exchange: Exchange, force_fail: bool = False
+    ) -> Generator[float, None, bool]:
+        """Generator form of :meth:`attempt`: the ladder as resumable steps.
+
+        Yields each simulated wait (a timed-out round's timeout, a slow
+        round's delay) *after* charging it, and returns the exchange's
+        outcome.  Synchronous callers drive it with :func:`drain` (waits
+        are already charged, so they are simply discarded); the async
+        backend awaits each wait on a clock, which is how many ladders
+        overlap in flight.  All RNG draws happen on the first step, never
+        between waits, so concurrency cannot reorder fault substreams.
+
+        The base form performs no waits.  Layers that override
+        :meth:`attempt` with observable behaviour must override this
+        method too, or their behaviour is skipped on the async path.
+        """
+        return self.attempt(exchange, force_fail)
+        yield  # pragma: no cover — unreachable; makes this a generator
+
+    def draw(self, exchange: Exchange, force_fail: bool = False) -> LadderOutcome:
+        """Atomically decide one exchange without charging or booking.
+
+        The wire-facing form of the ladder: every RNG draw behind the
+        outcome happens inside this call, in call order, and nothing else
+        (no latency charge, no counter) is touched — the caller applies
+        the outcome's :attr:`~LadderOutcome.charges` and
+        :meth:`~LadderOutcome.counter_deltas` itself.  The daemon serves
+        exchanges through this seam so arrival order alone fixes the
+        fault substreams while the waits run concurrently.
+        """
+        return LadderOutcome(ok=not force_fail)
 
     def unresponsive(self, cluster: int, client: int) -> bool:
         """Will this client cache never answer a push request?"""
@@ -119,26 +209,43 @@ class TransportLayer(Transport):
 
     @property
     def faulty(self) -> bool:  # type: ignore[override]
+        """True when any wrapped layer carries an active fault process."""
         return self.inner.faulty
 
     def bind(self, scheme: Any) -> None:
+        """Attach the scheme's latency sink to this layer and the stack below."""
         super().bind(scheme)
         self.inner.bind(scheme)
 
     def attempt(self, exchange: Exchange, force_fail: bool = False) -> bool:
+        """Delegate the exchange to the wrapped transport."""
         return self.inner.attempt(exchange, force_fail)
 
+    def ladder_steps(
+        self, exchange: Exchange, force_fail: bool = False
+    ) -> Generator[float, None, bool]:
+        """Delegate the step form too, so inner waits bubble up the stack."""
+        return (yield from self.inner.ladder_steps(exchange, force_fail))
+
+    def draw(self, exchange: Exchange, force_fail: bool = False) -> LadderOutcome:
+        """Delegate the atomic ladder draw to the wrapped transport."""
+        return self.inner.draw(exchange, force_fail)
+
     def unresponsive(self, cluster: int, client: int) -> bool:
+        """Delegate the unresponsiveness probe to the wrapped transport."""
         return self.inner.unresponsive(cluster, client)
 
     def wrap_directory(self, directory: Any, cluster: int) -> Any:
+        """Delegate directory wrapping to the wrapped transport."""
         return self.inner.wrap_directory(directory, cluster)
 
     def install_counters(self, msg: dict[str, int]) -> None:
+        """Delegate counter installation to the wrapped transport."""
         self.inner.install_counters(msg)
 
     @property
     def fault_counters(self) -> dict[str, int]:
+        """The wrapped stack's fault-counter dict."""
         return self.inner.fault_counters
 
 
@@ -173,39 +280,97 @@ class FaultTransport(TransportLayer):
 
     @property
     def faulty(self) -> bool:  # type: ignore[override]
+        """True unless the plan is zero (the identity layer)."""
         return self._active or self.inner.faulty
 
+    def draw(self, exchange: Exchange, force_fail: bool = False) -> LadderOutcome:
+        """Draw one ladder's wire decisions atomically (see base docstring).
+
+        Loss and delay draws for every round happen here, in ladder
+        order, before any wait is taken — exactly the sequence the serial
+        path consumes, which is what keeps concurrent ladders on one
+        fault-RNG substream deterministic: the substream advances in
+        ladder *start* order, never in wait-completion order.
+        """
+        link = exchange.link
+        if not self._active or link is None:
+            return self.inner.draw(exchange, force_fail)
+        plan = self.plan
+        injector = self.injector
+        rtt = self._link_rtt[link]
+        timeout = rtt
+        waits: list[float] = []
+        for _ in range(plan.max_retries + 1):
+            if not force_fail and injector.link_ok(link):
+                return LadderOutcome(
+                    ok=True,
+                    waits=tuple(waits),
+                    delay=injector.delay_penalty(link) * rtt,
+                )
+            waits.append(timeout)
+            timeout *= plan.backoff_base
+        return LadderOutcome(ok=False, waits=tuple(waits))
+
+    def _book(self, outcome: LadderOutcome) -> None:
+        """Book one drawn ladder's fault counters."""
+        msg = self._counters
+        n = len(outcome.waits)
+        if n:
+            msg["timeouts"] += n
+            msg["retries"] += n if outcome.ok else n - 1
+        if not outcome.ok:
+            msg["fallbacks"] += 1
+
     def attempt(self, exchange: Exchange, force_fail: bool = False) -> bool:
+        """Run the full ladder inline: draw, book, charge, resolve."""
         link = exchange.link
         if not self._active or link is None:
             # Identity layer (zero plan) or a LAN-side exchange: the
             # cooperation-fault model never touches it.
             return self.inner.attempt(exchange, force_fail)
-        plan = self.plan
-        injector = self.injector
-        msg = self._counters
-        rtt = self._link_rtt[link]
-        timeout = rtt
-        for attempt in range(plan.max_retries + 1):
-            if not force_fail and injector.link_ok(link):
-                penalty = injector.delay_penalty(link)
-                if penalty:
-                    self._charge(penalty * rtt)
-                return self.inner.attempt(exchange)
-            msg["timeouts"] += 1
-            self._charge(timeout)
-            if attempt < plan.max_retries:
-                msg["retries"] += 1
-                timeout *= plan.backoff_base
-        msg["fallbacks"] += 1
-        return False
+        outcome = self.draw(exchange, force_fail)
+        self._book(outcome)
+        for wait in outcome.waits:
+            self._charge(wait)
+        if not outcome.ok:
+            return False
+        if outcome.delay:
+            self._charge(outcome.delay)
+        return self.inner.attempt(exchange)
+
+    def ladder_steps(
+        self, exchange: Exchange, force_fail: bool = False
+    ) -> Generator[float, None, bool]:
+        """The ladder with its waits exposed as resumable steps.
+
+        Same draws, charges and counters as :meth:`attempt` — the draw is
+        atomic on the first step, each wait is charged before it is
+        yielded (a cancelled ladder keeps the time it already spent), and
+        the outcome lands on :exc:`StopIteration`.
+        """
+        link = exchange.link
+        if not self._active or link is None:
+            return (yield from self.inner.ladder_steps(exchange, force_fail))
+        outcome = self.draw(exchange, force_fail)
+        self._book(outcome)
+        for wait in outcome.waits:
+            self._charge(wait)
+            yield wait
+        if not outcome.ok:
+            return False
+        if outcome.delay:
+            self._charge(outcome.delay)
+            yield outcome.delay
+        return self.inner.attempt(exchange)
 
     def unresponsive(self, cluster: int, client: int) -> bool:
+        """Hash-stable answer: does this client never answer pushes?"""
         if not self._active:
             return self.inner.unresponsive(cluster, client)
         return self.injector.unresponsive(cluster, client)
 
     def wrap_directory(self, directory: Any, cluster: int) -> Any:
+        """Make eviction notices lossy per ``plan.stale_rate``."""
         directory = self.inner.wrap_directory(directory, cluster)
         if self._active and self.plan.stale_rate > 0.0:
             from ..core.directory import LossyDirectory
@@ -218,6 +383,7 @@ class FaultTransport(TransportLayer):
         return directory
 
     def install_counters(self, msg: dict[str, int]) -> None:
+        """Fold the layer's counters into the scheme's message dict."""
         if self._active and self._counters is not msg:
             # Merge, don't rebind-and-drop: any timeouts/retries/fallbacks
             # accumulated before installation must survive the handover
@@ -229,6 +395,7 @@ class FaultTransport(TransportLayer):
 
     @property
     def fault_counters(self) -> dict[str, int]:
+        """This layer's counters (the inner stack's when plan is zero)."""
         return self._counters if self._active else self.inner.fault_counters
 
 
@@ -257,8 +424,9 @@ class ObservabilityTransport(TransportLayer):
         #: truncated buffer as complete.
         self.events_dropped = 0
 
-    def attempt(self, exchange: Exchange, force_fail: bool = False) -> bool:
-        ok = self.inner.attempt(exchange, force_fail)
+    def book(self, exchange: Exchange, ok: bool) -> None:
+        """Count one observed exchange (public: the daemon books through
+        this when it serves exchanges via :meth:`Transport.draw`)."""
         slot = self.counts.setdefault(
             exchange.kind, {"attempts": 0, "ok": 0, "failed": 0}
         )
@@ -269,6 +437,19 @@ class ObservabilityTransport(TransportLayer):
                 self.events.append((exchange.kind, exchange.link, ok))
             else:
                 self.events_dropped += 1
+
+    def attempt(self, exchange: Exchange, force_fail: bool = False) -> bool:
+        """Delegate the exchange, then count its outcome."""
+        ok = self.inner.attempt(exchange, force_fail)
+        self.book(exchange, ok)
+        return ok
+
+    def ladder_steps(
+        self, exchange: Exchange, force_fail: bool = False
+    ) -> Generator[float, None, bool]:
+        """Observe the async path too: count once per logical ladder."""
+        ok = yield from self.inner.ladder_steps(exchange, force_fail)
+        self.book(exchange, ok)
         return ok
 
     @property

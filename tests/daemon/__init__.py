@@ -1,0 +1,1 @@
+"""Live-daemon end-to-end tests."""
