@@ -73,21 +73,38 @@ def measure(schemes: list[str], repeats: int) -> dict:
     return report
 
 
-def compare(measured: dict, baseline: dict, tolerance: float) -> list[str]:
+def compare(
+    measured: dict, baseline: dict, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """(failures, per-scheme deltas) vs the committed baseline.
+
+    The second list holds one ``scheme: measured/baseline = ratio`` line
+    per benchmarked scheme — printed in full when the gate fails, so a
+    regression is attributable to specific schemes (a shared-path change
+    drags every ratio down; a scheme-local one moves only its own).
+    """
     failures = []
+    deltas = []
     base_schemes = baseline.get("schemes", {})
     for name, entry in measured["schemes"].items():
         base = base_schemes.get(name)
         if base is None:
+            deltas.append(f"{name:>12}: no baseline entry (new scheme?)")
             continue
-        floor = base["requests_per_sec"] * (1.0 - tolerance)
-        if entry["requests_per_sec"] < floor:
+        ratio = entry["requests_per_sec"] / base["requests_per_sec"]
+        flag = "  <-- below floor" if ratio < 1.0 - tolerance else ""
+        deltas.append(
+            f"{name:>12}: {ratio:6.2f}x of baseline "
+            f"({entry['requests_per_sec']:,} vs "
+            f"{base['requests_per_sec']:,} req/s){flag}"
+        )
+        if ratio < 1.0 - tolerance:
             failures.append(
-                f"{name}: {entry['requests_per_sec']:,} req/s < floor "
-                f"{floor:,.0f} (baseline {base['requests_per_sec']:,}, "
-                f"tolerance {tolerance:.0%})"
+                f"{name}: {entry['requests_per_sec']:,} req/s is "
+                f"{ratio:.2f}x of baseline {base['requests_per_sec']:,} "
+                f"(floor {1.0 - tolerance:.2f}x)"
             )
-    return failures
+    return failures, deltas
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -172,10 +189,13 @@ def main(argv: list[str] | None = None) -> int:
         print(f"no baseline at {BASELINE_PATH}; run with --write first")
         return 2
     baseline = json.loads(BASELINE_PATH.read_text())
-    failures = compare(measured, baseline, args.tolerance)
+    failures, deltas = compare(measured, baseline, args.tolerance)
     if failures:
         print("REGRESSION:")
         for line in failures:
+            print(f"  {line}")
+        print("per-scheme ratios vs baseline:")
+        for line in deltas:
             print(f"  {line}")
         return 1
     print(f"gate passed (within {args.tolerance:.0%} of baseline)")

@@ -67,8 +67,16 @@ def run_scheme(
     seed: int = 0,
     transport: Transport | None = None,
     backend: str = "sync",
+    shards: int = 1,
 ) -> SchemeResult:
     """Simulate one scheme; generates the workload if none is supplied.
+
+    ``shards > 1`` hands the run to the multi-process engine
+    (:func:`repro.shard.run_scheme_sharded`): clusters are dealt over
+    worker processes which regenerate their own traces from ``seed``, so
+    pre-generated ``traces``, a custom ``transport`` and the async
+    backend cannot be combined with sharding.  ``shards=1`` is this
+    function, unchanged.
 
     ``transport`` optionally replaces the scheme's base transport with a
     custom stack (e.g. an observability layer); ``None`` keeps the plain
@@ -89,6 +97,20 @@ def run_scheme(
         raise KeyError(
             f"unknown scheme {name!r}; available: {', '.join(SCHEME_REGISTRY)}"
         ) from None
+    if shards > 1:
+        if traces is not None:
+            raise ValueError(
+                "sharded workers regenerate traces from the seed; "
+                "pass traces=None with shards > 1"
+            )
+        if transport is not None or backend != "sync":
+            raise ValueError(
+                "custom transports / the async backend are single-process "
+                "features; use shards=1"
+            )
+        from ..shard import run_scheme_sharded
+
+        return run_scheme_sharded(name, config, seed=seed, shards=shards)
     if traces is None:
         traces = generate_workloads(config, seed=seed)
     recorder = active_trace_recorder()

@@ -90,6 +90,34 @@ class CachingScheme(ABC):
 
     # -- engine ----------------------------------------------------------------
 
+    def _warmup_requests(self, total_expected: int) -> int:
+        """Requests excluded from statistics while caches warm.
+
+        Sharded workers override this: their warmup window is a slice of
+        the *global* round-robin stream, not a fraction of the local one.
+        """
+        return int(self.config.warmup_fraction * total_expected)
+
+    def _block_requests(self, length: int) -> int:
+        """Per-cluster request indexes flattened per engine iteration.
+
+        In-memory traces flatten the whole interleave at once (one numpy
+        transpose, as before); chunk-backed traces bound live memory by
+        flattening one chunk window at a time — same request order, same
+        results, flat RSS.
+        """
+        block = length
+        for t in self.traces:
+            if getattr(t, "chunked", False):
+                block = min(block, t.chunk_requests)
+        return max(1, block)
+
+    def _after_block(self, upto: int) -> None:
+        """Hook: one flattened block (requests ``[·, upto)`` of every
+        cluster) has been fully processed.  No-op here; sharded workers
+        override it to exchange presence digests at round boundaries
+        (:mod:`repro.shard`)."""
+
     def run(self) -> SchemeResult:
         """Replay all traces and return the aggregated result."""
         net = self.config.network
@@ -99,9 +127,9 @@ class CachingScheme(ABC):
         n_requests = 0
 
         process = self.process
-        lengths = {len(t.object_ids) for t in self.traces}
-        total_expected = sum(len(t.object_ids) for t in self.traces)
-        warmup_n = int(self.config.warmup_fraction * total_expected)
+        lengths = {len(t) for t in self.traces}
+        total_expected = sum(len(t) for t in self.traces)
+        warmup_n = self._warmup_requests(total_expected)
         self._in_warmup = warmup_n > 0
 
         if len(lengths) == 1:
@@ -112,21 +140,34 @@ class CachingScheme(ABC):
             # branching.  The warmup prefix is drained into a zero-length
             # deque (statistics excluded), the rest is tallied by
             # ``Counter`` at C speed, and latency is aggregated per tier
-            # at the end instead of per request.
+            # at the end instead of per request.  Chunk-backed traces run
+            # the identical loop one chunk window at a time.
             n_clusters = len(self.traces)
             length = lengths.pop()
             if length:
-                objs = np.stack(
-                    [t.object_ids for t in self.traces], axis=1
-                ).ravel().tolist()
-                clients = np.stack(
-                    [t.client_ids for t in self.traces], axis=1
-                ).ravel().tolist()
-                clusters = list(range(n_clusters)) * length
-                tiers = map(process, clusters, clients, objs)
-                deque(islice(tiers, warmup_n), maxlen=0)  # caches warm
+                block = self._block_requests(length)
+                counted: Counter = Counter()
+                to_warm = warmup_n
+                for a in range(0, length, block):
+                    b = min(length, a + block)
+                    objs = np.stack(
+                        [t.object_slice(a, b) for t in self.traces], axis=1
+                    ).ravel().tolist()
+                    clients = np.stack(
+                        [t.client_slice(a, b) for t in self.traces], axis=1
+                    ).ravel().tolist()
+                    clusters = list(range(n_clusters)) * (b - a)
+                    tiers = map(process, clusters, clients, objs)
+                    if to_warm:
+                        drained = min(to_warm, (b - a) * n_clusters)
+                        deque(islice(tiers, drained), maxlen=0)  # caches warm
+                        to_warm -= drained
+                        if to_warm == 0:
+                            self._in_warmup = False
+                    counted.update(tiers)
+                    self._after_block(b)
                 self._in_warmup = False
-                tier_counts.update(Counter(tiers))
+                tier_counts.update(counted)
                 n_requests = length * n_clusters - warmup_n
                 total_latency = sum(
                     latency_of[t] * n for t, n in tier_counts.items() if n

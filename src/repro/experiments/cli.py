@@ -97,6 +97,7 @@ def build_engine(
     resume: str | None = None,
     progress: bool = False,
     out_dir: Path | None = None,
+    shards: int = 1,
 ) -> ExperimentEngine:
     """Engine from CLI options; ``resume='auto'`` picks the default path."""
     store_path: str | None = None
@@ -107,7 +108,8 @@ def build_engine(
             store_path = resume
     try:
         return ExperimentEngine.from_options(
-            workers=workers, store_path=store_path, progress=progress
+            workers=workers, store_path=store_path, progress=progress,
+            shards=shards,
         )
     except OSError as exc:
         raise SystemExit(f"repro-experiments: cannot open result store: {exc}") from exc
@@ -168,6 +170,17 @@ def main(argv: list[str] | None = None) -> int:
         default=1,
         metavar="N",
         help="worker processes for sweep points (0 = all CPU cores; default 1)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="split each shard-capable scheme (nc, sc, hier-gd) across N "
+        "cooperating worker processes joined by a round-synchronized "
+        "message bus; other schemes keep the single-process engine. "
+        "Multi-shard results are bounded-staleness variants and key "
+        "separately in the result store (default 1)",
     )
     parser.add_argument(
         "--resume",
@@ -231,8 +244,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.record is not None and args.workers != 1:
         print("[--record forces --workers 1]")
         args.workers = 1
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
+    if args.record is not None and args.shards != 1:
+        # Exchange recording captures one process's transport stack.
+        print("[--record forces --shards 1]")
+        args.shards = 1
 
-    engine = build_engine(args.workers, args.resume, args.progress, args.out)
+    engine = build_engine(
+        args.workers, args.resume, args.progress, args.out, shards=args.shards
+    )
     if engine.store is not None:
         print(f"result store: {engine.store.path} ({len(engine.store)} points)")
 
@@ -250,7 +271,8 @@ def main(argv: list[str] | None = None) -> int:
     scale = current_scale()
     print(f"scale={scale.label} ({scale.n_requests} requests, "
           f"{scale.n_objects} objects, {scale.n_clients} clients per cluster), "
-          f"workers={engine.workers}")
+          f"workers={engine.workers}"
+          + (f", shards={engine.shards}" if engine.shards > 1 else ""))
     record_ctx = (
         recording_traces(record_dir) if record_dir is not None else nullcontext()
     )

@@ -43,6 +43,7 @@ from __future__ import annotations
 import concurrent.futures
 import hashlib
 import os
+import resource
 import time
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass
@@ -104,6 +105,10 @@ class SweepPoint:
     config: SimulationConfig
     seed: int
     faults: FaultPlan | None = None
+    #: Worker processes for this point (1 = the single-process engine,
+    #: byte-identical to the pre-sharding executor; >1 routes through
+    #: :func:`repro.shard.run_scheme_sharded` and keys separately).
+    shards: int = 1
 
     @property
     def resolved_config(self) -> SimulationConfig:
@@ -127,12 +132,15 @@ class SweepPoint:
             self.fraction,
             self.seed,
             faults=asdict(plan) if plan is not None else None,
+            shards=self.shards,
         )
 
     @property
     def label(self) -> str:
         """Short human-readable tag for progress lines and telemetry."""
         base = f"{self.scheme}@S={self.fraction:g}"
+        if self.shards > 1:
+            base = f"{base}x{self.shards}"
         plan = self._active_faults
         return base if plan is None else f"{base}[{plan.label}]"
 
@@ -184,22 +192,42 @@ def run_point(point: SweepPoint) -> dict[str, Any]:
     """Execute one sweep point (worker side).  Returns a picklable payload.
 
     The payload carries the serialized :class:`SchemeResult` plus the
-    point's measured wall time and simulated request count for the
-    instrumentation layer.  Timing lives outside the result so stored
-    results stay byte-identical across machines.
+    point's measured wall time, simulated request count and peak RSS for
+    the instrumentation layer.  Measurements live outside the result so
+    stored results stay byte-identical across machines.
     """
     started = time.perf_counter()
     cfg = point.resolved_config
-    traces = _cluster_traces(cfg, point.seed)
-    # seed rides along so a recording made of this point carries the true
-    # trace seed (replay regenerates the workload from it).
-    result = run_scheme_with_faults(
-        point.scheme, cfg, traces, plan=point.faults, seed=point.seed
-    )
+    if point.shards > 1:
+        if point._active_faults is not None:
+            raise ValueError("fault plans are single-process; use shards=1")
+        from ..shard import run_scheme_sharded
+
+        shard_stats: dict[str, Any] = {}
+        result = run_scheme_sharded(
+            point.scheme,
+            cfg,
+            seed=point.seed,
+            shards=point.shards,
+            stats_out=shard_stats,
+        )
+        max_rss_kb = int(shard_stats.get("worker_max_rss_kb", 0))
+    else:
+        traces = _cluster_traces(cfg, point.seed)
+        # seed rides along so a recording made of this point carries the
+        # true trace seed (replay regenerates the workload from it).
+        result = run_scheme_with_faults(
+            point.scheme, cfg, traces, plan=point.faults, seed=point.seed
+        )
+        # Lifetime high-water mark of this worker process — an upper
+        # bound on the point's own footprint, and exactly the quantity
+        # the scale gate tracks (does memory grow with trace length?).
+        max_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     return {
         "result": serialize_result(result),
         "wall_time": time.perf_counter() - started,
         "n_requests": result.n_requests,
+        "max_rss_kb": max_rss_kb,
     }
 
 
@@ -218,6 +246,10 @@ class ExperimentEngine:
     workers: int = 1
     store: ResultStore | None = None
     instrument: RunInstrumentation | None = None
+    #: Default worker-process count per *point* for shard-capable schemes
+    #: (``repro.shard``).  1 keeps every point on the single-process
+    #: engine; sweep builders consult this when constructing points.
+    shards: int = 1
     #: Bounded retries per failing point (and per no-progress pool rebuild).
     retries: int = 2
     #: Record a point that exhausts its retries as failed and continue,
@@ -247,6 +279,7 @@ class ExperimentEngine:
         workers: int = 1,
         store_path: str | None = None,
         progress: bool = False,
+        shards: int = 1,
     ) -> "ExperimentEngine":
         """Build an engine from CLI-style options (see ``cli.py``)."""
         return cls(
@@ -255,6 +288,7 @@ class ExperimentEngine:
             instrument=RunInstrumentation(
                 progress=print_progress if progress else None
             ),
+            shards=shards,
         )
 
     # -- generic bounded-retry fan-out --------------------------------------
@@ -489,11 +523,17 @@ class ExperimentEngine:
                     point.key,
                     result,
                     label=point.label,
-                    meta={"wall_time": payload["wall_time"]},
+                    meta={
+                        "wall_time": payload["wall_time"],
+                        "max_rss_kb": payload.get("max_rss_kb", 0),
+                    },
                 )
             if self.instrument is not None:
                 self.instrument.point_done(
-                    point.label, payload["wall_time"], payload["n_requests"]
+                    point.label,
+                    payload["wall_time"],
+                    payload["n_requests"],
+                    max_rss_kb=payload.get("max_rss_kb", 0),
                 )
 
         self.map(run_point, [points[i] for i in pending_idx], on_result=finish)

@@ -41,6 +41,10 @@ class PointRecord:
     cached: bool
     #: Seconds since the suite started when this point finished.
     finished_at: float
+    #: Peak RSS (KiB, ``ru_maxrss``) of the process that simulated this
+    #: point — the worker's high-water mark at completion time, an upper
+    #: bound on the point's own footprint.  0 for cached points.
+    max_rss_kb: int = 0
 
     @property
     def requests_per_sec(self) -> float:
@@ -59,11 +63,17 @@ class ProgressEvent:
     label: str
     wall_time: float
     cached: bool
+    max_rss_kb: int = 0
 
 
 def print_progress(event: ProgressEvent) -> None:
     """Default ``--progress`` renderer: one line per completed point."""
-    suffix = "cached" if event.cached else f"{event.wall_time:.2f}s"
+    if event.cached:
+        suffix = "cached"
+    else:
+        suffix = f"{event.wall_time:.2f}s"
+        if event.max_rss_kb > 0:
+            suffix += f", {event.max_rss_kb / 1024:.0f} MiB peak"
     print(f"  [{event.done}/{event.total}] {event.label} ({suffix})", flush=True)
 
 
@@ -98,6 +108,7 @@ class RunInstrumentation:
         wall_time: float,
         n_requests: int,
         cached: bool = False,
+        max_rss_kb: int = 0,
     ) -> None:
         """Record one finished point and emit a progress event."""
         if self._started is None:
@@ -108,6 +119,7 @@ class RunInstrumentation:
             n_requests=n_requests,
             cached=cached,
             finished_at=time.perf_counter() - self._started,
+            max_rss_kb=max_rss_kb,
         )
         self.records.append(record)
         self._finished = time.perf_counter()
@@ -119,6 +131,7 @@ class RunInstrumentation:
                     label=label,
                     wall_time=wall_time,
                     cached=cached,
+                    max_rss_kb=max_rss_kb,
                 )
             )
 
@@ -165,6 +178,11 @@ class RunInstrumentation:
         elapsed = self.elapsed
         return self.total_requests / elapsed if elapsed > 0 else 0.0
 
+    @property
+    def peak_rss_kb(self) -> int:
+        """Largest per-point worker peak RSS seen across the suite (KiB)."""
+        return max((r.max_rss_kb for r in self.records), default=0)
+
     def worker_utilization(self, workers: int) -> float:
         """Fraction of ``workers x elapsed`` spent simulating, in [0, 1].
 
@@ -191,6 +209,7 @@ class RunInstrumentation:
             "requests_per_sec": round(self.requests_per_sec(), 3),
             "workers": workers,
             "worker_utilization": round(self.worker_utilization(workers), 4),
+            "peak_rss_kb": self.peak_rss_kb,
             "points": [
                 {
                     "label": r.label,
@@ -198,6 +217,7 @@ class RunInstrumentation:
                     "n_requests": r.n_requests,
                     "cached": r.cached,
                     "finished_at": round(r.finished_at, 6),
+                    "max_rss_kb": r.max_rss_kb,
                 }
                 for r in self.records
             ],

@@ -106,6 +106,7 @@ def sweep_points(
     schemes: tuple[str, ...] | list[str] = PAPER_SCHEMES,
     fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
     seed: int = 0,
+    shards: int = 1,
 ) -> list[SweepPoint]:
     """The sweep's work items: one point per (fraction, scheme) plus the
     per-fraction NC baseline.
@@ -115,10 +116,27 @@ def sweep_points(
     replayed from the result store — ordering and ambient RNG state
     never enter.  All points share one seed because the paper compares
     schemes on identical traces.
+
+    ``shards > 1`` applies only to the shard-capable schemes
+    (:data:`repro.shard.SHARDED_SCHEMES` — the rest are oracles whose
+    global state has no process decomposition and keep the
+    single-process engine), so a mixed sweep stays runnable.
     """
     names = list(dict.fromkeys(("nc", *schemes)))
+    if shards > 1:
+        from ..shard import SHARDED_SCHEMES
+
+        shards_for = {n: shards if n in SHARDED_SCHEMES else 1 for n in names}
+    else:
+        shards_for = dict.fromkeys(names, 1)
     return [
-        SweepPoint(scheme=name, fraction=fraction, config=config, seed=seed)
+        SweepPoint(
+            scheme=name,
+            fraction=fraction,
+            config=config,
+            seed=seed,
+            shards=shards_for[name],
+        )
         for fraction in fractions
         for name in names
     ]
@@ -166,7 +184,9 @@ def cache_size_sweep(
         return sweep
 
     engine = engine or ExperimentEngine()
-    outcomes = engine.run(sweep_points(config, schemes, fractions, seed))
+    outcomes = engine.run(
+        sweep_points(config, schemes, fractions, seed, shards=engine.shards)
+    )
     by_point: dict[tuple[str, float], SchemeResult] = {
         (o.point.scheme, o.point.fraction): o.result for o in outcomes
     }

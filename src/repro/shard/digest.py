@@ -1,0 +1,139 @@
+"""Round digests: the shard bus's frame vocabulary.
+
+At every round boundary each worker tells the others what changed in its
+slice of the hierarchy, batched per cluster and named after the
+:mod:`repro.protocol` exchanges the single-process engine would have
+performed one at a time:
+
+* ``proxy_fetch`` visibility — objects that entered / left a local
+  *proxy* cache this round (what step 3 of the miss chain consults);
+* ``pass_down`` receipts — objects that entered a local *P2P client
+  cache* (store receipts behind the exact lookup directory);
+* ``eviction_notice`` — objects whose last P2P copy died (directory
+  removals);
+* ``push`` — cross-shard push-protocol requests issued this round, each
+  tagged with its global stream position so the owning shard applies
+  them in deterministic order.
+
+Frames ride :func:`repro.protocol.wire.encode_frame` /
+:func:`~repro.protocol.wire.decode_frame` — the same newline-terminated
+JSON framing (and the same refuse-truncation rule) the live daemon
+speaks, so the bus is a third consumer of the wire layer rather than a
+new serialization.  A digest line is ``["d", round, shard, deltas,
+pushes]``; the coordinator's merged broadcast is ``["m", round, deltas,
+pushes]`` with every shard's deltas unioned and pushes sorted by global
+position.
+
+Digest deltas are **bounded-staleness** state: a shard sees remote
+presence as of the previous round boundary.  Within a round remote
+holders can lose an object (a stale push, counted by the owning shard)
+or gain one (a missed cooperation opportunity) — both windows close at
+the next boundary, and both semantics are deterministic for a fixed
+seed and round size.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..protocol.wire import WireFormatError, decode_frame, encode_frame
+
+__all__ = [
+    "ClusterDelta",
+    "encode_digest",
+    "decode_digest",
+    "encode_merged",
+    "decode_merged",
+    "merge_digests",
+]
+
+#: Per-cluster digest payload: four sorted object-id lists —
+#: (proxy adds, proxy removes, directory adds, directory removes).
+ClusterDelta = tuple[list[int], list[int], list[int], list[int]]
+
+_DELTA_KEYS = ("proxy_fetch_add", "proxy_fetch_remove", "pass_down", "eviction_notice")
+
+
+def _deltas_to_wire(deltas: dict[int, ClusterDelta]) -> dict[str, dict[str, list[int]]]:
+    return {
+        str(cluster): dict(zip(_DELTA_KEYS, parts))
+        for cluster, parts in sorted(deltas.items())
+    }
+
+
+def _deltas_from_wire(wire: Any) -> dict[int, ClusterDelta]:
+    if not isinstance(wire, dict):
+        raise WireFormatError(f"digest deltas must be an object: {wire!r}")
+    out: dict[int, ClusterDelta] = {}
+    for cluster, parts in wire.items():
+        out[int(cluster)] = tuple(parts[k] for k in _DELTA_KEYS)  # type: ignore[assignment]
+    return out
+
+
+def encode_digest(
+    round_index: int,
+    shard: int,
+    deltas: dict[int, ClusterDelta],
+    pushes: list[tuple[int, int, int, int]],
+) -> bytes:
+    """One worker's round report: ``["d", round, shard, deltas, pushes]``."""
+    return encode_frame(
+        ["d", round_index, shard, _deltas_to_wire(deltas), [list(p) for p in pushes]]
+    )
+
+
+def decode_digest(raw: bytes) -> tuple[int, int, dict[int, ClusterDelta], list]:
+    """Parse a worker digest; raise on error frames and malformed lines."""
+    entry = decode_frame(raw)
+    if isinstance(entry, list) and entry and entry[0] == "e":
+        # A worker that dies mid-run reports through the same pipe.
+        raise RuntimeError(f"shard {entry[1]} failed:\n{entry[2]}")
+    if not (isinstance(entry, list) and len(entry) == 5 and entry[0] == "d"):
+        raise WireFormatError(f"not a shard digest: {entry!r}")
+    _, round_index, shard, deltas, pushes = entry
+    return (
+        int(round_index),
+        int(shard),
+        _deltas_from_wire(deltas),
+        [tuple(p) for p in pushes],
+    )
+
+
+def merge_digests(
+    digests: list[tuple[int, int, dict[int, ClusterDelta], list]],
+) -> tuple[dict[int, ClusterDelta], list]:
+    """Union every shard's round report into one broadcastable view.
+
+    Cluster keys never collide (each cluster lives on exactly one
+    shard); pushes are sorted by global stream position — the total
+    order every shard agrees on — so each owning shard replays its
+    incoming pushes exactly as a single-process run would encounter
+    them.
+    """
+    rounds = {d[0] for d in digests}
+    if len(rounds) > 1:
+        raise RuntimeError(f"shards out of sync: saw round indexes {sorted(rounds)}")
+    deltas: dict[int, ClusterDelta] = {}
+    pushes: list = []
+    for _, _, d, p in digests:
+        deltas.update(d)
+        pushes.extend(p)
+    pushes.sort()
+    return deltas, pushes
+
+
+def encode_merged(
+    round_index: int, deltas: dict[int, ClusterDelta], pushes: list
+) -> bytes:
+    """The coordinator's broadcast: ``["m", round, deltas, pushes]``."""
+    return encode_frame(
+        ["m", round_index, _deltas_to_wire(deltas), [list(p) for p in pushes]]
+    )
+
+
+def decode_merged(raw: bytes) -> tuple[int, dict[int, ClusterDelta], list]:
+    entry = decode_frame(raw)
+    if not (isinstance(entry, list) and len(entry) == 4 and entry[0] == "m"):
+        raise WireFormatError(f"not a merged digest: {entry!r}")
+    _, round_index, deltas, pushes = entry
+    return int(round_index), _deltas_from_wire(deltas), [tuple(p) for p in pushes]

@@ -1,0 +1,47 @@
+"""Cluster-to-shard assignment and global stream arithmetic.
+
+One simulation's client clusters are dealt round-robin over the worker
+processes (cluster ``c`` lives on shard ``c % shards``), so every shard
+carries a statistically identical slice of the workload and finishes its
+rounds in near-lockstep — the round barrier (:mod:`repro.shard.engine`)
+never waits long on a straggler.
+
+The functions here are pure arithmetic over the **global round-robin
+stream**: request ``i`` of cluster ``c`` sits at global position
+``i * n_clusters + c`` (request i of every cluster before request i+1 of
+any — exactly the single-process engine's order).  Warmup is defined on
+that global stream, so a shard's local warmup count is "how many of the
+first W global positions belong to my clusters", which is what
+:func:`local_warmup` computes in closed form.
+"""
+
+from __future__ import annotations
+
+__all__ = ["clusters_of_shard", "local_warmup", "global_position"]
+
+
+def clusters_of_shard(shard: int, shards: int, n_clusters: int) -> list[int]:
+    """Global cluster indexes assigned to ``shard`` (round-robin deal)."""
+    if not 0 <= shard < shards:
+        raise ValueError(f"shard {shard} outside [0, {shards})")
+    return list(range(shard, n_clusters, shards))
+
+
+def global_position(request_index: int, cluster: int, n_clusters: int) -> int:
+    """Global round-robin position of (request ``i``, cluster ``c``)."""
+    return request_index * n_clusters + cluster
+
+
+def local_warmup(global_warmup: int, clusters: list[int], n_clusters: int) -> int:
+    """How many of the first ``global_warmup`` stream positions are ours.
+
+    The global warmup prefix covers ``q`` full rounds plus the first
+    ``r`` clusters of the next round; a shard's share is a contiguous
+    prefix of its local stream (positions are monotone in local order),
+    so the engine's ordinary warmup drain excludes exactly the right
+    requests.
+    """
+    if global_warmup < 0:
+        raise ValueError("global_warmup must be non-negative")
+    q, r = divmod(global_warmup, n_clusters)
+    return sum(q + (1 if c < r else 0) for c in clusters)

@@ -17,7 +17,18 @@ from .stats import (
     summarize,
     temporal_locality_index,
 )
-from .prowgen import ProWGenConfig, generate_trace, sample_object_sizes
+from .prowgen import (
+    ProWGenConfig,
+    generate_trace,
+    generate_trace_streaming,
+    sample_object_sizes,
+)
+from .stream import (
+    CHUNK_REQUESTS,
+    ChunkedTraceWriter,
+    StreamingTrace,
+    TruncatedTraceError,
+)
 from .trace import Trace, interleave, object_url
 from .ucb import UCB_TOTAL_REQUESTS, generate_ucb_like_trace, ucb_like_config
 from .zipf import AliasSampler, zipf_pmf, zipf_weights
@@ -34,7 +45,12 @@ __all__ = [
     "temporal_locality_index",
     "ProWGenConfig",
     "generate_trace",
+    "generate_trace_streaming",
     "sample_object_sizes",
+    "CHUNK_REQUESTS",
+    "ChunkedTraceWriter",
+    "StreamingTrace",
+    "TruncatedTraceError",
     "Trace",
     "interleave",
     "object_url",
@@ -44,6 +60,9 @@ __all__ = [
     "AliasSampler",
     "zipf_pmf",
     "zipf_weights",
+    "generate_cluster_traces",
+    "generate_cluster_traces_streaming",
+    "cluster_trace_seed",
 ]
 
 
@@ -69,3 +88,65 @@ def generate_cluster_traces(
         )
         for i in range(n_clusters)
     ]
+
+
+def cluster_trace_seed(seed: int, cluster: int) -> int:
+    """The per-cluster ordering seed :func:`generate_cluster_traces` uses.
+
+    Exposed so a sharded run can regenerate *its* clusters' traces — by
+    global cluster index — and end up with exactly the workload a
+    single-process run over all clusters would see.
+    """
+    return seed + 1000 * (cluster + 1)
+
+
+def generate_cluster_traces_streaming(
+    config: ProWGenConfig,
+    clusters,
+    directory,
+    seed: int = 0,
+    chunk_requests: int = CHUNK_REQUESTS,
+) -> list[StreamingTrace]:
+    """Streaming counterpart of :func:`generate_cluster_traces`.
+
+    ``clusters`` is an iterable of *global* cluster indexes (a sharded
+    worker passes only its own); each trace is generated chunk-by-chunk
+    into ``directory/cluster<i>.s<seed>.ctrace`` with the same
+    per-cluster seeds as the in-memory generator, so the workload is
+    identical bit for bit regardless of how clusters are spread over
+    processes.  A sealed file already present for a cluster is reused
+    instead of regenerated (cheap resume for repeated gate runs against
+    one workload); the seed is part of the file name so one directory
+    can hold several seeds' workloads without cross-talk.
+    """
+    from pathlib import Path
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    traces = []
+    for i in clusters:
+        path = directory / f"cluster{i}.s{seed}.ctrace"
+        if path.exists():
+            try:
+                existing = StreamingTrace(path, chunk_requests=chunk_requests)
+                if (
+                    existing.n_requests == config.n_requests
+                    and existing.n_objects == config.n_objects
+                    and existing.n_clients == config.n_clients
+                ):
+                    traces.append(existing)
+                    continue
+                path.unlink()  # different scale: regenerate
+            except (ValueError, TruncatedTraceError):
+                path.unlink()  # unsealed/stale leftover: regenerate
+        traces.append(
+            generate_trace_streaming(
+                config,
+                seed=cluster_trace_seed(seed, i),
+                path=path,
+                name=f"cluster{i}",
+                counts_seed=seed,
+                chunk_requests=chunk_requests,
+            )
+        )
+    return traces

@@ -45,10 +45,16 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from .lru_stack import LruStack
+from .stream import CHUNK_REQUESTS, ChunkedTraceWriter, StreamingTrace
 from .trace import Trace
 from .zipf import AliasSampler, zipf_pmf, zipf_weights
 
-__all__ = ["ProWGenConfig", "generate_trace", "sample_object_sizes"]
+__all__ = [
+    "ProWGenConfig",
+    "generate_trace",
+    "generate_trace_streaming",
+    "sample_object_sizes",
+]
 
 
 @dataclass(frozen=True)
@@ -145,10 +151,20 @@ def _assign_counts(config: ProWGenConfig, rng: np.random.Generator) -> np.ndarra
     return counts
 
 
-def _emit_stream(
-    config: ProWGenConfig, counts: np.ndarray, rng: np.random.Generator
-) -> np.ndarray:
-    """Phase 2: order the references with the LRU-stack locality model."""
+def _emit_stream_chunks(
+    config: ProWGenConfig,
+    counts: np.ndarray,
+    rng: np.random.Generator,
+    chunk_requests: int,
+):
+    """Phase 2, chunked: yield the ordered reference stream in windows.
+
+    The single implementation behind both the monolithic and the
+    streaming generators — the per-request loop and its RNG draw order
+    are identical regardless of ``chunk_requests``, so a chunked trace
+    is byte-for-byte the monolithic one (asserted by the streaming
+    round-trip tests); only the flush granularity differs.
+    """
     n_requests = int(counts.sum())
     remaining = counts.copy()
     in_stack = np.zeros(config.n_objects, dtype=bool)
@@ -169,7 +185,8 @@ def _emit_stream(
     outside = build_outside_sampler()
     rejects = 0
 
-    out = np.empty(n_requests, dtype=np.int64)
+    buf = np.empty(min(chunk_requests, n_requests) or 1, dtype=np.int64)
+    fill = 0
     mass_total = n_requests
     mass_stack = 0
 
@@ -199,7 +216,11 @@ def _emit_stream(
                     outside = build_outside_sampler()
                     rejects = 0
 
-        out[i] = obj
+        buf[fill] = obj
+        fill += 1
+        if fill == len(buf):
+            yield buf[:fill].copy()
+            fill = 0
         remaining[obj] -= 1
         mass_total -= 1
         if from_stack:
@@ -219,7 +240,19 @@ def _emit_stream(
                 if evicted is not None:
                     in_stack[evicted] = False
                     mass_stack -= remaining[evicted]
-    return out
+    if fill:
+        yield buf[:fill].copy()
+
+
+def _emit_stream(
+    config: ProWGenConfig, counts: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Phase 2, monolithic: the full ordered stream as one array."""
+    n_requests = int(counts.sum())
+    chunks = list(_emit_stream_chunks(config, counts, rng, n_requests or 1))
+    if not chunks:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(chunks)
 
 
 def generate_trace(
@@ -250,6 +283,45 @@ def generate_trace(
         n_clients=config.n_clients,
         name=name or f"prowgen(a={config.alpha},stack={config.stack_fraction},seed={seed})",
     )
+
+
+def generate_trace_streaming(
+    config: ProWGenConfig,
+    seed: int,
+    path,
+    name: str | None = None,
+    counts_seed: int | None = None,
+    chunk_requests: int = CHUNK_REQUESTS,
+) -> StreamingTrace:
+    """Generate one cluster's trace straight to disk, chunk by chunk.
+
+    Byte-identical to :func:`generate_trace` for the same
+    ``(config, seed, counts_seed)`` — same RNG, same draw order, only
+    the flush granularity differs — but peak memory is O(chunk), not
+    O(n_requests): the object stream is emitted through
+    :func:`_emit_stream_chunks` and the client ids are drawn in chunks
+    *after* it (matching the monolithic generator's phase order, which
+    is what keeps the RNG streams aligned).
+    """
+    rng = np.random.default_rng(seed)
+    counts_rng = rng if counts_seed is None else np.random.default_rng(counts_seed)
+    counts = _assign_counts(config, counts_rng)
+    n_requests = int(counts.sum())
+    writer = ChunkedTraceWriter(
+        path,
+        n_requests=n_requests,
+        n_objects=config.n_objects,
+        n_clients=config.n_clients,
+        name=name or f"prowgen(a={config.alpha},stack={config.stack_fraction},seed={seed})",
+    )
+    for chunk in _emit_stream_chunks(config, counts, rng, chunk_requests):
+        writer.append_objects(chunk)
+    remaining = n_requests
+    while remaining > 0:
+        n = min(chunk_requests, remaining)
+        writer.append_clients(rng.integers(config.n_clients, size=n, dtype=np.int32))
+        remaining -= n
+    return StreamingTrace(writer.close(), chunk_requests=chunk_requests)
 
 
 def sample_object_sizes(

@@ -1,0 +1,350 @@
+"""Chunked on-disk trace container: memmap-backed writer, bounded reader.
+
+The in-memory :class:`~repro.workload.trace.Trace` holds its two request
+arrays on the heap, which caps a single simulation at whatever fits in
+RAM (10⁶ requests ≈ 12 MB is fine; 10⁸ is not, and neither is holding
+several clusters' worth at once).  This module stores the same two
+arrays in one self-describing binary file and reads them back **in
+chunks**, so peak resident memory stays flat — O(chunk) — no matter how
+long the trace grows.
+
+File layout (version 1)::
+
+    [header]     one ASCII-JSON line padded to HEADER_BYTES with spaces
+    [object_ids] n_requests × int64, little-endian
+    [client_ids] n_requests × int32, little-endian
+
+The header names the exact body size, so a file whose length disagrees
+is **truncated** (a crashed writer, a partial copy) and is refused at
+open time — the same refuse-don't-guess policy the exchange-trace reader
+applies to half-written recordings (PR 5).  The writer fills the file
+through a preallocated ``numpy.memmap`` and only stamps the header's
+``sealed`` flag after both arrays are complete, so an unsealed file can
+never masquerade as a trace.
+
+:class:`StreamingTrace` mirrors the :class:`Trace` statistics surface
+(``infinite_cache_size``, ``reference_counts`` …) by streaming chunked
+``bincount`` passes instead of materializing the arrays, and serves the
+request stream to the simulator via :meth:`object_slice` /
+:meth:`client_slice` windows backed by a read-only memmap.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "CHUNK_REQUESTS",
+    "STREAM_MAGIC",
+    "STREAM_VERSION",
+    "TruncatedTraceError",
+    "ChunkedTraceWriter",
+    "StreamingTrace",
+]
+
+#: Default chunk length (requests per read/write window).  2¹⁸ requests
+#: is 3 MB of trace — large enough that per-chunk overhead vanishes,
+#: small enough that a reader holds single-digit megabytes live.
+CHUNK_REQUESTS = 1 << 18
+
+STREAM_MAGIC = "repro-ctrace"
+STREAM_VERSION = 1
+
+#: Fixed header size.  JSON + padding; rewriting the sealed flag in
+#: place never moves the body.
+HEADER_BYTES = 256
+
+_OBJ_DTYPE = np.dtype("<i8")
+_CLI_DTYPE = np.dtype("<i4")
+
+
+class TruncatedTraceError(ValueError):
+    """The file is shorter than its header promises (or never sealed)."""
+
+
+def _header_bytes(meta: dict) -> bytes:
+    raw = json.dumps(meta, separators=(",", ":")).encode("ascii")
+    if len(raw) >= HEADER_BYTES:
+        raise ValueError(f"trace header too large ({len(raw)} bytes): {meta!r}")
+    return raw + b" " * (HEADER_BYTES - len(raw) - 1) + b"\n"
+
+
+def _body_bytes(n_requests: int) -> int:
+    return n_requests * (_OBJ_DTYPE.itemsize + _CLI_DTYPE.itemsize)
+
+
+class ChunkedTraceWriter:
+    """Stream a trace to disk chunk by chunk, without the full arrays.
+
+    The request count must be known up front (ProWGen's is: it is a
+    config knob), so the writer preallocates the file once and fills it
+    through a memmap.  Object ids and client ids are appended through
+    independent cursors — chunked ProWGen emits the whole object stream
+    first and the client stream second, exactly like the monolithic
+    generator, so the two phases' RNG draw order (and therefore the
+    bytes) stay identical.
+
+    ``close()`` refuses to seal until both cursors reach ``n_requests``;
+    an abandoned writer leaves an unsealed file behind that
+    :meth:`StreamingTrace.open` rejects.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        n_requests: int,
+        n_objects: int,
+        n_clients: int,
+        name: str = "",
+    ) -> None:
+        if n_requests < 0:
+            raise ValueError("n_requests must be non-negative")
+        self.path = Path(path)
+        self.n_requests = int(n_requests)
+        self.n_objects = int(n_objects)
+        self.n_clients = int(n_clients)
+        self.name = name
+        self._obj_cursor = 0
+        self._cli_cursor = 0
+        self._closed = False
+        with self.path.open("wb") as fh:
+            fh.write(_header_bytes(self._meta(sealed=False)))
+            fh.truncate(HEADER_BYTES + _body_bytes(self.n_requests))
+        if self.n_requests:
+            self._objs = np.memmap(
+                self.path,
+                dtype=_OBJ_DTYPE,
+                mode="r+",
+                offset=HEADER_BYTES,
+                shape=(self.n_requests,),
+            )
+            self._clis = np.memmap(
+                self.path,
+                dtype=_CLI_DTYPE,
+                mode="r+",
+                offset=HEADER_BYTES + self.n_requests * _OBJ_DTYPE.itemsize,
+                shape=(self.n_requests,),
+            )
+        else:
+            self._objs = self._clis = None
+
+    def _meta(self, sealed: bool) -> dict:
+        return {
+            "magic": STREAM_MAGIC,
+            "version": STREAM_VERSION,
+            "n_requests": self.n_requests,
+            "n_objects": self.n_objects,
+            "n_clients": self.n_clients,
+            "name": self.name,
+            "sealed": sealed,
+        }
+
+    def append_objects(self, chunk: np.ndarray) -> None:
+        """Append one chunk of object ids at the object cursor."""
+        chunk = np.asarray(chunk, dtype=_OBJ_DTYPE)
+        end = self._obj_cursor + len(chunk)
+        if end > self.n_requests:
+            raise ValueError("more object ids than the declared n_requests")
+        if len(chunk):
+            self._objs[self._obj_cursor:end] = chunk
+        self._obj_cursor = end
+
+    def append_clients(self, chunk: np.ndarray) -> None:
+        """Append one chunk of client ids at the client cursor."""
+        chunk = np.asarray(chunk, dtype=_CLI_DTYPE)
+        end = self._cli_cursor + len(chunk)
+        if end > self.n_requests:
+            raise ValueError("more client ids than the declared n_requests")
+        if len(chunk):
+            self._clis[self._cli_cursor:end] = chunk
+        self._cli_cursor = end
+
+    def close(self) -> Path:
+        """Flush, verify both streams are complete, seal the header."""
+        if self._closed:
+            return self.path
+        if self._obj_cursor != self.n_requests or self._cli_cursor != self.n_requests:
+            raise ValueError(
+                f"incomplete trace: {self._obj_cursor}/{self.n_requests} object "
+                f"ids, {self._cli_cursor}/{self.n_requests} client ids written"
+            )
+        if self._objs is not None:
+            self._objs.flush()
+            self._clis.flush()
+            # Release the maps before rewriting the header.
+            del self._objs, self._clis
+        with self.path.open("r+b") as fh:
+            fh.write(_header_bytes(self._meta(sealed=True)))
+        self._closed = True
+        return self.path
+
+
+class StreamingTrace:
+    """Read-only chunked view of an on-disk trace.
+
+    Mirrors the :class:`~repro.workload.trace.Trace` surface the
+    simulator and the sizing rules touch — ``len``, ``n_objects``,
+    ``n_clients``, ``name``, ``reference_counts`` and the derived
+    statistics — while never holding more than one chunk (plus the small
+    per-object count array) in memory.
+    """
+
+    #: Marks chunk-backed traces; the engine switches to its block loop.
+    chunked = True
+
+    def __init__(self, path: str | Path, chunk_requests: int = CHUNK_REQUESTS) -> None:
+        if chunk_requests <= 0:
+            raise ValueError("chunk_requests must be positive")
+        self.path = Path(path)
+        self.chunk_requests = int(chunk_requests)
+        with self.path.open("rb") as fh:
+            raw = fh.read(HEADER_BYTES)
+        if len(raw) < HEADER_BYTES or not raw.endswith(b"\n"):
+            raise TruncatedTraceError(f"{self.path}: header truncated")
+        try:
+            meta = json.loads(raw.decode("ascii"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"{self.path} is not a chunked repro trace") from exc
+        if not isinstance(meta, dict) or meta.get("magic") != STREAM_MAGIC:
+            raise ValueError(f"{self.path} is not a chunked repro trace")
+        if meta.get("version") != STREAM_VERSION:
+            raise ValueError(
+                f"{self.path}: trace version {meta.get('version')!r}, this "
+                f"build reads version {STREAM_VERSION}"
+            )
+        if not meta.get("sealed"):
+            raise TruncatedTraceError(
+                f"{self.path}: trace was never sealed (writer crashed or is "
+                "still running) — refusing a half-written trace"
+            )
+        self.n_requests = int(meta["n_requests"])
+        self.n_objects = int(meta["n_objects"])
+        self.n_clients = int(meta["n_clients"])
+        self.name = str(meta.get("name", ""))
+        expected = HEADER_BYTES + _body_bytes(self.n_requests)
+        actual = self.path.stat().st_size
+        if actual != expected:
+            raise TruncatedTraceError(
+                f"{self.path}: {actual} bytes on disk, header promises "
+                f"{expected} — refusing a truncated trace"
+            )
+        self._counts: np.ndarray | None = None
+
+    @classmethod
+    def open(cls, path: str | Path, chunk_requests: int = CHUNK_REQUESTS) -> "StreamingTrace":
+        """Open and validate an on-disk trace (alias of the constructor)."""
+        return cls(path, chunk_requests=chunk_requests)
+
+    def __len__(self) -> int:
+        return self.n_requests
+
+    # -- chunked access ------------------------------------------------------
+
+    def _map(self, dtype: np.dtype, offset: int) -> np.ndarray:
+        return np.memmap(
+            self.path, dtype=dtype, mode="r", offset=offset, shape=(self.n_requests,)
+        )
+
+    def object_slice(self, start: int, stop: int) -> np.ndarray:
+        """Copy of ``object_ids[start:stop]`` read straight off disk."""
+        start, stop, _ = slice(start, stop).indices(self.n_requests)
+        n = max(0, stop - start)
+        with self.path.open("rb") as fh:
+            fh.seek(HEADER_BYTES + start * _OBJ_DTYPE.itemsize)
+            return np.frombuffer(fh.read(n * _OBJ_DTYPE.itemsize), dtype=_OBJ_DTYPE)
+
+    def client_slice(self, start: int, stop: int) -> np.ndarray:
+        """Copy of ``client_ids[start:stop]`` read straight off disk."""
+        start, stop, _ = slice(start, stop).indices(self.n_requests)
+        n = max(0, stop - start)
+        base = HEADER_BYTES + self.n_requests * _OBJ_DTYPE.itemsize
+        with self.path.open("rb") as fh:
+            fh.seek(base + start * _CLI_DTYPE.itemsize)
+            return np.frombuffer(fh.read(n * _CLI_DTYPE.itemsize), dtype=_CLI_DTYPE)
+
+    def iter_chunks(self):
+        """Yield ``(start, object_chunk, client_chunk)`` windows in order."""
+        for start in range(0, self.n_requests, self.chunk_requests):
+            stop = min(self.n_requests, start + self.chunk_requests)
+            yield start, self.object_slice(start, stop), self.client_slice(start, stop)
+
+    # -- Trace-compatible array views (memmap-backed, lazily paged) --------
+
+    @property
+    def object_ids(self) -> np.ndarray:
+        """Read-only memmap of the full object-id array.
+
+        Exists for API parity with :class:`Trace` (vectorised statistics,
+        tests).  Touching all of it pages the whole file in — hot-path
+        consumers should prefer :meth:`object_slice`.
+        """
+        return self._map(_OBJ_DTYPE, HEADER_BYTES)
+
+    @property
+    def client_ids(self) -> np.ndarray:
+        """Read-only memmap of the full client-id array (see object_ids)."""
+        return self._map(
+            _CLI_DTYPE, HEADER_BYTES + self.n_requests * _OBJ_DTYPE.itemsize
+        )
+
+    # -- statistics (chunked; mirrors Trace) --------------------------------
+
+    def reference_counts(self) -> np.ndarray:
+        """Per-object reference counts, accumulated chunk by chunk."""
+        if self._counts is None:
+            counts = np.zeros(self.n_objects, dtype=np.int64)
+            for _, objs, _ in self.iter_chunks():
+                counts += np.bincount(objs, minlength=self.n_objects)
+            self._counts = counts
+        return self._counts
+
+    @property
+    def distinct_objects(self) -> int:
+        return int((self.reference_counts() > 0).sum())
+
+    @property
+    def infinite_cache_size(self) -> int:
+        """Distinct objects referenced more than once (paper §5.1)."""
+        return int((self.reference_counts() > 1).sum())
+
+    @property
+    def one_timer_fraction(self) -> float:
+        counts = self.reference_counts()
+        total = int((counts > 0).sum())
+        if total == 0:
+            return 0.0
+        return float((counts == 1).sum() / total)
+
+    def frequency_table(self) -> dict[int, int]:
+        """Reference counts as a dict (the FC frequency oracle's input)."""
+        counts = self.reference_counts()
+        nz = np.nonzero(counts)[0]
+        return {int(o): int(counts[o]) for o in nz}
+
+    def head(self, n: int):
+        """First ``n`` requests as an in-memory :class:`Trace`."""
+        from .trace import Trace
+
+        n = min(n, self.n_requests)
+        return Trace(
+            object_ids=self.object_slice(0, n).copy(),
+            client_ids=self.client_slice(0, n).copy(),
+            n_objects=self.n_objects,
+            n_clients=self.n_clients,
+            name=self.name,
+        )
+
+    def to_trace(self):
+        """The whole trace materialized in memory (tests, small files)."""
+        from .trace import Trace
+
+        return Trace(
+            object_ids=self.object_slice(0, self.n_requests).copy(),
+            client_ids=self.client_slice(0, self.n_requests).copy(),
+            n_objects=self.n_objects,
+            n_clients=self.n_clients,
+            name=self.name,
+        )

@@ -56,6 +56,10 @@ class Trace:
     name: str = ""
     _counts: np.ndarray | None = field(default=None, repr=False, compare=False)
 
+    #: In-memory traces are not chunk-backed; the engine's block loop
+    #: keys off this flag (see :class:`repro.workload.stream.StreamingTrace`).
+    chunked = False
+
     def __post_init__(self) -> None:
         self.object_ids = np.ascontiguousarray(self.object_ids, dtype=np.int64)
         self.client_ids = np.ascontiguousarray(self.client_ids, dtype=np.int32)
@@ -141,6 +145,16 @@ class Trace:
             n_clients=int(kv["n_clients"]),
             name="" if name == "-" else name,
         )
+
+    # -- windowed access (API parity with StreamingTrace) --------------------
+
+    def object_slice(self, start: int, stop: int) -> np.ndarray:
+        """``object_ids[start:stop]`` (a view; no copy for in-memory traces)."""
+        return self.object_ids[start:stop]
+
+    def client_slice(self, start: int, stop: int) -> np.ndarray:
+        """``client_ids[start:stop]`` (a view; no copy for in-memory traces)."""
+        return self.client_ids[start:stop]
 
     # -- transformations --------------------------------------------------------
 

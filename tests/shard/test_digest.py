@@ -1,0 +1,64 @@
+"""Round-digest frame tests: encode/decode, merge, error propagation."""
+
+import pytest
+
+from repro.protocol.wire import WireFormatError, encode_frame
+from repro.shard.digest import (
+    decode_digest,
+    decode_merged,
+    encode_digest,
+    encode_merged,
+    merge_digests,
+)
+
+DELTA_A = {0: ([1, 2], [3], [4], []), 2: ([], [], [9], [8])}
+DELTA_B = {1: ([5], [], [], [6])}
+
+
+class TestRoundTrip:
+    def test_digest_round_trip(self):
+        raw = encode_digest(3, 1, DELTA_A, [(10, 0, 2, 7)])
+        round_index, shard, deltas, pushes = decode_digest(raw)
+        assert (round_index, shard) == (3, 1)
+        assert deltas == DELTA_A
+        assert pushes == [(10, 0, 2, 7)]
+
+    def test_merged_round_trip(self):
+        raw = encode_merged(2, DELTA_B, [(4, 1, 0, 5), (1, 0, 1, 3)])
+        round_index, deltas, pushes = decode_merged(raw)
+        assert round_index == 2
+        assert deltas == DELTA_B
+        assert pushes == [(4, 1, 0, 5), (1, 0, 1, 3)]
+
+    def test_empty_digest(self):
+        assert decode_digest(encode_digest(0, 0, {}, [])) == (0, 0, {}, [])
+
+
+class TestMerge:
+    def test_unions_disjoint_clusters_and_sorts_pushes(self):
+        da = decode_digest(encode_digest(1, 0, DELTA_A, [(9, 0, 1, 2)]))
+        db = decode_digest(encode_digest(1, 1, DELTA_B, [(3, 1, 0, 4)]))
+        deltas, pushes = merge_digests([da, db])
+        assert deltas == {**DELTA_A, **DELTA_B}
+        assert pushes == [(3, 1, 0, 4), (9, 0, 1, 2)]  # by global position
+
+    def test_out_of_sync_rounds_rejected(self):
+        da = decode_digest(encode_digest(1, 0, {}, []))
+        db = decode_digest(encode_digest(2, 1, {}, []))
+        with pytest.raises(RuntimeError, match="out of sync"):
+            merge_digests([da, db])
+
+
+class TestErrors:
+    def test_worker_error_frame_raises(self):
+        raw = encode_frame(["e", 2, "Traceback: boom"])
+        with pytest.raises(RuntimeError, match="shard 2 failed"):
+            decode_digest(raw)
+
+    def test_malformed_digest_rejected(self):
+        with pytest.raises(WireFormatError):
+            decode_digest(encode_frame(["x", 1, 2]))
+
+    def test_malformed_merged_rejected(self):
+        with pytest.raises(WireFormatError):
+            decode_merged(encode_frame(["d", 0, 0, {}, []]))

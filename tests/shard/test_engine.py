@@ -1,0 +1,161 @@
+"""End-to-end tests for the sharded run coordinator.
+
+The contract under test (ISSUE 7):
+
+* ``shards=1`` is byte-identical to the single-process engine — same
+  ``SchemeResult`` — for every scheme in the registry;
+* multi-shard runs are deterministic for a fixed ``(seed, shards,
+  round_requests)``;
+* NC has no inter-cluster cooperation, so sharding it is pure data
+  parallelism and must match the base engine *exactly*; SC and Hier-GD
+  see bounded-staleness remote presence and may legitimately differ
+  within documented semantics (their determinism is what's gated).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.run import SCHEME_REGISTRY, generate_workloads, run_scheme
+from repro.shard import SHARDED_SCHEMES, run_scheme_sharded
+from repro.workload import ProWGenConfig
+
+WORKLOAD = ProWGenConfig(n_requests=1500, n_objects=100, n_clients=8)
+
+
+def cfg(**kw):
+    kw.setdefault("workload", WORKLOAD)
+    kw.setdefault("n_proxies", 4)
+    kw.setdefault("warmup_fraction", 0.1)
+    return SimulationConfig(**kw)
+
+
+class TestSingleShardIdentity:
+    @pytest.mark.parametrize("name", sorted(SCHEME_REGISTRY))
+    def test_shards1_matches_base_engine(self, name):
+        config = cfg()
+        traces = generate_workloads(config, seed=3)
+        base = run_scheme(name, config, traces=traces)
+        assert run_scheme_sharded(name, config, seed=3, shards=1) == base
+
+    def test_shards1_streaming_traces_match(self, tmp_path):
+        config = cfg()
+        base = run_scheme("hier-gd", config, generate_workloads(config, seed=1))
+        sharded = run_scheme_sharded(
+            "hier-gd", config, seed=1, shards=1, trace_dir=str(tmp_path)
+        )
+        assert sharded == base
+
+    def test_run_scheme_delegates_shards(self):
+        config = cfg()
+        via_kw = run_scheme("sc", config, seed=2, shards=1)
+        assert via_kw == run_scheme_sharded("sc", config, seed=2, shards=1)
+
+
+class TestMultiShard:
+    @pytest.mark.parametrize("name", sorted(SHARDED_SCHEMES))
+    def test_two_shard_run_is_deterministic(self, name):
+        config = cfg()
+        first = run_scheme_sharded(name, config, seed=0, shards=2, round_requests=200)
+        second = run_scheme_sharded(name, config, seed=0, shards=2, round_requests=200)
+        assert first == second
+
+    def test_nc_sharding_is_exact(self):
+        # No inter-cluster cooperation -> sharding must not move a byte
+        # (modulo the extras that record the decomposition itself).
+        config = cfg()
+        base = run_scheme("nc", config, generate_workloads(config, seed=0))
+        sharded = run_scheme_sharded("nc", config, seed=0, shards=2)
+        assert sharded.n_requests == base.n_requests
+        assert sharded.tier_counts == base.tier_counts
+        assert sharded.total_latency == base.total_latency
+        assert sharded.messages == base.messages
+
+    @pytest.mark.parametrize("name", sorted(SHARDED_SCHEMES))
+    def test_request_accounting_is_conserved(self, name):
+        config = cfg()
+        base = run_scheme(name, config, generate_workloads(config, seed=0))
+        sharded = run_scheme_sharded(name, config, seed=0, shards=2)
+        assert sharded.n_requests == base.n_requests
+        assert sum(sharded.tier_counts.values()) == sum(base.tier_counts.values())
+
+    def test_extras_record_the_decomposition(self):
+        config = cfg()
+        result = run_scheme_sharded(
+            "hier-gd", config, seed=0, shards=2, round_requests=500
+        )
+        assert result.extras["shards"] == 2.0
+        assert result.extras["round_requests"] == 500.0
+        assert result.extras["sync_rounds"] == 3.0  # ceil(1500 / 500)
+
+    def test_stats_out_reports_worker_rss(self):
+        config = cfg()
+        stats = {}
+        run_scheme_sharded("nc", config, seed=0, shards=2, stats_out=stats)
+        assert stats["worker_max_rss_kb"] > 0
+        assert len(stats["worker_rss_kb"]) == 2
+
+    def test_shards_clamped_to_cluster_count(self):
+        config = cfg(n_proxies=2)
+        first = run_scheme_sharded("nc", config, seed=0, shards=8)
+        second = run_scheme_sharded("nc", config, seed=0, shards=2)
+        assert first == second
+
+
+class TestValidation:
+    def test_unsupported_scheme_rejected(self):
+        with pytest.raises(ValueError, match="cannot run sharded"):
+            run_scheme_sharded("fc", cfg(), shards=2)
+
+    def test_reference_hot_path_rejected(self):
+        config = cfg(hot_path="reference")
+        with pytest.raises(ValueError, match="hot_path"):
+            run_scheme_sharded("nc", config, shards=2)
+
+    def test_bloom_directory_hier_gd_rejected(self):
+        config = cfg(directory="bloom")
+        with pytest.raises(ValueError, match="exact"):
+            run_scheme_sharded("hier-gd", config, shards=2)
+
+    def test_recording_rejected(self, tmp_path):
+        from repro.protocol.trace import recording_traces
+
+        with recording_traces(tmp_path):
+            with pytest.raises(ValueError, match="record"):
+                run_scheme_sharded("nc", cfg(), shards=2)
+
+    def test_explicit_traces_with_shards_rejected(self):
+        config = cfg()
+        traces = generate_workloads(config, seed=0)
+        with pytest.raises(ValueError, match="seed"):
+            run_scheme("nc", config, traces=traces, shards=2)
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError, match="shards"):
+            run_scheme_sharded("nc", cfg(), shards=0)
+
+
+@pytest.mark.slow
+@pytest.mark.scale
+class TestAtScale:
+    """Downsized cousin of benchmarks/scale_gate.py --mode full; the
+    10^7 measurement itself lives in the gate, not the test suite."""
+
+    def test_million_request_sharded_run(self, tmp_path):
+        workload = ProWGenConfig(n_requests=125_000, n_objects=2_500, n_clients=100)
+        config = SimulationConfig(
+            workload=workload, n_proxies=8, warmup_fraction=0.1
+        )
+        stats = {}
+        result = run_scheme_sharded(
+            "hier-gd",
+            config,
+            seed=0,
+            shards=4,
+            trace_dir=str(tmp_path),
+            stats_out=stats,
+        )
+        assert result.n_requests == 900_000  # 10^6 minus the warmup prefix
+        assert result.extras["shards"] == 4.0
+        assert stats["worker_max_rss_kb"] > 0

@@ -1,0 +1,55 @@
+"""Unit tests for the shard partitioning arithmetic."""
+
+from repro.shard.partition import clusters_of_shard, global_position, local_warmup
+
+
+class TestClustersOfShard:
+    def test_round_robin_deal(self):
+        assert clusters_of_shard(0, 2, 5) == [0, 2, 4]
+        assert clusters_of_shard(1, 2, 5) == [1, 3]
+
+    def test_partition_is_exact(self):
+        for shards in (1, 2, 3, 4, 7):
+            dealt = [c for s in range(shards) for c in clusters_of_shard(s, shards, 7)]
+            assert sorted(dealt) == list(range(7))
+
+    def test_single_shard_owns_everything(self):
+        assert clusters_of_shard(0, 1, 4) == [0, 1, 2, 3]
+
+
+class TestGlobalPosition:
+    def test_matches_round_robin_interleave(self):
+        # Request i of cluster c lands at i * P + c in the merged stream.
+        P = 3
+        order = sorted(
+            ((i, c) for i in range(4) for c in range(P)),
+            key=lambda ic: global_position(ic[0], ic[1], P),
+        )
+        assert order == [(i, c) for i in range(4) for c in range(P)]
+
+    def test_positions_are_unique(self):
+        P = 4
+        seen = {global_position(i, c, P) for i in range(10) for c in range(P)}
+        assert len(seen) == 40
+
+
+class TestLocalWarmup:
+    def test_sums_to_global_warmup(self):
+        # The per-shard warmup shares must cover the global prefix exactly.
+        P = 5
+        for shards in (1, 2, 3, 5):
+            for warmup in (0, 1, 7, 12, 25):
+                parts = [
+                    local_warmup(warmup, clusters_of_shard(s, shards, P), P)
+                    for s in range(shards)
+                ]
+                assert sum(parts) == warmup
+
+    def test_counts_requests_in_global_prefix(self):
+        # Global warmup of 5 over P=3: positions 0..4 are (0,c0) (0,c1)
+        # (0,c2) (1,c0) (1,c1) — cluster 0 and 1 contribute 2, cluster 2
+        # contributes 1.
+        assert local_warmup(5, [0], 3) == 2
+        assert local_warmup(5, [1], 3) == 2
+        assert local_warmup(5, [2], 3) == 1
+        assert local_warmup(5, [0, 2], 3) == 3

@@ -1,0 +1,197 @@
+"""Tests for the chunked on-disk trace container and chunked ProWGen."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    ProWGenConfig,
+    cluster_trace_seed,
+    generate_cluster_traces,
+    generate_cluster_traces_streaming,
+    generate_trace,
+)
+from repro.workload.prowgen import generate_trace_streaming
+from repro.workload.stream import (
+    HEADER_BYTES,
+    ChunkedTraceWriter,
+    StreamingTrace,
+    TruncatedTraceError,
+)
+from repro.workload.trace import Trace
+
+
+def write_trace(path, objs, clients, n_objects=None, n_clients=None, chunk=3):
+    objs = np.asarray(objs, dtype=np.int64)
+    clients = np.asarray(clients, dtype=np.int32)
+    writer = ChunkedTraceWriter(
+        path,
+        n_requests=len(objs),
+        n_objects=n_objects or (int(objs.max()) + 1 if len(objs) else 1),
+        n_clients=n_clients or (int(clients.max()) + 1 if len(clients) else 1),
+        name="t",
+    )
+    for a in range(0, len(objs), chunk):
+        writer.append_objects(objs[a : a + chunk])
+    for a in range(0, len(clients), chunk):
+        writer.append_clients(clients[a : a + chunk])
+    return writer.close()
+
+
+class TestRoundTrip:
+    def test_writer_reader_round_trip(self, tmp_path):
+        objs = [3, 1, 4, 1, 5, 9, 2, 6]
+        clients = [0, 1, 2, 0, 1, 2, 0, 1]
+        path = write_trace(tmp_path / "t.ctrace", objs, clients)
+        back = StreamingTrace.open(path)
+        assert len(back) == 8
+        assert back.chunked is True
+        assert list(back.object_slice(0, 8)) == objs
+        assert list(back.client_slice(0, 8)) == clients
+        assert back.name == "t"
+
+    def test_matches_in_memory_trace_statistics(self, tmp_path):
+        rng = np.random.default_rng(7)
+        objs = rng.integers(0, 40, size=500)
+        clients = rng.integers(0, 6, size=500).astype(np.int32)
+        mem = Trace(objs.astype(np.int64), clients, n_objects=40, n_clients=6)
+        disk = StreamingTrace.open(
+            write_trace(tmp_path / "t.ctrace", objs, clients, 40, 6),
+            chunk_requests=64,
+        )
+        assert np.array_equal(disk.reference_counts(), mem.reference_counts())
+        assert disk.infinite_cache_size == mem.infinite_cache_size
+        assert disk.distinct_objects == mem.distinct_objects
+        assert disk.one_timer_fraction == pytest.approx(mem.one_timer_fraction)
+        assert disk.frequency_table() == mem.frequency_table()
+
+    def test_to_trace_and_head(self, tmp_path):
+        path = write_trace(tmp_path / "t.ctrace", [5, 6, 7, 5], [0, 1, 0, 1])
+        disk = StreamingTrace.open(path)
+        full = disk.to_trace()
+        assert list(full.object_ids) == [5, 6, 7, 5]
+        assert list(disk.head(2).object_ids) == [5, 6]
+
+    def test_empty_trace(self, tmp_path):
+        path = write_trace(tmp_path / "e.ctrace", [], [])
+        back = StreamingTrace.open(path)
+        assert len(back) == 0
+        assert back.one_timer_fraction == 0.0
+
+
+class TestChunkBoundaries:
+    def test_iter_chunks_covers_exactly_once(self, tmp_path):
+        objs = list(range(10))
+        path = write_trace(tmp_path / "t.ctrace", objs, [0] * 10, n_objects=10)
+        disk = StreamingTrace.open(path, chunk_requests=4)  # 4 + 4 + 2
+        windows = list(disk.iter_chunks())
+        assert [w[0] for w in windows] == [0, 4, 8]
+        assert [len(w[1]) for w in windows] == [4, 4, 2]
+        assert list(np.concatenate([w[1] for w in windows])) == objs
+
+    def test_slices_across_chunk_boundary(self, tmp_path):
+        objs = list(range(20))
+        path = write_trace(tmp_path / "t.ctrace", objs, [0] * 20, n_objects=20)
+        disk = StreamingTrace.open(path, chunk_requests=7)
+        assert list(disk.object_slice(5, 16)) == objs[5:16]
+        assert list(disk.object_slice(18, 99)) == objs[18:]  # clamped
+
+    def test_memmap_views_match(self, tmp_path):
+        objs = [2, 4, 6, 8]
+        clients = [1, 0, 1, 0]
+        disk = StreamingTrace.open(
+            write_trace(tmp_path / "t.ctrace", objs, clients)
+        )
+        assert list(disk.object_ids) == objs
+        assert list(disk.client_ids) == clients
+
+
+class TestRefusal:
+    """Truncated/half-written traces are refused, never guessed at
+    (mirrors the exchange-trace reader's PR-5 policy)."""
+
+    def test_truncated_body_refused(self, tmp_path):
+        path = write_trace(tmp_path / "t.ctrace", [1, 2, 3, 4], [0, 0, 0, 0])
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])
+        with pytest.raises(TruncatedTraceError, match="truncated"):
+            StreamingTrace.open(path)
+
+    def test_truncated_header_refused(self, tmp_path):
+        path = write_trace(tmp_path / "t.ctrace", [1], [0])
+        path.write_bytes(path.read_bytes()[: HEADER_BYTES // 2])
+        with pytest.raises(TruncatedTraceError):
+            StreamingTrace.open(path)
+
+    def test_unsealed_file_refused(self, tmp_path):
+        writer = ChunkedTraceWriter(tmp_path / "t.ctrace", 2, 2, 1)
+        writer.append_objects([0, 1])
+        writer.append_clients([0, 0])
+        # no close(): the writer "crashed" before sealing
+        with pytest.raises(TruncatedTraceError, match="sealed"):
+            StreamingTrace.open(tmp_path / "t.ctrace")
+
+    def test_incomplete_writer_refuses_to_seal(self, tmp_path):
+        writer = ChunkedTraceWriter(tmp_path / "t.ctrace", 3, 2, 1)
+        writer.append_objects([0, 1, 1])
+        writer.append_clients([0])  # one of three
+        with pytest.raises(ValueError, match="incomplete"):
+            writer.close()
+
+    def test_overfull_append_refused(self, tmp_path):
+        writer = ChunkedTraceWriter(tmp_path / "t.ctrace", 2, 2, 1)
+        with pytest.raises(ValueError, match="more object ids"):
+            writer.append_objects([0, 1, 0])
+
+    def test_foreign_file_refused(self, tmp_path):
+        path = tmp_path / "x.ctrace"
+        path.write_bytes(b"not a trace" + b" " * 300)
+        with pytest.raises(ValueError):
+            StreamingTrace.open(path)
+
+
+class TestChunkedProWGen:
+    CFG = ProWGenConfig(n_requests=3000, n_objects=150, n_clients=8)
+
+    def test_chunked_matches_monolithic_bytes(self, tmp_path):
+        mono = generate_trace(self.CFG, seed=42)
+        disk = generate_trace_streaming(
+            self.CFG, 42, tmp_path / "t.ctrace", chunk_requests=257
+        )
+        assert np.array_equal(disk.object_ids, mono.object_ids)
+        assert np.array_equal(disk.client_ids, mono.client_ids)
+        assert disk.n_objects == mono.n_objects
+        assert disk.n_clients == mono.n_clients
+
+    def test_chunk_size_never_changes_bytes(self, tmp_path):
+        a = generate_trace_streaming(
+            self.CFG, 9, tmp_path / "a.ctrace", chunk_requests=101
+        )
+        b = generate_trace_streaming(
+            self.CFG, 9, tmp_path / "b.ctrace", chunk_requests=2048
+        )
+        assert np.array_equal(a.object_ids, b.object_ids)
+        assert np.array_equal(a.client_ids, b.client_ids)
+
+    def test_cluster_streaming_matches_in_memory(self, tmp_path):
+        mem = generate_cluster_traces(self.CFG, 3, seed=5)
+        disk = generate_cluster_traces_streaming(
+            self.CFG, range(3), tmp_path, seed=5
+        )
+        assert len(disk) == 3
+        for m, d in zip(mem, disk):
+            assert np.array_equal(d.object_ids, m.object_ids)
+            assert np.array_equal(d.client_ids, m.client_ids)
+
+    def test_cluster_files_reused_when_sealed(self, tmp_path):
+        first = generate_cluster_traces_streaming(
+            self.CFG, range(2), tmp_path, seed=1
+        )
+        stamps = [t.path.stat().st_mtime_ns for t in first]
+        second = generate_cluster_traces_streaming(
+            self.CFG, range(2), tmp_path, seed=1
+        )
+        assert [t.path.stat().st_mtime_ns for t in second] == stamps
+
+    def test_cluster_seeds_are_stable(self):
+        assert cluster_trace_seed(0, 0) == 1000
+        assert cluster_trace_seed(7, 2) == 7 + 3000
