@@ -1,0 +1,154 @@
+"""Policy what-if gate: identity replay byte-identity + old-schema compat.
+
+The what-if subsystem's acceptance bar, run as a CI smoke job:
+
+* for every faultable scheme (fc, fc-ec, hier-gd, squirrel) at fault
+  rate 0 and at the gate rate, a simulate-with-record then
+  **identity-policy what-if** must reproduce the recorded
+  ``SchemeResult`` byte-identically with zero changed events — the
+  draws field and :func:`repro.protocol.policy.run_ladder` must agree
+  to the uniform;
+* a *modified* policy (``immediate``) on a faulty trace must actually
+  change events — a what-if that never disagrees with the recording is
+  measuring nothing;
+* a schema-1 trace (synthesised by downgrading a fresh recording:
+  ``draws`` column stripped, header version rewound) must still load
+  and replay cleanly through the byte-exact replay harness, and must be
+  *refused* for non-identity what-ifs with a clear error.
+
+Usage::
+
+    REPRO_SCALE=smoke PYTHONPATH=src python benchmarks/policy_gate.py
+    python benchmarks/policy_gate.py --rate 0.1 --out /tmp/policy_traces
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.experiments.robustness import ROBUSTNESS_FRACTION, robustness_plan
+from repro.experiments.runner import base_config
+from repro.faults.run import run_scheme_with_faults
+from repro.protocol.policy import PolicySet, RetryPolicy
+from repro.protocol.replay import replay_trace
+from repro.protocol.trace import recording_traces
+from repro.protocol.whatif import WhatIfError, format_whatif, whatif_trace
+
+GATE_SCHEMES = ("fc", "fc-ec", "hier-gd", "squirrel")
+
+IMMEDIATE = PolicySet(default=RetryPolicy(strategy="immediate"))
+
+
+def downgrade_to_schema1(trace_path: Path, out_path: Path) -> None:
+    """Rewrite a schema-2 trace as schema 1: no draws, version rewound."""
+    lines = trace_path.read_text(encoding="utf-8").splitlines()
+    out: list[str] = []
+    for i, line in enumerate(lines):
+        entry = json.loads(line)
+        if i == 0:
+            entry["schema"] = 1
+            out.append(json.dumps(entry, sort_keys=True))
+        elif isinstance(entry, list) and entry[0] == "x" and len(entry) == 8:
+            out.append(json.dumps(entry[:7]))
+        else:
+            out.append(line)
+    out_path.write_text("\n".join(out) + "\n", encoding="utf-8")
+
+
+def run_gate(rate: float, out_dir: Path) -> list[str]:
+    """Record + what-if every gate point; return failures (empty = pass)."""
+    failures: list[str] = []
+    config = base_config().with_changes(proxy_cache_fraction=ROBUSTNESS_FRACTION)
+    faulty_trace: Path | None = None
+    for scheme in GATE_SCHEMES:
+        for r in (0.0, rate):
+            label = f"{scheme}@rate={r:g}"
+            plan = robustness_plan(r)
+            with recording_traces(out_dir) as recorder:
+                run_scheme_with_faults(scheme, config, plan=plan, seed=0)
+            trace_path = recorder.written[-1]
+            report = whatif_trace(trace_path)
+            if not report.identity:
+                failures.append(f"{label}: default policies not seen as identity")
+                continue
+            if report.n_changed or not report.identical:
+                failures.append(
+                    f"{label}: identity what-if drifted from the recording "
+                    f"({report.n_changed} changed events)"
+                )
+                print(format_whatif(report))
+                continue
+            print(
+                f"  ok {label}: {report.n_ladders} ladders re-judged, "
+                "identity result byte-identical"
+            )
+            if r > 0:
+                faulty_trace = trace_path
+
+    if faulty_trace is None:
+        failures.append("no faulty trace recorded (rate 0?)")
+        return failures
+
+    # A modified policy must actually disagree with the recording.
+    modified = whatif_trace(faulty_trace, IMMEDIATE)
+    print(f"\nmodified-policy check ({faulty_trace.name}):")
+    print(format_whatif(modified))
+    if modified.n_changed == 0 or modified.identical:
+        failures.append(
+            "immediate-fallback what-if changed nothing on a faulty trace"
+        )
+    else:
+        print(f"  ok immediate policy re-judged {modified.n_changed} events")
+
+    # Old-schema compatibility: replays clean, refuses policy what-ifs.
+    old = out_dir / f"schema1-{faulty_trace.name}"
+    downgrade_to_schema1(faulty_trace, old)
+    replay = replay_trace(old)
+    if replay.divergence is not None or not replay.identical:
+        failures.append("downgraded schema-1 trace did not replay clean")
+    else:
+        print(f"  ok schema-1 trace replayed clean ({replay.n_events} events)")
+    identity_old = whatif_trace(old)
+    if identity_old.n_changed or not identity_old.identical:
+        failures.append("schema-1 identity what-if not byte-identical")
+    else:
+        print("  ok schema-1 identity what-if byte-identical")
+    try:
+        whatif_trace(old, IMMEDIATE)
+    except WhatIfError as exc:
+        print(f"  ok schema-1 policy what-if refused: {exc}")
+    else:
+        failures.append(
+            "schema-1 trace accepted a non-identity what-if (no draws to "
+            "re-judge — must be refused)"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rate", type=float, default=0.1,
+                        help="faulty gate point's composite fault rate")
+    parser.add_argument("--out", type=Path, default=None, metavar="DIR",
+                        help="trace directory (default: a temp dir)")
+    args = parser.parse_args(argv)
+    out_dir = args.out or Path(tempfile.mkdtemp(prefix="policy_gate_"))
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    failures = run_gate(args.rate, out_dir)
+    if failures:
+        print("\nPOLICY GATE FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\npolicy gate passed: identity what-ifs byte-identical, modified "
+          "policies bite, schema-1 traces replay clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

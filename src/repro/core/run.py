@@ -79,10 +79,13 @@ def run_scheme(
     function, unchanged.
 
     ``transport`` optionally replaces the scheme's base transport with a
-    custom stack (e.g. an observability layer); ``None`` keeps the plain
-    always-succeeds carrier.  ``backend="async"`` drives the same stack
-    through :class:`~repro.protocol.aio.AsyncTransport` on the simulated
-    clock — results stay byte-identical to the synchronous path.
+    custom stack (e.g. an observability layer, or a
+    :class:`~repro.protocol.transport.FaultTransport` whose plan carries
+    per-link :class:`~repro.protocol.policy.RetryPolicy` strategies);
+    ``None`` keeps the plain always-succeeds carrier.
+    ``backend="async"`` drives the same stack through
+    :class:`~repro.protocol.aio.AsyncTransport` on the simulated clock —
+    results stay byte-identical to the synchronous path.
 
     Inside a :func:`repro.protocol.trace.recording_traces` block the
     run's transport (supplied or base) is wrapped in a recording layer

@@ -134,6 +134,9 @@ class DaemonTransport(Transport):
             self._counters = dict.fromkeys(FAULT_COUNTERS, 0)
         self._injector = None
         self._req = -1
+        #: Ladder draws from the last wire response, for the recording
+        #: seam (:meth:`take_draws`) — live traces stay what-if capable.
+        self._last_draws: dict | None = None
         #: Wire exchanges sent / unresponsiveness probes sent.
         self.exchanges_sent = 0
         self.probes_sent = 0
@@ -205,13 +208,14 @@ class DaemonTransport(Transport):
         link = self._pick(SERVED_BY[exchange.kind])
         link.send(request_frame(self._req, exchange, force_fail))
         self.exchanges_sent += 1
-        req, kind, ev_link, ok, charges, deltas = parse_event(link.recv())
+        req, kind, ev_link, ok, charges, deltas, draws = parse_event(link.recv())
         if req != self._req or kind != exchange.kind or ev_link != exchange.link:
             raise WireProtocolError(
                 f"daemon {link.address} answered a different exchange: sent "
                 f"(req={self._req}, {exchange.kind}, {exchange.link}), got "
                 f"(req={req}, {kind}, {ev_link})"
             )
+        self._last_draws = draws
         # Re-apply the daemon's charges one by one in wire order: float
         # addition is not associative, and this is what keeps a recorded
         # live run byte-identical to a simulated one.
@@ -221,6 +225,11 @@ class DaemonTransport(Transport):
         for key, d in deltas.items():
             counters[key] = counters.get(key, 0) + d
         return ok
+
+    def take_draws(self) -> dict | None:
+        """Hand over (and clear) the last wire response's ladder draws."""
+        draws, self._last_draws = self._last_draws, None
+        return draws
 
     def unresponsive(self, cluster: int, client: int) -> bool:
         """Probe a client daemon (plain stacks answer False off-wire)."""

@@ -253,7 +253,7 @@ class CacheDaemon:
         payload = encode_frame(
             event_frame(
                 req, exchange, outcome.ok, list(outcome.charges),
-                outcome.counter_deltas(),
+                outcome.counter_deltas(), outcome.draws,
             )
         )
         task = asyncio.ensure_future(self._finish(outcome, payload))

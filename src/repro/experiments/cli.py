@@ -70,6 +70,7 @@ from .figure2 import figure2a, figure2b
 from .figure3 import figure3
 from .figure4 import figure4
 from .figure5 import figure5a, figure5b, figure5c, figure5d
+from .policy_frontier import figure_policy_frontier
 from .robustness import figure_robustness
 from .runner import SCALES, current_scale
 
@@ -86,6 +87,7 @@ FIGURES = {
     "fig5c": figure5c,
     "fig5d": figure5d,
     "robust": figure_robustness,
+    "frontier": figure_policy_frontier,
 }
 
 #: Store filename used when ``--resume`` is given without a path.

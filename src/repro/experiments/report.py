@@ -29,7 +29,8 @@ from .figure2 import figure2a, figure2b
 from .figure3 import figure3
 from .figure4 import figure4
 from .figure5 import figure5a, figure5b, figure5c, figure5d
-from .robustness import figure_robustness
+from .policy_frontier import figure_policy_frontier
+from .robustness import ROBUSTNESS_SCHEMES, figure_robustness
 from .runner import current_scale
 
 __all__ = ["Claim", "FIGURE_CLAIMS", "evaluate_claims", "generate_report", "main"]
@@ -158,6 +159,41 @@ FIGURE_CLAIMS: dict[str, list[Claim]] = {
             < s["gain"].get("squirrel").values[0],
         ),
     ],
+    "frontier": [
+        Claim(
+            "every candidate policy coincides at loss rate 0 (no faults, "
+            "no ladders, nothing to re-judge)",
+            lambda s: all(
+                max(series.values[0] for series in s[name].series)
+                - min(series.values[0] for series in s[name].series)
+                < 1e-9
+                for name in ROBUSTNESS_SCHEMES
+            ),
+        ),
+        Claim(
+            "hedged fallback never costs more than the default ladder "
+            "(charge max, not sum)",
+            lambda s: all(
+                h <= d + 1e-9
+                for name in ROBUSTNESS_SCHEMES
+                for h, d in zip(
+                    s[name].get("hedged").values, s[name].get("default").values
+                )
+            ),
+        ),
+        Claim(
+            "the identity what-if reproduces every recording byte-"
+            "identically (drift panel is all zeros)",
+            lambda s: all(
+                v == 0.0 for series in s["drift"].series for v in series.values
+            ),
+        ),
+        Claim(
+            "the retry/fallback gap is scheme- and rate-dependent: the gap "
+            "panel locates the break-even per scheme (see panel notes)",
+            lambda s: len(s["gap"].series) == len(ROBUSTNESS_SCHEMES),
+        ),
+    ],
 }
 
 
@@ -188,6 +224,7 @@ def _run_figures(
     out["fig5c"] = {"fig5c": figure5c(seed=seed, engine=engine)}
     out["fig5d"] = {"fig5d": figure5d(seed=seed, engine=engine)}
     out["robust"] = figure_robustness(seed=seed, engine=engine)
+    out["frontier"] = figure_policy_frontier(seed=seed, engine=engine)
     return out
 
 

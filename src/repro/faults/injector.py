@@ -57,25 +57,50 @@ class FaultInjector:
             link: random.Random(fault_seed(plan.seed, scope, "delay", link))
             for link in FAULT_LINKS
         }
+        self._jitter: dict[str, random.Random] = {}
 
-    def link_ok(self, link: str) -> bool:
-        """One Bernoulli draw: did the message over ``link`` get through?
+    def loss_uniform(self, link: str) -> float | None:
+        """Raw uniform behind one loss draw, or ``None`` when loss is off.
 
         Loss-free links never consume a draw, so plans differing only in
-        *which* links lose keep the other links' sequences aligned.
+        *which* links lose keep the other links' sequences aligned.  The
+        ladder engine (:func:`~repro.protocol.policy.run_ladder`) compares
+        the uniform against the link's loss probability itself so the
+        same uniforms can be replayed from a recorded trace.
         """
-        p = self._loss_prob[link]
-        if p <= 0.0:
-            return True
-        return self._loss[link].random() >= p
+        if self._loss_prob[link] <= 0.0:
+            return None
+        return self._loss[link].random()
+
+    def delay_uniform(self, link: str) -> float | None:
+        """Raw uniform behind one delay draw, or ``None`` when delay is off."""
+        if self.plan.delay_rate <= 0.0:
+            return None
+        return self._delay[link].random()
+
+    def jitter_uniform(self, link: str) -> float:
+        """One uniform from the per-link jitter substream.
+
+        The stream is created lazily: the default exponential ladder
+        never jitters, so pre-policy builds (which never instantiated
+        these streams) keep byte-identical RNG state.
+        """
+        rng = self._jitter.get(link)
+        if rng is None:
+            rng = random.Random(fault_seed(self.plan.seed, self._scope, "jitter", link))
+            self._jitter[link] = rng
+        return rng.random()
+
+    def link_ok(self, link: str) -> bool:
+        """One Bernoulli draw: did the message over ``link`` get through?"""
+        u = self.loss_uniform(link)
+        return u is None or u >= self._loss_prob[link]
 
     def delay_penalty(self, link: str) -> float:
         """Extra RTT multiples a successful round costs (0.0 = on time)."""
-        plan = self.plan
-        if plan.delay_rate <= 0.0:
-            return 0.0
-        if self._delay[link].random() < plan.delay_rate:
-            return plan.delay_factor - 1.0
+        u = self.delay_uniform(link)
+        if u is not None and u < self.plan.delay_rate:
+            return self.plan.delay_factor - 1.0
         return 0.0
 
     def unresponsive(self, cluster: int, client: int) -> bool:

@@ -33,6 +33,13 @@ All randomness derives from ``seed`` through named SHA-256 substreams
 (:mod:`repro.faults.injector`), so a plan replays identically across
 processes and runs — the determinism the equivalence suite asserts.
 
+The *response* to these faults — the timeout → retry → fallback ladder —
+rides alongside the probabilities as an optional
+:class:`~repro.protocol.policy.PolicySet` (``policies``), so fault
+processes and retry policy are independently swappable; ``None`` means
+every link runs the default exponential ladder, byte-identical to the
+pre-policy builds.
+
 This module must not import from :mod:`repro.experiments` (the
 experiment layer imports *us*).
 """
@@ -40,6 +47,8 @@ experiment layer imports *us*).
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
+
+from ..protocol.policy import DEFAULT_POLICIES, PolicySet
 
 __all__ = ["FaultPlan", "NO_FAULTS"]
 
@@ -67,6 +76,12 @@ class FaultPlan:
     backoff_base: float = 2.0
     #: Root seed of every fault substream (independent of the trace seed).
     seed: int = 0
+    #: Per-link retry policies (``None``: the default exponential ladder
+    #: on every link).  A plain dict — e.g. a JSON round-trip through a
+    #: trace header or a wire hello — is coerced back to a
+    #: :class:`~repro.protocol.policy.PolicySet`, whose constructor
+    #: validates per-link names against the known fault links.
+    policies: PolicySet | None = None
 
     _RATES = (
         "p2p_loss",
@@ -91,6 +106,21 @@ class FaultPlan:
             raise ValueError("backoff_base must be >= 1")
         if self.seed < 0:
             raise ValueError("seed must be non-negative")
+        if self.policies is not None and not isinstance(self.policies, PolicySet):
+            if not isinstance(self.policies, dict):
+                raise TypeError(
+                    "policies must be a PolicySet, a mapping, or None; "
+                    f"got {self.policies!r}"
+                )
+            object.__setattr__(self, "policies", PolicySet(**self.policies))
+
+    def policy_set(self) -> PolicySet:
+        """The effective per-link policies (the identity set when unset)."""
+        return self.policies if self.policies is not None else DEFAULT_POLICIES
+
+    def policy_for(self, link: str):
+        """The :class:`~repro.protocol.policy.RetryPolicy` for ``link``."""
+        return self.policy_set().for_link(link)
 
     def is_zero(self) -> bool:
         """True when no fault process is active — the plan is a no-op.
@@ -120,6 +150,8 @@ class FaultPlan:
             parts.append(f"unresp={self.unresponsive_fraction:g}")
         if self.churn_rate:
             parts.append(f"churn={self.churn_rate:g}")
+        if self.policies is not None and not self.policies.is_default:
+            parts.append(f"policy={self.policies.label}")
         return ",".join(parts) if parts else "none"
 
     def describe(self) -> str:

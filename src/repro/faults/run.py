@@ -15,6 +15,14 @@ plain code path (the acceptance bar for the subsystem):
   fault-free by construction — its client → proxy → origin path has no
   cooperation link — which is what anchors the "degrades toward NC,
   never below" claim of the robustness experiment.
+
+The plan also carries the *response* to its faults: per-link
+:class:`~repro.protocol.policy.RetryPolicy` strategies
+(``plan.policies``), honoured by the assembled
+:class:`~repro.protocol.transport.FaultTransport` on every path this
+entry point dispatches to (sync, async backend, recorded).  A plan
+without policies runs the default exponential ladder, byte-identical
+to the pre-policy builds.
 """
 
 from __future__ import annotations

@@ -20,6 +20,14 @@ One cooperation-message engine for plain, faulty and observable runs:
   answering the transport contract from a recorded stream, and
   :func:`replay_trace` re-driving a whole scheme to a byte-identical
   result or a first-divergence report.
+- :mod:`repro.protocol.policy` — the retry ladder as data: per-link
+  :class:`RetryPolicy` strategies (exponential, immediate, capped,
+  hedged) and :func:`run_ladder`, the single pure ladder engine every
+  execution path drives.
+- :mod:`repro.protocol.whatif` — policy what-ifs: :func:`whatif_trace`
+  re-judges a recorded trace's ladders under a candidate policy set
+  from the recorded uniforms plus a seeded extension substream, exact
+  (byte-identical) under the identity policy.
 
 Layering: this package imports :mod:`repro.netmodel` only at module
 scope (fault-layer internals are imported lazily), so the core layer can
@@ -43,6 +51,15 @@ from .messages import (
     exchange_traffic,
     link_traffic,
 )
+from .policy import (
+    DEFAULT_POLICIES,
+    DEFAULT_POLICY,
+    STRATEGIES,
+    PolicySet,
+    RetryPolicy,
+    plan_fingerprint,
+    run_ladder,
+)
 from .replay import (
     Divergence,
     RecordedTrace,
@@ -59,6 +76,7 @@ from .replay import (
 )
 from .trace import (
     TRACE_SCHEMA,
+    TRACE_SCHEMAS,
     RecordingTransport,
     TraceRecorder,
     TraceWriter,
@@ -88,10 +106,19 @@ from .wire import (
     parse_hello,
     parse_request,
 )
+from .whatif import (
+    EventChange,
+    WhatIfError,
+    WhatIfReport,
+    format_whatif,
+    whatif_trace,
+)
 
 __all__ = [
     "ALL_EXCHANGES",
     "COOP_EXCHANGES",
+    "DEFAULT_POLICIES",
+    "DEFAULT_POLICY",
     "EVICTION_NOTICE",
     "FAULT_COUNTERS",
     "LOOKUP_QUERY",
@@ -100,21 +127,26 @@ __all__ = [
     "PROXY_FETCH",
     "PUSH",
     "SERVED_BY",
+    "STRATEGIES",
     "TRACE_SCHEMA",
+    "TRACE_SCHEMAS",
     "WIRE_KIND",
     "WIRE_SCHEMA",
     "AsyncTransport",
     "Divergence",
+    "EventChange",
     "Exchange",
     "FaultTransport",
     "LadderOutcome",
     "ObservabilityTransport",
+    "PolicySet",
     "RealClock",
     "RecordedTrace",
     "RecordingTransport",
     "ReplayDivergence",
     "ReplayReport",
     "ReplayTransport",
+    "RetryPolicy",
     "SimClock",
     "TraceError",
     "TraceFormatError",
@@ -124,6 +156,8 @@ __all__ = [
     "TraceWriter",
     "Transport",
     "TransportLayer",
+    "WhatIfError",
+    "WhatIfReport",
     "WireFormatError",
     "WireProtocolError",
     "WireRoleError",
@@ -138,13 +172,17 @@ __all__ = [
     "coop_proxy_stage",
     "exchange_traffic",
     "format_report",
+    "format_whatif",
     "link_traffic",
     "load_trace",
     "lookup_stage",
     "origin_stage",
+    "plan_fingerprint",
     "push_stage",
     "recording_traces",
     "replay_trace",
+    "run_ladder",
     "serve_miss",
     "trace_key",
+    "whatif_trace",
 ]

@@ -22,6 +22,12 @@ awaitables, behind the same contract:
   configurable scale (``scale=0`` still yields to the event loop, so
   concurrency is real while smoke runs stay fast).
 
+The ladder's shape — round count, timeouts, hedged max-not-sum
+charging — is whatever the plan's per-link
+:class:`~repro.protocol.policy.RetryPolicy` says: this layer drives the
+wrapped stack's generators and never re-implements the ladder, so sync,
+async and daemon paths agree under any policy by construction.
+
 Determinism under concurrency rests on one invariant, enforced by the
 transport layer rather than here: **all RNG draws of a ladder happen
 atomically on its first step** (:meth:`FaultTransport.draw`), so the

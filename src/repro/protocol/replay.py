@@ -37,7 +37,8 @@ from pathlib import Path
 from typing import Any
 
 from .messages import Exchange
-from .trace import TRACE_KIND, TRACE_SCHEMA, attach_request_counter
+from .policy import plan_fingerprint
+from .trace import TRACE_KIND, TRACE_SCHEMAS, attach_request_counter
 from .transport import Transport
 
 __all__ = [
@@ -102,6 +103,11 @@ class RecordedTrace:
     footer: dict[str, Any]
 
     @property
+    def schema(self) -> int:
+        """The trace format version the file was recorded under."""
+        return int(self.header["schema"])
+
+    @property
     def scheme(self) -> str:
         """The recorded run's scheme name."""
         return self.header["scheme"]
@@ -137,10 +143,11 @@ def load_trace(path: str | Path) -> RecordedTrace:
     if not isinstance(header, dict) or header.get("kind") != TRACE_KIND:
         raise TraceFormatError(f"{path}: header does not identify a {TRACE_KIND}")
     schema = header.get("schema")
-    if schema != TRACE_SCHEMA:
+    if schema not in TRACE_SCHEMAS:
         raise TraceSchemaError(
             f"{path}: trace schema {schema!r}, this build replays only "
-            f"{TRACE_SCHEMA} (recorded by a different version?)"
+            f"{', '.join(str(s) for s in TRACE_SCHEMAS)} "
+            "(recorded by a different version?)"
         )
     for field in ("scheme", "seed", "config"):
         if field not in header:
@@ -240,7 +247,9 @@ class ReplayTransport(Transport):
             f"force_fail={force_fail}) at request {self._req}"
         )
         event = self._pop("x", observed)
-        _, req, kind, link, ok, charges, deltas = event
+        # Slice: schema-2 events carry an eighth ``draws`` element the
+        # byte-exact replay path has no use for (what-if reads it).
+        _, req, kind, link, ok, charges, deltas = event[:7]
         if kind != exchange.kind or link != exchange.link or req != self._req:
             raise ReplayDivergence(self.pos - 1, event, observed)
         for amount in charges:
@@ -316,6 +325,10 @@ class ReplayReport:
     scheme: str
     seed: int
     plan_label: str
+    #: Fingerprint of the plan in effect (:func:`~repro.protocol.policy.
+    #: plan_fingerprint`) — covers probabilities *and* retry policies, so
+    #: a policy-mismatch replay is attributable at a glance.
+    plan_fingerprint: str
     n_events: int
     events_replayed: int
     #: None for a clean replay.
@@ -436,6 +449,7 @@ def replay_trace(path: str | Path) -> ReplayReport:
         scheme=name,
         seed=trace.seed,
         plan_label=plan.label if plan is not None else "none",
+        plan_fingerprint=plan_fingerprint(plan),
         n_events=len(trace.events),
         events_replayed=transport.pos,
         divergence=divergence,
@@ -450,7 +464,8 @@ def format_report(report: ReplayReport) -> str:
     lines = [
         f"replay {report.path}",
         f"  scheme={report.scheme} seed={report.seed} "
-        f"plan={report.plan_label} events={report.n_events}",
+        f"plan={report.plan_label} "
+        f"fingerprint={report.plan_fingerprint} events={report.n_events}",
     ]
     if report.divergence is None:
         lines.append(
@@ -479,6 +494,15 @@ def format_report(report: ReplayReport) -> str:
         lines.append(f"  DIVERGENCE at exchange {d.index}:")
         lines.append(f"    expected: {expected}")
         lines.append(f"    observed: {d.observed}")
+        lines.append(
+            f"    plan/policy fingerprint in effect: {report.plan_fingerprint} "
+            f"(plan={report.plan_label})"
+        )
+        lines.append(
+            "    if this build's FaultPlan or retry policies differ from the "
+            "recording's, the divergence is a policy mismatch, not a "
+            "simulator bug — compare fingerprints first"
+        )
         if d.context:
             lines.append("    context:")
             for idx, event in d.context:

@@ -13,9 +13,9 @@ SchemeResult` byte-identically.
 
 File format (one JSON value per line)::
 
-    {"schema": 1, "kind": "repro-exchange-trace", "scheme": ...,
+    {"schema": 2, "kind": "repro-exchange-trace", "scheme": ...,
      "seed": ..., "key": "<sha256>", "config": {...}, "plan": {...}|null}
-    ["x", <request>, <kind>, <link>|null, <ok>, [<charge>, ...], {<counter>: <delta>, ...}]
+    ["x", <request>, <kind>, <link>|null, <ok>, [<charge>, ...], {<counter>: <delta>, ...}, <draws>|null]
     ["u", <request>, <cluster>, <client>, <unresponsive>]
     {"end": true, "events": N, "dropped": D, "complete": true|false,
      "result": {...SchemeResult...}|null}
@@ -25,6 +25,16 @@ per-exchange sum: float addition is not associative, and byte-identical
 replay of ``total_latency`` requires re-applying the exact same additions
 in the exact same order.  JSON round-trips Python floats exactly
 (``repr``-based), so nothing is lost on disk.
+
+Schema 2 appends an eighth element to ``"x"`` events: the raw uniforms
+the fault ladder consumed (``{"l": [...], "d": u, "j": [...], "ff":
+true}`` — loss uniforms in attempt order, the delay uniform, jitter
+uniforms, and a ``force_fail`` marker; absent keys mean no draw of that
+kind).  ``null`` means no fault ladder ran (plain stack or a LAN
+exchange); ``{}`` means a ladder ran but consumed nothing.  These
+uniforms are what :mod:`repro.protocol.whatif` re-judges under a
+modified :class:`~repro.protocol.policy.RetryPolicy`; schema-1 traces
+(no draws) still load and replay under the identity policy.
 
 Recording is armed process-wide through :func:`recording_traces` (the
 same pattern as :func:`repro.perf.profiling.collecting_op_counters`);
@@ -56,6 +66,7 @@ from .transport import Transport, TransportLayer
 
 __all__ = [
     "TRACE_SCHEMA",
+    "TRACE_SCHEMAS",
     "TRACE_KIND",
     "DEFAULT_MAX_EVENTS",
     "trace_key",
@@ -66,9 +77,15 @@ __all__ = [
     "active_trace_recorder",
 ]
 
-#: Version of the on-disk trace format.  A reader only replays its own
-#: version: a trace is a byte-exact contract, not a best-effort log.
-TRACE_SCHEMA = 1
+#: Version of the on-disk trace format this build *writes*.  A trace is
+#: a byte-exact contract, not a best-effort log; readers accept exactly
+#: the versions in :data:`TRACE_SCHEMAS`.
+TRACE_SCHEMA = 2
+
+#: Trace versions this build can *read*.  Schema 1 (PR 5) lacks the
+#: per-event ``draws`` field, so it replays byte-identically but only
+#: supports the identity policy in what-if mode.
+TRACE_SCHEMAS = (1, 2)
 
 #: Header tag identifying a file as an exchange trace.
 TRACE_KIND = "repro-exchange-trace"
@@ -234,7 +251,16 @@ class RecordingTransport(TransportLayer):
                 if d:
                     deltas[key] = d
         self.writer.write_event(
-            ["x", self._req, exchange.kind, exchange.link, ok, charges, deltas]
+            [
+                "x",
+                self._req,
+                exchange.kind,
+                exchange.link,
+                ok,
+                charges,
+                deltas,
+                self.inner.take_draws(),
+            ]
         )
 
     def attempt(self, exchange: Exchange, force_fail: bool = False) -> bool:

@@ -35,11 +35,11 @@ without the scheme knowing the stack's shape).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Generator
 
 from ..netmodel import NetworkConfig
 from .messages import ALL_EXCHANGES, FAULT_COUNTERS, Exchange
+from .policy import LadderOutcome, run_ladder
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..faults.plan import FaultPlan
@@ -71,46 +71,6 @@ def drain(steps: Generator[float, None, bool]) -> bool:
             next(steps)
     except StopIteration as stop:
         return bool(stop.value)
-
-
-@dataclass(frozen=True)
-class LadderOutcome:
-    """One retry ladder's wire decisions, drawn atomically.
-
-    The pure data core of the timeout → backoff-retry → fallback ladder:
-    whether the exchange eventually got through, the timeout charged per
-    failed round (in order, already backoff-inflated), and the extra
-    delay charge when the successful round was slow.  Because every RNG
-    draw behind an outcome happens in one synchronous step
-    (:meth:`FaultTransport.draw`), concurrent ladders consume the
-    per-link fault substreams in a deterministic order — ladder start
-    order — no matter how their waits later interleave in flight.
-    """
-
-    #: Did the exchange (eventually) get through?
-    ok: bool
-    #: Timeout charged per failed round, in ladder order.
-    waits: tuple[float, ...] = ()
-    #: Extra charge on a slow success (0.0 = on time).
-    delay: float = 0.0
-
-    @property
-    def charges(self) -> tuple[float, ...]:
-        """Every latency charge the ladder books, in charge order."""
-        return self.waits + (self.delay,) if self.delay else self.waits
-
-    def counter_deltas(self) -> dict[str, int]:
-        """Fault-counter increments this ladder books (trace/wire deltas)."""
-        deltas: dict[str, int] = {}
-        n = len(self.waits)
-        if n:
-            deltas["timeouts"] = n
-            retries = n if self.ok else n - 1
-            if retries:
-                deltas["retries"] = retries
-        if not self.ok:
-            deltas["fallbacks"] = 1
-        return deltas
 
 
 class Transport:
@@ -176,6 +136,19 @@ class Transport:
         """
         return LadderOutcome(ok=not force_fail)
 
+    def take_draws(self) -> dict[str, Any] | None:
+        """Consume the last ladder's recorded uniforms, if any.
+
+        The recording seam for trace schema 2: after an :meth:`attempt`
+        (or a drained :meth:`ladder_steps`), the recording layer asks
+        the stack for the uniforms that ladder consumed
+        (:attr:`LadderOutcome.draws`) so they land in the trace's
+        ``draws`` field.  The base stack never draws, so the answer is
+        ``None``; a fault layer stashes its last outcome's draws and
+        hands them over exactly once.
+        """
+        return None
+
     def unresponsive(self, cluster: int, client: int) -> bool:
         """Will this client cache never answer a push request?"""
         return False
@@ -231,6 +204,10 @@ class TransportLayer(Transport):
         """Delegate the atomic ladder draw to the wrapped transport."""
         return self.inner.draw(exchange, force_fail)
 
+    def take_draws(self) -> dict[str, Any] | None:
+        """Delegate draw collection to the wrapped transport."""
+        return self.inner.take_draws()
+
     def unresponsive(self, cluster: int, client: int) -> bool:
         """Delegate the unresponsiveness probe to the wrapped transport."""
         return self.inner.unresponsive(cluster, client)
@@ -252,13 +229,14 @@ class TransportLayer(Transport):
 class FaultTransport(TransportLayer):
     """The fault layer: a :class:`FaultPlan`'s failure semantics.
 
-    Ports the timeout/retry/fallback ladder the ``Faulty*`` scheme
-    subclasses used to carry, verbatim: a lost message costs one link
-    RTT (the natural timeout), retries inflate the timeout by
-    ``plan.backoff_base`` each round, and an exhausted budget returns
-    False so the caller falls back to the next tier.  ``force_fail``
-    models a peer that will never answer (an unresponsive push target):
-    the full ladder is paid.
+    The ladder itself lives in :func:`repro.protocol.policy.run_ladder`:
+    per link the plan's :class:`~repro.protocol.policy.PolicySet` picks
+    the response strategy (the default is the PR-3 exponential ladder,
+    byte-identical: a lost message costs one link RTT, retries inflate
+    the timeout by ``plan.backoff_base`` each round, and an exhausted
+    budget returns False so the caller falls back to the next tier).
+    ``force_fail`` models a peer that will never answer (an unresponsive
+    push target): the ladder is paid without consuming any RNG draw.
 
     ``scope`` namespaces the injector's substreams (the scheme name, so
     two schemes under one plan draw independent sequences).
@@ -277,6 +255,8 @@ class FaultTransport(TransportLayer):
         self.injector = FaultInjector(plan, scope=scope)
         self._link_rtt = inner.network.link_rtts()
         self._counters = dict.fromkeys(FAULT_COUNTERS, 0)
+        self._policies = plan.policy_set()
+        self._last_draws: dict[str, Any] | None = None
 
     @property
     def faulty(self) -> bool:  # type: ignore[override]
@@ -294,32 +274,29 @@ class FaultTransport(TransportLayer):
         """
         link = exchange.link
         if not self._active or link is None:
+            self._last_draws = None
             return self.inner.draw(exchange, force_fail)
-        plan = self.plan
-        injector = self.injector
-        rtt = self._link_rtt[link]
-        timeout = rtt
-        waits: list[float] = []
-        for _ in range(plan.max_retries + 1):
-            if not force_fail and injector.link_ok(link):
-                return LadderOutcome(
-                    ok=True,
-                    waits=tuple(waits),
-                    delay=injector.delay_penalty(link) * rtt,
-                )
-            waits.append(timeout)
-            timeout *= plan.backoff_base
-        return LadderOutcome(ok=False, waits=tuple(waits))
+        outcome = run_ladder(
+            self._policies.for_link(link),
+            self.plan,
+            link,
+            self._link_rtt[link],
+            self.injector,
+            force_fail,
+        )
+        self._last_draws = outcome.draws
+        return outcome
+
+    def take_draws(self) -> dict[str, Any] | None:
+        """Hand over (and clear) the last drawn ladder's uniforms."""
+        draws, self._last_draws = self._last_draws, None
+        return draws
 
     def _book(self, outcome: LadderOutcome) -> None:
         """Book one drawn ladder's fault counters."""
         msg = self._counters
-        n = len(outcome.waits)
-        if n:
-            msg["timeouts"] += n
-            msg["retries"] += n if outcome.ok else n - 1
-        if not outcome.ok:
-            msg["fallbacks"] += 1
+        for key, delta in outcome.counter_deltas().items():
+            msg[key] = msg.get(key, 0) + delta
 
     def attempt(self, exchange: Exchange, force_fail: bool = False) -> bool:
         """Run the full ladder inline: draw, book, charge, resolve."""

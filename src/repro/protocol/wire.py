@@ -18,14 +18,15 @@ direction   line                                                   arity
 hello  →    ``{"schema", "kind", "scope", "network", "plan"}``       —
 hello  ←    ``{"schema", "kind", "role", "node", "ok"}``             —
 request →   ``["x", req, kind, link, force_fail]``                   5
-response ←  ``["x", req, kind, link, ok, charges, deltas]``          7
+response ←  ``["x", req, kind, link, ok, charges, deltas, draws]``   8
 probe  →    ``["u", req, cluster, client]``                          4
 answer ←    ``["u", req, cluster, client, unresponsive]``            5
 error  ←    ``{"error": reason}``                                    —
 ==========  =====================================================  =====
 
 Arity is the request/response discriminator: an ``"x"`` line with five
-elements asks, one with seven answers.  A line that does not end in a
+elements asks, one with seven (schema 1) or eight (schema 2, with the
+ladder's raw ``draws``) answers.  A line that does not end in a
 newline is *truncated* and must be refused exactly like a truncated
 trace (:class:`WireFormatError`) — a half-written message is never a
 message.
@@ -274,19 +275,36 @@ def event_frame(
     ok: bool,
     charges: list[float],
     deltas: dict[str, int],
+    draws: dict | None = None,
 ) -> list[Any]:
-    """An ``"x"`` response — byte-for-byte a trace event (PR-5 schema)."""
-    return ["x", req, exchange.kind, exchange.link, bool(ok), charges, deltas]
+    """An ``"x"`` response — byte-for-byte a trace event (schema 2).
+
+    ``draws`` carries the raw uniforms the fault ladder consumed (or
+    ``None`` when no ladder ran) so live recordings stay what-if capable.
+    """
+    return [
+        "x", req, exchange.kind, exchange.link, bool(ok), charges, deltas, draws,
+    ]
 
 
-def parse_event(entry: Any) -> tuple[int, str, str | None, bool, list[float], dict]:
-    """Validate an ``"x"`` response/trace event; return its fields."""
-    if not (isinstance(entry, list) and len(entry) == 7 and entry[0] == "x"):
+def parse_event(
+    entry: Any,
+) -> tuple[int, str, str | None, bool, list[float], dict, dict | None]:
+    """Validate an ``"x"`` response/trace event; return its fields.
+
+    Accepts both arities — 7 (schema 1, no draws) and 8 (schema 2) —
+    and always returns a 7-tuple with ``draws=None`` for the old form,
+    so every reader handles both trace generations uniformly.
+    """
+    if not (isinstance(entry, list) and len(entry) in (7, 8) and entry[0] == "x"):
         raise WireFormatError(f"not an exchange response: {entry!r}")
-    _, req, kind, link, ok, charges, deltas = entry
+    draws = entry[7] if len(entry) == 8 else None
+    _, req, kind, link, ok, charges, deltas = entry[:7]
     if not isinstance(charges, list) or not isinstance(deltas, dict):
         raise WireFormatError(f"malformed exchange response: {entry!r}")
-    return int(req), str(kind), link, bool(ok), charges, deltas
+    if draws is not None and not isinstance(draws, dict):
+        raise WireFormatError(f"malformed draws in exchange response: {entry!r}")
+    return int(req), str(kind), link, bool(ok), charges, deltas, draws
 
 
 def answer_frame(req: int, cluster: int, client: int, answer: bool) -> list[Any]:

@@ -68,7 +68,7 @@ class TestCli:
     def test_registry_covers_every_figure(self):
         assert set(FIGURES) == {
             "fig2a", "fig2b", "fig3", "fig4",
-            "fig5a", "fig5b", "fig5c", "fig5d", "robust",
+            "fig5a", "fig5b", "fig5c", "fig5d", "robust", "frontier",
         }
 
     def test_cli_runs_and_saves_csv(self, tmp_path, capsys, monkeypatch):

@@ -22,7 +22,9 @@ from repro.protocol import (
     PUSH,
     AsyncTransport,
     FaultTransport,
+    PolicySet,
     RealClock,
+    RetryPolicy,
     SimClock,
     Transport,
 )
@@ -255,3 +257,61 @@ class TestCancellation:
 
         asyncio.run(go())
         assert len(charged) == 1
+
+
+class TestNonDefaultPolicies:
+    """The async ladder must honour the plan's retry policies."""
+
+    def _policy_plan(self, policy):
+        return FaultPlan(proxy_loss=1.0, seed=1, policies=PolicySet(default=policy))
+
+    def test_cancel_mid_wait_under_a_widened_ladder(self):
+        # A raised retry budget makes the ladder longer than the default;
+        # cancelling after the first wait must still leave the whole
+        # atomic draw's counters booked and charge nothing further.
+        plan = self._policy_plan(RetryPolicy(max_retries=4))
+        stack = FaultTransport(Transport(NetworkConfig()), plan, scope="t")
+        carrier = AsyncTransport(stack)
+        charged = []
+        stack._charge = charged.append
+
+        full = len(stack.draw(PROXY_FETCH).waits)
+        assert full == 5  # the policy, not the plan default, sized it
+        ladder = carrier.begin(PROXY_FETCH)
+        assert len(charged) == 1 < full
+        ladder.close()
+        assert len(charged) == 1
+        assert stack.fault_counters["timeouts"] == full
+
+    def test_hedged_exhaustion_is_a_single_wait_ladder(self):
+        # Hedged charges max-not-sum: the in-flight ladder has one wait,
+        # so there is no "mid-flight" left to cancel after begin(), but
+        # every drawn round's counters are booked atomically up front.
+        plan = self._policy_plan(RetryPolicy(strategy="hedged"))
+        stack = FaultTransport(Transport(NetworkConfig()), plan, scope="t")
+        carrier = AsyncTransport(stack)
+        charged = []
+        stack._charge = charged.append
+
+        outcome = stack.draw(PROXY_FETCH)  # draw() books nothing
+        assert len(outcome.waits) == 1
+        assert outcome.drawn_timeouts == plan.max_retries + 1
+        ladder = carrier.begin(PROXY_FETCH)  # books the atomic draw
+        assert len(charged) == 1
+        ladder.close()
+        assert stack.fault_counters["timeouts"] == plan.max_retries + 1
+
+    @pytest.mark.parametrize("name", ["fc", "hier-gd"])
+    def test_faulty_runs_match_under_policy_plan(self, name):
+        # The equivalence gate, re-run with per-link policy overrides in
+        # effect: async must stay byte-identical to sync.
+        plan = dataclasses.replace(
+            PLAN,
+            policies=PolicySet(
+                default=RetryPolicy(strategy="hedged"),
+                per_link={"p2p": RetryPolicy(strategy="immediate")},
+            ),
+        )
+        sync = run_scheme_with_faults(name, cfg(), plan=plan, seed=3)
+        asyn = run_scheme_with_faults(name, cfg(), plan=plan, seed=3, backend="async")
+        assert dataclasses.asdict(sync) == dataclasses.asdict(asyn)

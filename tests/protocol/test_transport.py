@@ -29,6 +29,8 @@ from repro.protocol import (
     PUSH,
     FaultTransport,
     ObservabilityTransport,
+    PolicySet,
+    RetryPolicy,
     Transport,
     build_transport,
 )
@@ -152,6 +154,84 @@ class TestFaultLadder:
         assert msg["p2p_lookups"] == 5  # existing accounting untouched
         assert msg["timeouts"] == 1
         assert msg["fallbacks"] == 1
+
+
+class TestNonDefaultPolicyLadders:
+    """The fault layer must charge and count whatever policy the plan carries."""
+
+    def test_immediate_policy_charges_one_round(self):
+        plan = FaultPlan(
+            p2p_loss=1.0,
+            seed=3,
+            policies=PolicySet(default=RetryPolicy(strategy="immediate")),
+        )
+        transport, sink = _fault(plan)
+        rtt = cfg().network.link_rtts()[P2P_FETCH.link]
+
+        assert transport.attempt(P2P_FETCH) is False
+        counters = transport.fault_counters
+        assert counters["timeouts"] == 1
+        assert counters["retries"] == 0
+        assert counters["fallbacks"] == 1
+        assert sink.charged == pytest.approx(rtt)
+
+    def test_hedged_policy_charges_max_books_all_rounds(self):
+        plan = FaultPlan(
+            p2p_loss=1.0,
+            seed=3,
+            policies=PolicySet(default=RetryPolicy(strategy="hedged")),
+        )
+        transport, sink = _fault(plan)
+        rtt = cfg().network.link_rtts()[P2P_FETCH.link]
+
+        assert transport.attempt(P2P_FETCH) is False
+        counters = transport.fault_counters
+        assert counters["timeouts"] == plan.max_retries + 1
+        assert counters["retries"] == plan.max_retries
+        assert sink.charged == pytest.approx(rtt)  # max, not the serial sum
+
+    def test_install_counters_merges_under_a_policy_plan(self):
+        # Satellite regression: the merge of pre-install ladder counts
+        # into the scheme's dict must survive a non-default policy whose
+        # per-ladder deltas differ from the plan's protocol knobs.
+        plan = FaultPlan(
+            p2p_loss=1.0,
+            seed=3,
+            policies=PolicySet(
+                default=RetryPolicy(strategy="hedged"),
+                per_link={"p2p": RetryPolicy(strategy="immediate")},
+            ),
+        )
+        transport, _ = _fault(plan)
+        assert transport.attempt(P2P_FETCH) is False  # immediate: 1 timeout
+        assert transport.attempt(PUSH, force_fail=True) is False  # hedged ladder
+
+        msg = {"timeouts": 0, "p2p_lookups": 5}
+        transport.install_counters(msg)
+        assert transport.fault_counters is msg
+        assert msg["timeouts"] == 1 + (plan.max_retries + 1)
+        assert msg["retries"] == plan.max_retries
+        assert msg["fallbacks"] == 2
+        assert msg["p2p_lookups"] == 5
+
+        transport.install_counters(msg)  # re-install must not double-count
+        assert msg["timeouts"] == 1 + (plan.max_retries + 1)
+
+    @pytest.mark.parametrize("name", ["hier-gd", "fc", "squirrel"])
+    def test_stacking_order_still_commutes_under_policy_plan(self, name, traces):
+        plan = dataclasses.replace(
+            PLAN,
+            policies=PolicySet(per_link={"proxy": RetryPolicy(max_retries=4)}),
+        )
+        obs_outside = ObservabilityTransport(
+            FaultTransport(Transport(cfg().network), plan, scope=name)
+        )
+        obs_inside = FaultTransport(
+            ObservabilityTransport(Transport(cfg().network)), plan, scope=name
+        )
+        outside = run_scheme(name, cfg(), traces, transport=obs_outside)
+        inside = run_scheme(name, cfg(), traces, transport=obs_inside)
+        assert dataclasses.asdict(outside) == dataclasses.asdict(inside)
 
 
 class TestBaseTransport:

@@ -112,15 +112,24 @@ class TestExchangeFrames:
             exchange_by_kind("carrier_pigeon")
 
     def test_response_is_a_trace_event(self):
-        # Arity discriminates: 5 asks, 7 answers — same "x" tag.
-        entry = event_frame(4, PUSH, False, [1.5, 3.0], {"timeouts": 2})
-        req, kind, link, ok, charges, deltas = parse_event(entry)
+        # Arity discriminates: 5 asks, 8 answers — same "x" tag.
+        entry = event_frame(4, PUSH, False, [1.5, 3.0], {"timeouts": 2},
+                            {"l": [0.01, 0.02]})
+        req, kind, link, ok, charges, deltas, draws = parse_event(entry)
         assert (req, kind, link, ok) == (4, "push", "push", False)
         assert charges == [1.5, 3.0] and deltas == {"timeouts": 2}
+        assert draws == {"l": [0.01, 0.02]}
         with pytest.raises(WireFormatError):
             parse_request(entry)
         with pytest.raises(WireFormatError):
             parse_event(request_frame(4, PUSH))
+
+    def test_schema1_event_parses_with_no_draws(self):
+        # Seven-element (schema 1) events stay parsable: draws=None.
+        entry = ["x", 4, "push", "push", False, [1.5, 3.0], {"timeouts": 2}]
+        req, kind, link, ok, charges, deltas, draws = parse_event(entry)
+        assert (req, ok, draws) == (4, False, None)
+        assert charges == [1.5, 3.0] and deltas == {"timeouts": 2}
 
     def test_probe_and_answer_round_trip(self):
         assert parse_probe(probe_frame(2, 1, 9)) == (2, 1, 9)
@@ -131,6 +140,8 @@ class TestExchangeFrames:
     def test_malformed_event_payload_is_refused(self):
         with pytest.raises(WireFormatError):
             parse_event(["x", 0, "push", "push", True, "not-a-list", {}])
+        with pytest.raises(WireFormatError):
+            parse_event(["x", 0, "push", "push", True, [], {}, "not-a-dict"])
 
 
 class TestRoleBindings:
