@@ -8,9 +8,11 @@ browser caches vanish) and new machines join *while the trace replays*.
 
 What failure does to the system (all mechanisms, not abstractions):
 
-* the Pastry overlay repairs leaf sets and routing tables
-  (:meth:`~repro.overlay.network.Overlay.fail`), and DHT placement shifts
-  — objectIds owned by the dead cache acquire new owners;
+* the overlay repairs its routing state — Pastry's leaf sets and
+  routing tables, Chord's successor lists and (lazily) fingers
+  (:meth:`~repro.overlay.contract.OverlayBackend.fail`) — and DHT
+  placement shifts: objectIds owned by the dead cache acquire new
+  owners;
 * the objects stored on the dead cache are gone, but the proxy's lookup
   directory *does not know yet* — entries go stale.  Repair is lazy, as
   it would be in a real deployment: the next lookup that redirects into
@@ -19,7 +21,7 @@ What failure does to the system (all mechanisms, not abstractions):
 * diversion pointers through or to the dead cache dangle and are swept;
 * objects whose DHT owner changed remain physically cached at the old
   owner but become unreachable — they age out of the old owner's
-  greedy-dual cache naturally (Pastry would *migrate* keys; a cache
+  greedy-dual cache naturally (a DHT would *migrate* keys; a cache
   rationally chooses not to copy data on churn and re-fetches instead).
 
 A join shifts placement the same way (keys split toward the newcomer)
@@ -139,8 +141,8 @@ class HierGdChurnScheme(HierGdScheme):
         state.owner_memo.clear()
 
         # Dangling diversion pointers and replica entries naming the dead
-        # cache are swept (the owners notice their leaf-set member die
-        # through Pastry repair).
+        # cache are swept (the owners notice their neighbourhood member
+        # die through overlay repair).
         for ptrs in state.pointers.values():
             stale = [obj for obj, holder in ptrs.items() if holder == client]
             for obj in stale:

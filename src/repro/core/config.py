@@ -62,10 +62,17 @@ class SimulationConfig:
     directory: str = "exact"
     #: Target false-positive rate for the Bloom directory.
     bloom_fp_rate: float = 0.01
-    #: Pastry leaf-set size l (paper: typical value 16).
+    #: Structured overlay backend federating each client cluster:
+    #: "pastry" (the paper's choice, §4.1) or "chord" (the bake-off
+    #: alternative).  Backend-specific knobs below are validated only
+    #: for the selected backend.
+    overlay: str = "pastry"
+    #: [pastry] leaf-set size l (paper: typical value 16).
     leaf_set_size: int = 16
-    #: Pastry digit-width parameter b (paper: log_2b N routing).
+    #: [pastry] digit-width parameter b (paper: log_2b N routing).
     pastry_b: int = 4
+    #: [chord] successor-list length r (repair/replica neighbourhood).
+    chord_successors: int = 16
     #: Object diversion within the leaf set (§4.3). Ablation knob.
     object_diversion: bool = True
     #: Piggyback destaged objects on HTTP responses (§4.4). Ablation knob.
@@ -110,10 +117,15 @@ class SimulationConfig:
             raise ValueError("directory must be 'exact' or 'bloom'")
         if not 0 < self.bloom_fp_rate < 1:
             raise ValueError("bloom_fp_rate must be in (0, 1)")
-        if self.leaf_set_size < 2 or self.leaf_set_size % 2:
-            raise ValueError("leaf_set_size must be an even integer >= 2")
-        if self.pastry_b not in (1, 2, 4, 8):
-            raise ValueError("pastry_b must be one of 1, 2, 4, 8")
+        if self.overlay not in ("pastry", "chord"):
+            raise ValueError("overlay must be 'pastry' or 'chord'")
+        if self.overlay == "pastry":
+            if self.leaf_set_size < 2 or self.leaf_set_size % 2:
+                raise ValueError("leaf_set_size must be an even integer >= 2")
+            if self.pastry_b not in (1, 2, 4, 8):
+                raise ValueError("pastry_b must be one of 1, 2, 4, 8")
+        elif self.chord_successors < 1:
+            raise ValueError("chord_successors must be >= 1")
         if self.hop_sample_rate < 0:
             raise ValueError("hop_sample_rate must be >= 0")
         if not 0.0 <= self.warmup_fraction < 1.0:

@@ -10,7 +10,7 @@ i.e. with every moving part of §§3–4 actually running:
   SHA-1 objectIds and DHT placement (§4.1);
 * a proxy eviction ``d1`` is passed down per the Figure 1 pseudo-code:
   route to the destination cache A; if A has free space it stores d1;
-  otherwise **object diversion** tries a leaf-set member B with free
+  otherwise **object diversion** tries an overlay neighbour B with free
   space (A keeps a pointer, §4.3); otherwise A runs greedy-dual, stores
   d1, discards its own eviction d2, and the proxy's **lookup directory**
   (Exact or Bloom, §4.2) is updated for both d1 and d2 via store
@@ -45,7 +45,13 @@ from ..netmodel import (
     TIER_LOCAL_PROXY,
     TIER_SERVER,
 )
-from ..overlay import Dht, IdSpace, Overlay, build_owner_table, object_ids_for_urls
+from ..overlay import (
+    Dht,
+    OverlayBackend,
+    build_owner_table,
+    make_overlay,
+    object_ids_for_urls,
+)
 from ..protocol.chain import push_stage, serve_miss
 from ..protocol.transport import Transport
 from ..workload import Trace, object_url
@@ -63,7 +69,7 @@ class _ClusterState:
 
     proxy: Cache
     clients: list[Cache]
-    overlay: Overlay
+    overlay: OverlayBackend
     dht: Dht
     idx_of_node: dict[int, int]
     node_of_idx: list[int]
@@ -83,9 +89,10 @@ class _ClusterState:
     cluster: int = -1
     #: Precomputed DHT placement: object id -> owner client index.
     owner_of: list[int] | None = None
-    #: Per client index: leaf-set members as client indexes (members()
-    #: order, so diversion/replication walk the same candidates).
-    leaf_idx: list[list[int]] | None = None
+    #: Per client index: overlay neighbourhood (Pastry leaf set / Chord
+    #: successor list) as client indexes, in the backend's contract order
+    #: so diversion/replication walk the same candidates.
+    neighbour_idx: list[list[int]] | None = None
     #: Overlay epoch the placement tables were built against.
     built_epoch: int = -1
     #: Client indexes with free space (monotonically shrinking in the
@@ -171,11 +178,10 @@ class HierGdScheme(CachingScheme):
         # A fault layer merges its FAULT_COUNTERS into this dict (no-op
         # under the base transport).
         self.transport.install_counters(self._msg)
-        space = IdSpace(b=config.pastry_b)
         self._object_keys = None  # shared objectId array, built lazily
         self.states: list[_ClusterState] = []
         for ci, sizing in enumerate(self.sizings):
-            overlay = Overlay(space=space, leaf_size=config.leaf_set_size)
+            overlay = make_overlay(config)
             names = [f"cluster{ci}/cache{k}" for k in range(sizing.n_clients)]
             if self._fast:
                 nodes = overlay.bulk_add_named(names)
@@ -232,10 +238,10 @@ class HierGdScheme(CachingScheme):
         One batched SHA-1 pass over every object URL (shared across
         clusters — the id space is the same) and one vectorised
         sorted-ring resolution replace per-object ``Dht.owner`` memo
-        fills.  A sampled subset is routed hop-by-hop so
-        ``mean_pastry_hops`` stays populated, with each delivery asserted
-        against the table.  Tables are keyed to the overlay epoch and
-        rebuilt on membership change.
+        fills.  A sampled subset is routed hop-by-hop so the mean-hops
+        extra stays populated, with each delivery asserted against the
+        table.  Tables are keyed to the overlay epoch and rebuilt on
+        membership change.
         """
         overlay = state.overlay
         if self._object_keys is None:
@@ -254,8 +260,8 @@ class HierGdScheme(CachingScheme):
         )
         idx_of_node = state.idx_of_node
         state.owner_of = [idx_of_node[nid] for nid in owners]
-        state.leaf_idx = [
-            [idx_of_node[leaf] for leaf in overlay.node(nid).leaves.members()]
+        state.neighbour_idx = [
+            [idx_of_node[nb] for nb in overlay.neighbourhood(nid)]
             for nid in state.node_of_idx
         ]
         state.built_epoch = overlay.epoch
@@ -342,7 +348,7 @@ class HierGdScheme(CachingScheme):
             self._replicate(state, obj, cost, primary_idx=owner_idx, owner_idx=owner_idx)
             return
 
-        # (7)-(10): object diversion to a leaf-set member with free space.
+        # (7)-(10): object diversion to an overlay neighbour with free space.
         if self.config.object_diversion:
             divertee = self._pick_divertee(state, owner_idx)
             if divertee is not None:
@@ -412,9 +418,9 @@ class HierGdScheme(CachingScheme):
         else:
             divertee = None
             if self._diversion and free:
-                # (7)-(10): leaf-set member with the most free space.
+                # (7)-(10): neighbourhood member with the most free space.
                 best_free = 0
-                for idx in state.leaf_idx[owner_idx]:
+                for idx in state.neighbour_idx[owner_idx]:
                     if idx in free:
                         c = clients[idx]
                         f = c.capacity - c._used
@@ -558,9 +564,9 @@ class HierGdScheme(CachingScheme):
         primary_idx: int,
         owner_idx: int | None = None,
     ) -> None:
-        """Best-effort PAST-style replication in the owner's leaf set.
+        """Best-effort PAST-style replication in the owner's neighbourhood.
 
-        Extra copies (``p2p_replicas - 1``) go to the leaf-set members
+        Extra copies (``p2p_replicas - 1``) go to the neighbourhood members
         with free space — never displacing cached objects, so replication
         costs no capacity under pressure, only spare space.  Replicas are
         availability insurance: under client churn an object survives as
@@ -572,7 +578,7 @@ class HierGdScheme(CachingScheme):
         if owner_idx is None:
             owner_idx = self._owner(state, obj)
         existing = state.replicas.get(obj, set())
-        for idx in self._leaf_indexes(state, owner_idx):
+        for idx in self._neighbour_indexes(state, owner_idx):
             if extra <= 0:
                 break
             if idx == primary_idx or idx in existing:
@@ -586,24 +592,24 @@ class HierGdScheme(CachingScheme):
                 self._msg["replicas_stored"] += 1
                 extra -= 1
 
-    def _leaf_indexes(self, state: _ClusterState, owner_idx: int) -> list[int]:
-        """Leaf-set members of ``owner_idx`` as client indexes.
+    def _neighbour_indexes(self, state: _ClusterState, owner_idx: int) -> list[int]:
+        """Overlay neighbourhood of ``owner_idx`` as client indexes.
 
-        Fast mode serves the precomputed table (``members()`` order, so
-        diversion/replication walk identical candidates); the reference
-        engine maps through the overlay on every call.
+        Fast mode serves the precomputed table (the backend's contract
+        order, so diversion/replication walk identical candidates); the
+        reference engine maps through the overlay on every call.
         """
         if self._fast:
-            return state.leaf_idx[owner_idx]
-        owner_node = state.overlay.node(state.node_of_idx[owner_idx])
-        return [state.idx_of_node[leaf] for leaf in owner_node.leaves.members()]
+            return state.neighbour_idx[owner_idx]
+        owner_nid = state.node_of_idx[owner_idx]
+        return [state.idx_of_node[nb] for nb in state.overlay.neighbourhood(owner_nid)]
 
     def _pick_divertee(self, state: _ClusterState, owner_idx: int) -> int | None:
-        """Leaf-set member with the most free space (storage balancing)."""
+        """Neighbourhood member with the most free space (storage balancing)."""
         best: int | None = None
         best_free = 0
         clients = state.clients
-        for idx in self._leaf_indexes(state, owner_idx):
+        for idx in self._neighbour_indexes(state, owner_idx):
             cache = clients[idx]
             # == cache.free_space: every policy here tracks used units in
             # ``_used`` and unit sizes keep it <= capacity.
@@ -877,7 +883,7 @@ class HierGdScheme(CachingScheme):
         total_msgs = sum(s.overlay.stats.messages for s in self.states)
         total_hops = sum(s.overlay.stats.total_hops for s in self.states)
         if total_msgs:
-            extras["mean_pastry_hops"] = total_hops / total_msgs
+            extras[f"mean_{self.states[0].overlay.name}_hops"] = total_hops / total_msgs
         extras["directory_bytes"] = float(
             sum(s.directory.memory_bytes() for s in self.states)
         )

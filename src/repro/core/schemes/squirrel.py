@@ -10,8 +10,9 @@ Squirrel's direct client-to-client model cannot do (§6).
 This scheme implements Squirrel's **home-store** model so the claim is
 measurable rather than rhetorical:
 
-* each object has a *home node* — the client cache whose cacheId is
-  numerically closest to the SHA-1 objectId;
+* each object has a *home node* — the client cache the overlay assigns
+  the SHA-1 objectId (numerically closest cacheId under Pastry, the
+  id's successor under Chord);
 * a request routes to the home node; a home hit is served
   client-to-client over the LAN;
 * on a home miss the home node fetches from the origin server, stores
@@ -30,7 +31,13 @@ from __future__ import annotations
 
 from ...cache import LruCache
 from ...netmodel import TIER_LOCAL_P2P, TIER_SERVER
-from ...overlay import Dht, IdSpace, Overlay, build_owner_table, object_ids_for_urls
+from ...overlay import (
+    Dht,
+    OverlayBackend,
+    build_owner_table,
+    make_overlay,
+    object_ids_for_urls,
+)
 from ...protocol.messages import P2P_FETCH
 from ...protocol.transport import Transport
 from ...workload import Trace, object_url
@@ -58,9 +65,8 @@ class SquirrelScheme(CachingScheme):
         if self.transport.faulty:
             # Same scheme, fault semantics from the transport (see FC).
             self.process = self._process_faulty  # type: ignore[method-assign]
-        space = IdSpace(b=config.pastry_b)
         self._t_p2p = config.network.t_p2p
-        self.overlays: list[Overlay] = []
+        self.overlays: list[OverlayBackend] = []
         self.dhts: list[Dht] = []
         self.idx_of_node: list[dict[int, int]] = []
         self.homes: list[list[LruCache]] = []
@@ -69,7 +75,7 @@ class SquirrelScheme(CachingScheme):
         #: Fast engine: per cluster, object id -> its home LruCache.
         self._home_table: list[list[LruCache]] = []
         for ci, sizing in enumerate(self.sizings):
-            overlay = Overlay(space=space, leaf_size=config.leaf_set_size)
+            overlay = make_overlay(config)
             names = [f"squirrel{ci}/cache{k}" for k in range(sizing.n_clients)]
             if self._fast:
                 nodes = overlay.bulk_add_named(names)
@@ -92,7 +98,8 @@ class SquirrelScheme(CachingScheme):
 
         One batched SHA-1 pass plus one vectorised sorted-ring resolution
         per cluster replaces the per-object owner memo; a sampled subset
-        is still Pastry-routed so ``mean_pastry_hops`` stays populated.
+        is still routed through the overlay so the mean-hops extra stays
+        populated.
         """
         n_objects = 0
         for trace in self.traces:
@@ -159,7 +166,7 @@ class SquirrelScheme(CachingScheme):
         total_hops = sum(o.stats.total_hops for o in self.overlays)
         extras: dict[str, float] = {"extra_latency": self.extra_latency}
         if total_msgs:
-            extras["mean_pastry_hops"] = total_hops / total_msgs
+            extras[f"mean_{self.overlays[0].name}_hops"] = total_hops / total_msgs
         messages: dict[str, int] = {}
         if self.transport.faulty:
             messages.update(self.transport.fault_counters)

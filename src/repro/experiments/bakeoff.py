@@ -1,0 +1,182 @@
+"""Overlay bake-off — Pastry vs Chord under identical workloads.
+
+The ROADMAP's open question (and the threat Wang et al. raise for
+in-network caching generally): is the paper's latency gain a property of
+*cooperative placement*, or of *Pastry's routing geometry*?  This figure
+answers it by re-running the Hier-GD latency-gain sweep and the
+robustness/churn sweep on both overlay backends with everything else —
+workload, seeds, cache sizing, fault plans — held identical:
+
+* ``gain`` — Hier-GD latency gain over NC vs proxy cache size, one
+  series per overlay.  If the curves coincide, the gain belongs to the
+  placement policy; the overlay only has to deliver *some* O(log N)
+  DHT.
+* ``hops`` — the measured mean route hops per overlay on the same axis.
+  The geometries differ by design: Pastry resolves a digit per hop
+  (log₂ᵇ N) while Chord halves the gap per hop (log₂ N), so Chord pays
+  ~b× the hops for the same placement — visible here, invisible in
+  ``gain`` because a hop costs Tp2p regardless of which table chose it.
+* ``churn`` — Hier-GD latency gain vs composite fault rate (the
+  robustness plan, churn included) per overlay: both backends' repair
+  machinery (Pastry leaf sets, Chord successor lists + lazy fingers)
+  must keep the fallback ladder intact, so neither should drop below
+  NC.
+
+The NC baseline carries no overlay, so it is simulated once per x-value
+and shared across both series (its result cannot depend on the backend).
+
+The gain/hops panels use a 5-point cache-size axis (every other point of
+the usual 10) to keep the doubled-backend suite affordable; the claims
+compare means over the common axis.
+"""
+
+from __future__ import annotations
+
+from ..analysis.results import SweepResult
+from ..core.metrics import SchemeResult, latency_gain
+from ..faults import FAULTY_SCHEMES
+from .executor import ExperimentEngine, PointOutcome, SweepPoint
+from .robustness import (
+    DEFAULT_FAULT_RATES,
+    ROBUSTNESS_FRACTION,
+    robustness_plan,
+)
+from .runner import Scale, base_config
+
+__all__ = ["BAKEOFF_FRACTIONS", "BAKEOFF_OVERLAYS", "bakeoff_sweep", "figure_bakeoff"]
+
+#: Overlay backends under comparison (series labels in every panel).
+BAKEOFF_OVERLAYS = ("pastry", "chord")
+
+#: Cache-size axis: every other point of the standard 10-point sweep —
+#: the doubled-backend suite re-runs Hier-GD 2x per point.
+BAKEOFF_FRACTIONS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def _require_ok(outcome: PointOutcome) -> None:
+    if outcome.failed is not None or outcome.result is None:
+        raise RuntimeError(
+            f"bakeoff point {outcome.point.label} failed: {outcome.failed}"
+        )
+
+
+def bakeoff_sweep(
+    scale: Scale | None = None,
+    fractions=BAKEOFF_FRACTIONS,
+    rates=DEFAULT_FAULT_RATES,
+    seed: int = 0,
+    engine: ExperimentEngine | None = None,
+) -> dict[str, SweepResult]:
+    """Run Hier-GD on every overlay backend; return the three panels."""
+    engine = engine or ExperimentEngine()
+    configs = {ov: base_config(scale, overlay=ov) for ov in BAKEOFF_OVERLAYS}
+    base = configs[BAKEOFF_OVERLAYS[0]]
+
+    points: list[SweepPoint] = []
+    # Shared NC baseline per fraction (overlay-independent), then Hier-GD
+    # per (overlay, fraction).
+    for fraction in fractions:
+        points.append(SweepPoint(scheme="nc", fraction=fraction, config=base, seed=seed))
+        for ov in BAKEOFF_OVERLAYS:
+            points.append(
+                SweepPoint(scheme="hier-gd", fraction=fraction, config=configs[ov], seed=seed)
+            )
+    # Churn/robustness axis at the pinned fraction: one fault-free NC
+    # baseline plus Hier-GD per (overlay, rate) under the composite plan.
+    assert "hier-gd" in FAULTY_SCHEMES
+    points.append(
+        SweepPoint(scheme="nc", fraction=ROBUSTNESS_FRACTION, config=base, seed=seed)
+    )
+    for rate in rates:
+        for ov in BAKEOFF_OVERLAYS:
+            points.append(
+                SweepPoint(
+                    scheme="hier-gd",
+                    fraction=ROBUSTNESS_FRACTION,
+                    config=configs[ov],
+                    seed=seed,
+                    faults=robustness_plan(rate, seed),
+                )
+            )
+
+    outcomes = engine.run(points)
+    results: dict[int, SchemeResult] = {}
+    for i, outcome in enumerate(outcomes):
+        _require_ok(outcome)
+        results[i] = outcome.result
+
+    # Walk the points in construction order to index results.
+    idx = 0
+    nc_at: dict[float, SchemeResult] = {}
+    gd_at: dict[tuple[str, float], SchemeResult] = {}
+    for fraction in fractions:
+        nc_at[fraction] = results[idx]
+        idx += 1
+        for ov in BAKEOFF_OVERLAYS:
+            gd_at[(ov, fraction)] = results[idx]
+            idx += 1
+    nc_churn = results[idx]
+    idx += 1
+    gd_churn: dict[tuple[str, float], SchemeResult] = {}
+    for rate in rates:
+        for ov in BAKEOFF_OVERLAYS:
+            gd_churn[(ov, rate)] = results[idx]
+            idx += 1
+
+    x_cache = [100.0 * f for f in fractions]
+    gain = SweepResult(
+        title="Overlay bake-off: Hier-GD latency gain vs proxy cache size",
+        x_label="cache size (%)",
+        x_values=x_cache,
+    )
+    hops = SweepResult(
+        title="Overlay bake-off: mean route hops vs proxy cache size",
+        x_label="cache size (%)",
+        x_values=x_cache,
+        y_label="mean hops",
+    )
+    for ov in BAKEOFF_OVERLAYS:
+        gain.add(
+            ov,
+            [
+                100.0 * latency_gain(gd_at[(ov, f)], nc_at[f])
+                for f in fractions
+            ],
+        )
+        hops.add(
+            ov,
+            [gd_at[(ov, f)].extras.get(f"mean_{ov}_hops", 0.0) for f in fractions],
+        )
+    churn = SweepResult(
+        title="Overlay bake-off: Hier-GD latency gain vs fault rate "
+        f"(S={ROBUSTNESS_FRACTION:g})",
+        x_label="fault rate (%)",
+        x_values=[100.0 * r for r in rates],
+    )
+    for ov in BAKEOFF_OVERLAYS:
+        churn.add(
+            ov,
+            [
+                100.0 * latency_gain(gd_churn[(ov, r)], nc_churn)
+                for r in rates
+            ],
+        )
+    note = (
+        "identical workload/seed/sizing per point; only config.overlay "
+        "differs between series; NC baseline shared (overlay-independent)"
+    )
+    gain.notes = note
+    churn.notes = (
+        note + "; composite fault plan per rate (loss, delay, stale, "
+        "unresponsive, churn r/200)"
+    )
+    return {"gain": gain, "hops": hops, "churn": churn}
+
+
+def figure_bakeoff(
+    scale: Scale | None = None,
+    seed: int = 0,
+    engine: ExperimentEngine | None = None,
+) -> dict[str, SweepResult]:
+    """CLI/report entry point (registered as figure id ``bakeoff``)."""
+    return bakeoff_sweep(scale=scale, seed=seed, engine=engine)

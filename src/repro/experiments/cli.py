@@ -70,9 +70,10 @@ from .figure2 import figure2a, figure2b
 from .figure3 import figure3
 from .figure4 import figure4
 from .figure5 import figure5a, figure5b, figure5c, figure5d
+from .bakeoff import figure_bakeoff
 from .policy_frontier import figure_policy_frontier
 from .robustness import figure_robustness
-from .runner import SCALES, current_scale
+from .runner import SCALES, current_overlay, current_scale
 
 __all__ = ["main", "FIGURES", "build_engine"]
 
@@ -87,6 +88,7 @@ FIGURES = {
     "fig5c": figure5c,
     "fig5d": figure5d,
     "robust": figure_robustness,
+    "bakeoff": figure_bakeoff,
     "frontier": figure_policy_frontier,
 }
 
@@ -157,6 +159,14 @@ def main(argv: list[str] | None = None) -> int:
         choices=list(SCALES),
         default=None,
         help="override REPRO_SCALE for this invocation",
+    )
+    parser.add_argument(
+        "--overlay",
+        choices=("pastry", "chord"),
+        default=None,
+        help="override REPRO_OVERLAY for this invocation: the structured "
+        "overlay backend every figure runs on (default pastry; the "
+        "bakeoff figure always runs both)",
     )
     parser.add_argument(
         "--out",
@@ -238,6 +248,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.scale is not None:
         os.environ["REPRO_SCALE"] = args.scale
+    if args.overlay is not None:
+        os.environ["REPRO_OVERLAY"] = args.overlay
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
     if args.profile and args.workers != 1:
@@ -273,7 +285,7 @@ def main(argv: list[str] | None = None) -> int:
     scale = current_scale()
     print(f"scale={scale.label} ({scale.n_requests} requests, "
           f"{scale.n_objects} objects, {scale.n_clients} clients per cluster), "
-          f"workers={engine.workers}"
+          f"overlay={current_overlay()}, workers={engine.workers}"
           + (f", shards={engine.shards}" if engine.shards > 1 else ""))
     record_ctx = (
         recording_traces(record_dir) if record_dir is not None else nullcontext()
@@ -310,6 +322,23 @@ def main(argv: list[str] | None = None) -> int:
                     print(f"  [protocol] {sname}: links {links or '-'}")
                     if exchanges:
                         print(f"  [protocol] {sname}: exchanges {exchanges}")
+                for sname, slot in collector.per_scheme.items():
+                    ostats = slot.get("overlay")
+                    if not ostats:
+                        continue
+                    for backend, o in sorted(ostats.items()):
+                        repairs = "  ".join(
+                            f"{kind}={n:,}"
+                            for kind, n in sorted(o["repairs"].items())
+                            if n
+                        )
+                        print(
+                            f"  [overlay] {sname}: {backend} "
+                            f"mean_route_hops={o['mean_route_hops']:.2f} "
+                            f"(messages={o['messages']:,} "
+                            f"max_hops={o['max_hops']})"
+                            + (f"  {repairs}" if repairs else "")
+                        )
                 if args.out is not None:
                     profile_path = args.out / f"profile_{name}.json"
                     profile_path.write_text(

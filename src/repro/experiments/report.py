@@ -24,6 +24,7 @@ from typing import Callable
 
 from ..analysis.results import SweepResult
 from ..protocol.trace import recording_traces
+from .bakeoff import figure_bakeoff
 from .executor import ExperimentEngine
 from .figure2 import figure2a, figure2b
 from .figure3 import figure3
@@ -159,6 +160,48 @@ FIGURE_CLAIMS: dict[str, list[Claim]] = {
             < s["gain"].get("squirrel").values[0],
         ),
     ],
+    "bakeoff": [
+        Claim(
+            "cooperation pays on either geometry: Hier-GD gains over NC at "
+            "every cache size on both Pastry and Chord",
+            lambda s: all(
+                v > 0.0
+                for ov in ("pastry", "chord")
+                for v in s["gain"].get(ov).values
+            ),
+        ),
+        Claim(
+            "the latency gain is a property of cooperative placement, not "
+            "routing geometry: per-point Pastry/Chord gains agree within "
+            "2 points",
+            lambda s: all(
+                abs(p - c) < 2.0
+                for p, c in zip(
+                    s["gain"].get("pastry").values, s["gain"].get("chord").values
+                )
+            ),
+        ),
+        Claim(
+            "geometry shows up only in message cost: Chord (log2 N routing) "
+            "pays more hops per lookup than Pastry (log16 N) at every point",
+            lambda s: all(
+                c > p
+                for p, c in zip(
+                    s["hops"].get("pastry").values, s["hops"].get("chord").values
+                )
+            ),
+        ),
+        Claim(
+            "both backends' repair machinery keeps the fallback ladder "
+            "intact under churn: neither overlay drops Hier-GD below NC at "
+            "any fault rate",
+            lambda s: all(
+                v >= 0.0
+                for ov in ("pastry", "chord")
+                for v in s["churn"].get(ov).values
+            ),
+        ),
+    ],
     "frontier": [
         Claim(
             "every candidate policy coincides at loss rate 0 (no faults, "
@@ -224,6 +267,7 @@ def _run_figures(
     out["fig5c"] = {"fig5c": figure5c(seed=seed, engine=engine)}
     out["fig5d"] = {"fig5d": figure5d(seed=seed, engine=engine)}
     out["robust"] = figure_robustness(seed=seed, engine=engine)
+    out["bakeoff"] = figure_bakeoff(seed=seed, engine=engine)
     out["frontier"] = figure_policy_frontier(seed=seed, engine=engine)
     return out
 

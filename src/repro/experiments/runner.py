@@ -22,6 +22,11 @@ All scales preserve the paper's *proportions* (requests per object,
 one-timer fraction, 0.1 %-of-ICS client caches), so curve shapes — the
 reproduction target — are stable across scales; only noise shrinks as
 the scale grows.
+
+**Overlay control.**  The ``REPRO_OVERLAY`` environment variable (CLI:
+``--overlay``) selects the structured overlay backend every figure runs
+on — ``pastry`` (the paper's choice, the default) or ``chord``.  The
+``bakeoff`` figure ignores it and runs both side by side.
 """
 
 from __future__ import annotations
@@ -40,6 +45,7 @@ __all__ = [
     "Scale",
     "SCALES",
     "current_scale",
+    "current_overlay",
     "base_workload",
     "base_config",
     "DEFAULT_FRACTIONS",
@@ -83,6 +89,19 @@ def current_scale() -> Scale:
         ) from None
 
 
+def current_overlay() -> str:
+    """Overlay backend selected by ``REPRO_OVERLAY`` (default: ``pastry``)."""
+    from ..overlay import OVERLAY_BACKENDS
+
+    name = os.environ.get("REPRO_OVERLAY", "pastry")
+    if name not in OVERLAY_BACKENDS:
+        raise ValueError(
+            f"REPRO_OVERLAY={name!r}; expected one of "
+            f"{', '.join(sorted(OVERLAY_BACKENDS))}"
+        )
+    return name
+
+
 def base_workload(scale: Scale | None = None, **overrides) -> ProWGenConfig:
     """The paper's §5.1 workload at the requested scale."""
     scale = scale or current_scale()
@@ -98,6 +117,7 @@ def base_workload(scale: Scale | None = None, **overrides) -> ProWGenConfig:
 def base_config(scale: Scale | None = None, **overrides) -> SimulationConfig:
     """The paper's default simulation configuration at the given scale."""
     workload = overrides.pop("workload", None) or base_workload(scale)
+    overrides.setdefault("overlay", current_overlay())
     return SimulationConfig(workload=workload, **overrides)
 
 

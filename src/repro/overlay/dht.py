@@ -1,29 +1,31 @@
-"""DHT key-placement layer over the Pastry overlay.
+"""DHT key-placement layer over a structured overlay backend.
 
 The paper stores a proxy-evicted object in its P2P client cache by hashing
-the object's URL with SHA-1 into an ``objectId`` and routing it to the
-client cache with the numerically closest ``cacheId`` (§4.1).  This module
+the object's URL with SHA-1 into an ``objectId`` and placing it at the
+client cache the overlay assigns that id (§4.1 — the numerically closest
+``cacheId`` under Pastry, the key's successor under Chord).  This module
 provides that mapping:
 
 * :meth:`Dht.owner` — the destination cacheId for a key.  Results are
   memoized per overlay *epoch* (membership version) because the simulator
   resolves the same hot URLs millions of times; a membership change
   invalidates the memo.
-* :meth:`Dht.route` — full hop-by-hop Pastry routing for the same key,
+* :meth:`Dht.route` — full hop-by-hop overlay routing for the same key,
   used when the experiment wants hop statistics rather than only the
   destination (the simulation samples routes rather than paying O(log N)
   per request — see ``hop_sample_rate``).
 * :meth:`Dht.object_id` — SHA-1 URL hashing into the overlay's id space.
 
-Separating "who owns this key" (pure placement, O(log N) via the sorted id
-list) from "how does a message get there" (Pastry prefix routing) mirrors
-how a real deployment behaves: placement is a function of membership only,
-while routing determines message cost.
+Separating "who owns this key" (pure placement, a function of membership
+only, O(log N) via the sorted id list) from "how does a message get
+there" (the backend's own routing geometry) mirrors how a real
+deployment behaves: placement decides where an object lives, while
+routing determines message cost.
 """
 
 from __future__ import annotations
 
-from .network import Overlay, RouteResult
+from .contract import OverlayBackend, RouteResult
 
 __all__ = ["Dht"]
 
@@ -31,15 +33,15 @@ __all__ = ["Dht"]
 class Dht:
     """Key → owning node resolution with per-epoch memoization."""
 
-    def __init__(self, overlay: Overlay, hop_sample_rate: int = 0) -> None:
+    def __init__(self, overlay: OverlayBackend, hop_sample_rate: int = 0) -> None:
         """
         Parameters
         ----------
         overlay:
-            The live Pastry overlay to resolve against.
+            The live overlay backend to resolve against.
         hop_sample_rate:
             If > 0, every ``hop_sample_rate``-th :meth:`owner` call also
-            performs full Pastry routing so hop statistics accumulate on
+            performs full overlay routing so hop statistics accumulate on
             ``overlay.stats`` without paying routing cost on every lookup.
             0 disables sampling (placement-only).
         """
@@ -59,12 +61,12 @@ class Dht:
             self._memo_epoch = self.overlay.epoch
 
     def owner(self, key: int) -> int:
-        """NodeId of the live node numerically closest to ``key``."""
+        """NodeId owning ``key`` under the backend's placement rule."""
         self._check_epoch()
         cached = self._memo.get(key)
         if cached is not None:
             return cached
-        root = self.overlay.numerically_closest(key)
+        root = self.overlay.owner_of(key)
         self._memo[key] = root
         self._calls += 1
         if self.hop_sample_rate and self._calls % self.hop_sample_rate == 0:
@@ -77,7 +79,7 @@ class Dht:
         return self.owner(self.object_id(url))
 
     def route(self, key: int, start: int | None = None) -> RouteResult:
-        """Full Pastry routing (records hop statistics)."""
+        """Full overlay routing (records hop statistics)."""
         return self.overlay.route(key, start=start)
 
     @property

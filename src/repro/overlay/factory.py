@@ -1,0 +1,43 @@
+"""Backend selection: one place that maps config → overlay instance.
+
+Every layer that used to construct ``Overlay(space=..., leaf_size=...)``
+directly (Hier-GD's per-cluster rings, Squirrel's) now goes through
+:func:`make_overlay`, so adding a backend means touching this registry
+and nothing above it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .chord import ChordOverlay
+from .contract import OverlayBackend
+from .id_space import IdSpace
+from .network import Overlay
+
+__all__ = ["OVERLAY_BACKENDS", "make_overlay"]
+
+#: Registry of selectable backends (name → class), for CLI choices etc.
+OVERLAY_BACKENDS = {
+    "pastry": Overlay,
+    "chord": ChordOverlay,
+}
+
+
+def make_overlay(config: Any) -> OverlayBackend:
+    """Construct the overlay backend selected by ``config.overlay``.
+
+    ``config`` is any object exposing the backend knobs of
+    :class:`repro.core.config.SimulationConfig` (kept duck-typed so this
+    package never imports ``repro.core``).
+    """
+    backend = getattr(config, "overlay", "pastry")
+    if backend == "pastry":
+        space = IdSpace(b=config.pastry_b)
+        return Overlay(space=space, leaf_size=config.leaf_set_size)
+    if backend == "chord":
+        return ChordOverlay(successor_list_size=config.chord_successors)
+    raise ValueError(
+        f"unknown overlay backend {backend!r}; "
+        f"choose one of {sorted(OVERLAY_BACKENDS)}"
+    )

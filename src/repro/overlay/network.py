@@ -1,8 +1,10 @@
 """Overlay membership and message routing for the simulated Pastry network.
 
-:class:`Overlay` owns the set of live :class:`~repro.overlay.pastry.PastryNode`
-instances forming one P2P client cache (one per client cluster in the paper)
-and moves messages between them:
+:class:`Overlay` is the Pastry backend of the
+:class:`~repro.overlay.contract.OverlayBackend` contract.  It owns the
+set of live :class:`~repro.overlay.pastry.PastryNode` instances forming
+one P2P client cache (one per client cluster in the paper) and moves
+messages between them:
 
 * :meth:`Overlay.join` implements the outcome of Pastry's join protocol —
   the new node initialises its routing table from the nodes on the route
@@ -14,7 +16,9 @@ and moves messages between them:
   same).
 * :meth:`Overlay.route` performs hop-by-hop prefix routing and returns the
   delivery node with the hop count, feeding the paper's
-  ``ceil(log_{2**b} N)`` hop-efficiency claim (§4.1).
+  ``ceil(log_{2**b} N)`` hop-efficiency claim (§4.1).  The loop itself
+  is the contract's shared driver; Pastry supplies the per-node
+  decision and the stale-entry repair.
 
 The overlay also maintains a globally sorted id list so tests can check
 each delivery against the ground-truth *numerically closest* node, and so
@@ -24,8 +28,11 @@ the DHT layer can resolve keys in O(log N) on the simulation hot path.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+import math
 
+import numpy as np
+
+from .contract import OverlayBackend, RouteResult, RouteStats
 from .coords import coords_for_name, torus_distance
 from .id_space import IdSpace
 from .pastry import DEFAULT_LEAF_SET_SIZE, PastryNode
@@ -33,69 +40,10 @@ from .pastry import DEFAULT_LEAF_SET_SIZE, PastryNode
 __all__ = ["RouteResult", "RouteStats", "Overlay"]
 
 
-@dataclass(frozen=True)
-class RouteResult:
-    """Outcome of routing one message.
-
-    Attributes
-    ----------
-    root:
-        NodeId of the delivery node (the key's root).
-    hops:
-        Number of forwarding steps taken (0 when the origin is the root).
-    path:
-        NodeIds visited, origin first, root last.
-    """
-
-    root: int
-    hops: int
-    path: tuple[int, ...]
-
-
-@dataclass
-class RouteStats:
-    """Aggregate routing statistics: hops and physical route stretch."""
-
-    messages: int = 0
-    total_hops: int = 0
-    max_hops: int = 0
-    hop_histogram: dict[int, int] = field(default_factory=dict)
-    #: Physical (proximity-metric) distance travelled along all paths.
-    total_path_distance: float = 0.0
-    #: Direct origin→root distance summed over all messages.
-    total_direct_distance: float = 0.0
-
-    def record(self, hops: int, path_distance: float = 0.0, direct: float = 0.0) -> None:
-        self.messages += 1
-        self.total_hops += hops
-        if hops > self.max_hops:
-            self.max_hops = hops
-        self.hop_histogram[hops] = self.hop_histogram.get(hops, 0) + 1
-        self.total_path_distance += path_distance
-        self.total_direct_distance += direct
-
-    @property
-    def mean_hops(self) -> float:
-        return self.total_hops / self.messages if self.messages else 0.0
-
-    @property
-    def mean_stretch(self) -> float:
-        """Route stretch: path distance over direct distance (>= 1).
-
-        Pastry's locality heuristic exists to keep this small; compare an
-        overlay built with ``proximity=True`` against one without.
-        """
-        if self.total_direct_distance <= 0:
-            return 1.0
-        return self.total_path_distance / self.total_direct_distance
-
-
-class Overlay:
+class Overlay(OverlayBackend):
     """A live Pastry overlay: membership, state maintenance, routing."""
 
-    #: Safety bound on forwarding steps; Pastry converges in
-    #: O(log N) hops, so hitting this indicates a routing-state bug.
-    MAX_HOPS = 64
+    name = "pastry"
 
     def __init__(
         self,
@@ -121,6 +69,9 @@ class Overlay:
         self.stats = RouteStats()
         #: Bumped on every membership change; DHT caches key off this.
         self.epoch = 0
+        #: Repair-event tallies (see :meth:`repair_counts`).
+        self._leaf_repairs = 0
+        self._slot_refills = 0
 
     def _prefer_for(self, owner_id: int):
         """Routing-table replacement heuristic for one node (or None)."""
@@ -139,19 +90,6 @@ class Overlay:
         node.learn(other_id, prefer=self._prefer_for(node.node_id))
 
     # -- membership -------------------------------------------------------
-
-    def __len__(self) -> int:
-        return len(self.nodes)
-
-    def __contains__(self, node_id: int) -> bool:
-        return node_id in self.nodes
-
-    def node(self, node_id: int) -> PastryNode:
-        return self.nodes[node_id]
-
-    def node_ids(self) -> list[int]:
-        """Live node ids in ascending order (a copy)."""
-        return list(self._sorted_ids)
 
     def add_named(self, name: str) -> PastryNode:
         """Create and join a node whose id and coordinates derive from
@@ -290,13 +228,9 @@ class Overlay:
             for other in self.nodes.values():
                 self._learn(other, node_id)
         self.nodes[node_id] = new
-        bisect.insort(self._sorted_ids, node_id)
+        self._insert_sorted(node_id)
         self.epoch += 1
         return new
-
-    def leave(self, node_id: int) -> None:
-        """Graceful departure (state repair identical to failure here)."""
-        self.fail(node_id)
 
     def fail(self, node_id: int) -> None:
         """Remove a node and repair the survivors' state.
@@ -314,8 +248,7 @@ class Overlay:
             raise KeyError(f"unknown node {self.space.format_id(node_id)}")
         del self.nodes[node_id]
         self.coords.pop(node_id, None)
-        idx = bisect.bisect_left(self._sorted_ids, node_id)
-        self._sorted_ids.pop(idx)
+        self._remove_sorted(node_id)
         self.epoch += 1
         for survivor in self.nodes.values():
             in_leaves = node_id in survivor.leaves
@@ -337,6 +270,7 @@ class Overlay:
         slot (deterministic); with it, every candidate is offered so the
         physically closest wins — the same rule joins use.
         """
+        self._slot_refills += 1
         space = self.space
         p = space.prefix_len(survivor.node_id, dead_id)
         col = space.digit(dead_id, p)
@@ -356,6 +290,7 @@ class Overlay:
 
     def _repair_leaves(self, node: PastryNode) -> None:
         """Refill a node's leaf set from ring-adjacent live nodes."""
+        self._leaf_repairs += 1
         n = len(self._sorted_ids)
         if n <= 1:
             return
@@ -366,7 +301,7 @@ class Overlay:
             self._learn(node, self._sorted_ids[(idx + off) % n])
             self._learn(node, self._sorted_ids[(idx - off) % n])
 
-    # -- routing ----------------------------------------------------------
+    # -- placement --------------------------------------------------------
 
     def numerically_closest(self, key: int) -> int:
         """Ground-truth root for ``key``: live node minimising ring distance."""
@@ -377,53 +312,73 @@ class Overlay:
         candidates = {ids[idx % len(ids)], ids[(idx - 1) % len(ids)]}
         return min(candidates, key=lambda n: (self.space.distance(n, key), n))
 
-    def route(self, key: int, start: int | None = None, record: bool = True) -> RouteResult:
-        """Route a message for ``key`` from ``start`` (default: any node).
+    def owner_of(self, key: int) -> int:
+        """Pastry's placement rule: the numerically closest live node."""
+        return self.numerically_closest(key)
 
-        ``record=False`` routes without touching :attr:`stats` — used by
-        placement-table validation, which must not perturb the sampled
-        hop statistics.
+    def bulk_owner_of(self, keys: np.ndarray) -> list[int]:
+        """Vectorised :meth:`numerically_closest` for every key.
+
+        The two ring candidates around each key's insertion point are
+        compared by ``(ring_distance, nodeId)`` — the same tie-break the
+        scalar ``min`` uses — over object-dtype arrays (ids exceed 64
+        bits, so the modular arithmetic must stay exact).
         """
-        return self._route_internal(key, start, record=record)
-
-    def _route_internal(self, key: int, start: int | None, record: bool) -> RouteResult:
-        if not self.nodes:
+        ids = self.node_ids()
+        if not ids:
             raise RuntimeError("overlay is empty")
-        if start is None:
-            start = self._sorted_ids[0]
-        if start not in self.nodes:
-            raise KeyError(f"start node {self.space.format_id(start)} not live")
-        current = start
-        path = [current]
-        visited = {current}
-        for _ in range(self.MAX_HOPS):
-            action, nxt = self.nodes[current].route_decision(key)
-            if action == "deliver":
-                break
-            assert nxt is not None
-            if nxt not in self.nodes or nxt in visited:
-                # Stale entry (failed node) or loop: local repair — drop the
-                # bad entry and retry the decision from the same node.
-                self.nodes[current].forget(nxt)
-                self._repair_leaves(self.nodes[current])
-                continue
-            current = nxt
-            path.append(current)
-            visited.add(current)
-        else:
-            raise RuntimeError(
-                f"routing for key {self.space.format_id(key)} exceeded "
-                f"{self.MAX_HOPS} hops — corrupt routing state"
-            )
-        result = RouteResult(root=current, hops=len(path) - 1, path=tuple(path))
-        if record:
-            pts = [self.coords[n] for n in path]
-            travelled = sum(
-                torus_distance(pts[i], pts[i + 1]) for i in range(len(pts) - 1)
-            )
-            direct = torus_distance(pts[0], pts[-1]) if len(pts) > 1 else 0.0
-            self.stats.record(result.hops, path_distance=travelled, direct=direct)
-        return result
+        arr = np.empty(len(ids), dtype=object)
+        arr[:] = ids
+        keys = np.asarray(keys, dtype=object)
+        n = len(ids)
+        size = self.space.size
+        pos = np.searchsorted(arr, keys)
+        left = arr[(pos - 1) % n]
+        right = arr[pos % n]
+        dl = (left - keys) % size
+        dl = np.minimum(dl, size - dl)
+        dr = (right - keys) % size
+        dr = np.minimum(dr, size - dr)
+        pick_left = (dl < dr) | ((dl == dr) & (left < right))
+        return np.where(pick_left, left, right).tolist()
+
+    def neighbourhood(self, node_id: int) -> list[int]:
+        """Pastry's repair/replica neighbourhood: the leaf set
+        (``members()`` order — counter-clockwise side first, each side in
+        ascending ring distance)."""
+        return self.nodes[node_id].leaves.members()
+
+    # -- routing ----------------------------------------------------------
+
+    def expected_diameter(self) -> int:
+        """Pastry resolves one base-``2**b`` digit per hop:
+        ``ceil(log_{2**b} N)``."""
+        n = len(self.nodes)
+        if n <= 1:
+            return 1
+        return max(1, math.ceil(math.log(n, self.space.digit_base)))
+
+    def _route_decision(self, current: int, key: int) -> tuple[str, int | None]:
+        return self.nodes[current].route_decision(key)
+
+    def _on_stale(self, current: int, stale_id: int) -> None:
+        node = self.nodes[current]
+        node.forget(stale_id)
+        self._repair_leaves(node)
+
+    def _record_route(self, result: RouteResult) -> None:
+        pts = [self.coords[n] for n in result.path]
+        travelled = sum(
+            torus_distance(pts[i], pts[i + 1]) for i in range(len(pts) - 1)
+        )
+        direct = torus_distance(pts[0], pts[-1]) if len(pts) > 1 else 0.0
+        self.stats.record(result.hops, path_distance=travelled, direct=direct)
+
+    def repair_counts(self) -> dict[str, int]:
+        return {
+            "leaf_repairs": self._leaf_repairs,
+            "slot_refills": self._slot_refills,
+        }
 
     # -- convenience ------------------------------------------------------
 

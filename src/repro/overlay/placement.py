@@ -8,13 +8,16 @@ for a cluster up front with
 
 * one batched SHA-1 pass over all object URLs
   (:func:`object_ids_for_urls`), and
-* a single ``numpy.searchsorted`` over the sorted nodeId ring plus a
-  vectorised ring-distance comparison (:func:`build_owner_table`),
+* the backend's vectorised ownership resolution
+  (:meth:`~repro.overlay.contract.OverlayBackend.bulk_owner_of` — a
+  single ``numpy.searchsorted`` over the sorted nodeId ring, plus
+  whatever tie-break the backend's placement rule needs),
 
 turning per-request dict probes + hashing into one table lookup.  A
-sampled subset of keys is still routed hop-by-hop through Pastry so the
-``mean_pastry_hops`` statistic survives, and every sampled delivery is
-asserted against the table — placement and routing must agree.
+sampled subset of keys is still routed hop-by-hop through the live
+backend so the mean-hops statistic survives, and every sampled delivery
+is asserted against the table — placement and routing must agree,
+whichever backend is live.
 
 Identifiers are Python ints wider than 64 bits, so the arrays use
 ``dtype=object``; ``searchsorted`` works on those via ordinary
@@ -27,8 +30,8 @@ from hashlib import sha1
 
 import numpy as np
 
+from .contract import OverlayBackend
 from .id_space import IdSpace
-from .network import Overlay
 
 __all__ = ["object_ids_for_urls", "build_owner_table"]
 
@@ -56,48 +59,33 @@ def object_ids_for_urls(urls: list[str], space: IdSpace) -> np.ndarray:
 
 
 def build_owner_table(
-    overlay: Overlay,
+    overlay: OverlayBackend,
     keys: np.ndarray | list[int],
     sample_rate: int = 0,
     record_stats: bool = True,
 ) -> list[int]:
-    """Owner nodeId per key via one vectorised sorted-ring resolution.
+    """Owner nodeId per key via one vectorised resolution pass.
 
-    Reproduces :meth:`Overlay.numerically_closest` exactly for every key:
-    the two ring candidates around the insertion point are compared by
-    ``(ring_distance, nodeId)``, the same tie-break ``min`` uses there.
+    Delegates to the backend's :meth:`bulk_owner_of`, which reproduces
+    its scalar ``owner_of`` exactly for every key (Pastry's
+    ``(ring_distance, nodeId)`` tie-break; Chord's successor-of-key).
 
     When ``sample_rate > 0``, every ``sample_rate``-th key is also routed
-    hop-by-hop through Pastry; the delivery node is asserted against the
-    table entry (placement/routing agreement — a mismatch means corrupt
-    routing state) and, when ``record_stats``, the hops feed
-    ``overlay.stats`` so the ``mean_pastry_hops`` extra stays populated.
+    hop-by-hop through the live backend; the delivery node is asserted
+    against the table entry (placement/routing agreement — a mismatch
+    means corrupt routing state) and, when ``record_stats``, the hops
+    feed ``overlay.stats`` so the mean-hops extra stays populated.
     """
-    ids = overlay.node_ids()
-    if not ids:
-        raise RuntimeError("overlay is empty")
-    arr = np.empty(len(ids), dtype=object)
-    arr[:] = ids
     keys = np.asarray(keys, dtype=object)
-    n = len(ids)
-    size = overlay.space.size
-    pos = np.searchsorted(arr, keys)
-    left = arr[(pos - 1) % n]
-    right = arr[pos % n]
-    dl = (left - keys) % size
-    dl = np.minimum(dl, size - dl)
-    dr = (right - keys) % size
-    dr = np.minimum(dr, size - dr)
-    pick_left = (dl < dr) | ((dl == dr) & (left < right))
-    owners: list[int] = np.where(pick_left, left, right).tolist()
+    owners = overlay.bulk_owner_of(keys)
     if sample_rate > 0:
         for i in range(sample_rate - 1, len(owners), sample_rate):
             result = overlay.route(int(keys[i]), record=record_stats)
             if result.root != owners[i]:
                 raise RuntimeError(
-                    "Pastry routing disagrees with the placement table for "
-                    f"key {overlay.space.format_id(int(keys[i]))}: routed to "
-                    f"{overlay.space.format_id(result.root)}, table says "
-                    f"{overlay.space.format_id(owners[i])}"
+                    f"{overlay.name} routing disagrees with the placement "
+                    f"table for key {overlay.space.format_id(int(keys[i]))}: "
+                    f"routed to {overlay.space.format_id(result.root)}, table "
+                    f"says {overlay.space.format_id(owners[i])}"
                 )
     return owners

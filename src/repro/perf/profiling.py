@@ -27,6 +27,7 @@ __all__ = [
     "collecting_op_counters",
     "record_scheme_ops",
     "protocol_traffic_for",
+    "overlay_stats_for",
     "profile_scheme",
 ]
 
@@ -163,6 +164,49 @@ def protocol_traffic_for(scheme: Any, result: Any) -> dict[str, Any]:
     return traffic
 
 
+def overlay_stats_for(scheme: Any) -> dict[str, Any]:
+    """Per-backend routing statistics of one finished scheme run.
+
+    Walks the scheme's overlay instances (Hier-GD keeps one per cluster
+    state, Squirrel a flat ``overlays`` list) and sums their
+    :class:`~repro.overlay.contract.RouteStats` plus repair counters,
+    keyed by backend name::
+
+        {"pastry": {"overlays": 2, "messages": ..., "total_hops": ...,
+                    "max_hops": ..., "mean_route_hops": ...,
+                    "repairs": {"leaf_repairs": ..., ...}}}
+
+    Empty when the scheme has no overlay (the NC/SC/FC baselines).
+    """
+    overlays = [
+        s.overlay for s in getattr(scheme, "states", []) if hasattr(s, "overlay")
+    ]
+    overlays.extend(getattr(scheme, "overlays", []))
+    out: dict[str, Any] = {}
+    for ov in overlays:
+        slot = out.setdefault(
+            ov.name,
+            {
+                "overlays": 0,
+                "messages": 0,
+                "total_hops": 0,
+                "max_hops": 0,
+                "repairs": {},
+            },
+        )
+        slot["overlays"] += 1
+        slot["messages"] += ov.stats.messages
+        slot["total_hops"] += ov.stats.total_hops
+        slot["max_hops"] = max(slot["max_hops"], ov.stats.max_hops)
+        for kind, n in ov.repair_counts().items():
+            slot["repairs"][kind] = slot["repairs"].get(kind, 0) + n
+    for slot in out.values():
+        slot["mean_route_hops"] = (
+            slot["total_hops"] / slot["messages"] if slot["messages"] else 0.0
+        )
+    return out
+
+
 class OpCounterCollector:
     """Accumulates :func:`op_counters_for` reports keyed by scheme name.
 
@@ -180,6 +224,9 @@ class OpCounterCollector:
         counters = op_counters_for(scheme)
         if result is not None:
             counters["protocol"] = protocol_traffic_for(scheme, result)
+        ostats = overlay_stats_for(scheme)
+        if ostats:
+            counters["overlay"] = ostats
         slot = self.per_scheme.get(name)
         if slot is None:
             counters["runs"] = 1
@@ -206,6 +253,31 @@ class OpCounterCollector:
                 dest_section = dest_proto[section]
                 for key, n in proto[section].items():
                     dest_section[key] = dest_section.get(key, 0) + n
+        ostats = counters.get("overlay")
+        if ostats:
+            dest_overlay = slot.setdefault("overlay", {})
+            for backend, o in ostats.items():
+                dest_o = dest_overlay.setdefault(
+                    backend,
+                    {
+                        "overlays": 0,
+                        "messages": 0,
+                        "total_hops": 0,
+                        "max_hops": 0,
+                        "repairs": {},
+                    },
+                )
+                dest_o["overlays"] = max(dest_o["overlays"], o["overlays"])
+                dest_o["messages"] += o["messages"]
+                dest_o["total_hops"] += o["total_hops"]
+                dest_o["max_hops"] = max(dest_o["max_hops"], o["max_hops"])
+                for kind, n in o["repairs"].items():
+                    dest_o["repairs"][kind] = dest_o["repairs"].get(kind, 0) + n
+                dest_o["mean_route_hops"] = (
+                    dest_o["total_hops"] / dest_o["messages"]
+                    if dest_o["messages"]
+                    else 0.0
+                )
 
 
 #: Process-wide active collector (None = collection off).  Checked once

@@ -76,8 +76,9 @@ def _merge_payloads(
     """Fold per-shard results into one :class:`SchemeResult`.
 
     Counters are disjoint sums (each request is processed by exactly one
-    shard); ``mean_pastry_hops`` is recomputed from the raw hop/message
-    tallies so the merged mean is exact, not an average of averages.
+    shard); the backend's mean-hops extra (``mean_<overlay>_hops``) is
+    recomputed from the raw hop/message tallies so the merged mean is
+    exact, not an average of averages.
     """
     tier_counts: dict[str, int] = {}
     messages: dict[str, int] = {}
@@ -88,12 +89,12 @@ def _merge_payloads(
         for k, v in p["messages"].items():
             messages[k] = messages.get(k, 0) + v
         for k, v in p["extras"].items():
-            if k != "mean_pastry_hops":
+            if not (k.startswith("mean_") and k.endswith("_hops")):
                 extras[k] = extras.get(k, 0.0) + v
-    total_msgs = sum(p["pastry_messages"] for p in payloads)
+    total_msgs = sum(p["route_messages"] for p in payloads)
     if total_msgs:
-        extras["mean_pastry_hops"] = (
-            sum(p["pastry_hops"] for p in payloads) / total_msgs
+        extras[f"mean_{payloads[0]['overlay_name']}_hops"] = (
+            sum(p["route_hops"] for p in payloads) / total_msgs
         )
     extras["shards"] = float(shards)
     extras["sync_rounds"] = float(payloads[0]["rounds"])

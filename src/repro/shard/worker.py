@@ -9,7 +9,7 @@ variant, and drives the ordinary engine loop.  The engine's
 callback sends this round's digest up the pipe, blocks for the
 coordinator's merged broadcast, and folds it in.  After the final round
 the worker ships its :class:`~repro.core.metrics.SchemeResult` (plus the
-raw Pastry-hop tallies and its peak RSS) as one last wire frame.
+raw overlay-hop tallies and its peak RSS) as one last wire frame.
 
 Everything crossing the pipe is a :mod:`repro.shard.digest` frame —
 newline-terminated JSON via the protocol wire layer — so a worker crash
@@ -107,12 +107,10 @@ def worker_main(
         scheme._sync = sync
         result = scheme.run()
         payload = dataclasses.asdict(result)
-        payload["pastry_messages"] = sum(
-            s.overlay.stats.messages for s in getattr(scheme, "states", [])
-        )
-        payload["pastry_hops"] = sum(
-            s.overlay.stats.total_hops for s in getattr(scheme, "states", [])
-        )
+        states = getattr(scheme, "states", [])
+        payload["overlay_name"] = states[0].overlay.name if states else "overlay"
+        payload["route_messages"] = sum(s.overlay.stats.messages for s in states)
+        payload["route_hops"] = sum(s.overlay.stats.total_hops for s in states)
         payload["max_rss_kb"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
         payload["rounds"] = round_box[0]
         conn.send_bytes(encode_frame(["r", shard, payload]))

@@ -64,11 +64,30 @@ class TestFigure5:
         assert sweep.labels == ["2 proxies", "3 proxies"]
 
 
+class TestBakeoff:
+    def test_panels_and_series(self):
+        from repro.experiments.bakeoff import bakeoff_sweep
+
+        panels = bakeoff_sweep(
+            scale=TINY, fractions=(0.3,), rates=(0.0, 0.1)
+        )
+        assert set(panels) == {"gain", "hops", "churn"}
+        for key in ("gain", "hops"):
+            assert panels[key].labels == ["pastry", "chord"]
+            assert panels[key].x_values == [30.0]
+        assert panels["churn"].labels == ["pastry", "chord"]
+        assert panels["churn"].x_values == [0.0, 10.0]
+        # Hop statistics must have been measured for both geometries.
+        for ov in ("pastry", "chord"):
+            assert panels["hops"].get(ov).values[0] > 0.0
+
+
 class TestCli:
     def test_registry_covers_every_figure(self):
         assert set(FIGURES) == {
             "fig2a", "fig2b", "fig3", "fig4",
-            "fig5a", "fig5b", "fig5c", "fig5d", "robust", "frontier",
+            "fig5a", "fig5b", "fig5c", "fig5d", "robust", "bakeoff",
+            "frontier",
         }
 
     def test_cli_runs_and_saves_csv(self, tmp_path, capsys, monkeypatch):

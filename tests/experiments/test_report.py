@@ -59,7 +59,8 @@ class TestClaimPredicates:
     def test_every_registered_figure_has_claims(self):
         assert set(FIGURE_CLAIMS) == {
             "fig2a", "fig2b", "fig3", "fig4",
-            "fig5a", "fig5b", "fig5c", "fig5d", "robust", "frontier",
+            "fig5a", "fig5b", "fig5c", "fig5d", "robust", "bakeoff",
+            "frontier",
         }
 
 
