@@ -20,10 +20,15 @@ where ``benefit`` is the latency saved per access by keeping the copy
 * **online counting** — counts observed so far (a practical variant used
   by the ablation benches).
 
-Eviction removes the minimum-value copy.  The cluster-level coordination
-(placement of first copies vs duplicates across proxies) lives in
-:mod:`repro.core.schemes.full`; this class is the single-cache building
-block it and the unified -EC caches use.
+Eviction removes the copy with minimum value *density* — value per byte,
+``frequency × benefit / size`` — which at the paper's unit sizes is the
+minimum value itself (``x / 1 == x`` exactly), so the size-aware
+generalisation leaves every equal-size result byte-identical.  Capacity
+is accounted in the same units as the inserted sizes (objects under the
+paper's assumption, bytes when the workload carries real sizes).  The
+cluster-level coordination (placement of first copies vs duplicates
+across proxies) lives in :mod:`repro.core.schemes.full`; this class is
+the single-cache building block it and the unified -EC caches use.
 """
 
 from __future__ import annotations
@@ -74,7 +79,8 @@ class CostBenefitCache(Cache):
         Parameters
         ----------
         capacity:
-            Size in objects (unit sizes; the paper's assumption).
+            Size in the same units objects are inserted with — objects
+            under the paper's unit-size assumption, bytes otherwise.
         frequency:
             Perfect-knowledge oracle.  ``None`` selects online counting.
         """
@@ -82,7 +88,9 @@ class CostBenefitCache(Cache):
         self._oracle = frequency
         self._online_counts: dict[Hashable, int] = {}
         self._benefit: dict[Hashable, float] = {}
+        self._sizes: dict[Hashable, int] = {}
         self._heap = HeapDict()
+        self._used = 0
 
     def _freq(self, key: Hashable) -> int:
         if self._oracle is not None:
@@ -101,7 +109,7 @@ class CostBenefitCache(Cache):
             self._online_counts[key] = self._online_counts.get(key, 0) + 1
         if key in self._benefit:
             if self._oracle is None:
-                self._heap.push(key, self.value(key))
+                self._heap.push(key, self.value(key) / self._sizes[key])
             self.stats.hits += 1
             return True
         self.stats.misses += 1
@@ -111,39 +119,79 @@ class CostBenefitCache(Cache):
         return key in self._benefit
 
     def insert(self, key: Hashable, cost: float = 1.0, size: int = 1) -> list[Hashable]:
-        """Cache ``key`` whose copy saves ``cost`` latency per access."""
-        if size != 1:
-            raise ValueError("cost-benefit replacement assumes unit object sizes")
+        """Cache ``key`` whose copy saves ``cost`` latency per access.
+
+        Admission is by value density: the incoming copy must beat the
+        minimum-density incumbents it would displace, or it is rejected
+        with the cache left untouched (value-based policies need the
+        admission test, otherwise a stream of one-timers churns out the
+        high-value working set).  A refresh-insert whose new size no
+        longer fits drops the stale copy rather than keep serving it.
+        """
+        if size <= 0:
+            raise ValueError("size must be positive")
         if cost < 0:
             raise ValueError("benefit (cost) must be non-negative")
-        if self.capacity == 0:
+        old_size = self._sizes.pop(key, None)
+        if old_size is not None:
+            self._used -= old_size
+            del self._benefit[key]
+            # The stale heap entry must not be trial-popped as a victim
+            # below; it is re-pushed (or dropped) on the way out.
+            self._heap.discard(key)
+        if size > self.capacity:  # covers capacity == 0
+            if old_size is not None:
+                self._heap.discard(key)
+                self.stats.evictions += 1
             return [key]
         evicted: list[Hashable] = []
-        if key not in self._benefit and len(self._benefit) >= self.capacity:
-            new_value = self._freq(key) * cost
-            victim, victim_value = self._heap.peek_min()
-            if victim_value >= new_value:
-                # The incumbent set is worth more; do not admit.
-                # (Value-based policies need an admission test, otherwise a
-                # stream of one-timers churns out the high-value working set.)
+        if self._used + size > self.capacity:
+            new_density = self._freq(key) * cost / size
+            # Trial-pop the minimum-density incumbents.  If one of them
+            # is worth at least as much per byte as the newcomer, push
+            # the popped victims back (same priorities, so the heap
+            # behaves as if untouched) and reject.
+            victims: list[tuple[Hashable, float]] = []
+            freed = 0
+            admit = True
+            while self._used - freed + size > self.capacity:
+                victim, victim_density = self._heap.peek_min()
+                if victim_density >= new_density:
+                    admit = False
+                    break
+                self._heap.pop_min()
+                victims.append((victim, victim_density))
+                freed += self._sizes[victim]
+            if not admit:
+                for victim, density in victims:
+                    self._heap.push(victim, density)
+                if old_size is not None:
+                    # The refresh outgrew its displaceable share; the
+                    # stale smaller copy is already uncharged above.
+                    self._heap.discard(key)
+                    self.stats.evictions += 1
                 return [key]
-            self._heap.pop_min()
-            del self._benefit[victim]
-            evicted.append(victim)
-            self.stats.evictions += 1
+            for victim, _density in victims:
+                del self._benefit[victim]
+                self._used -= self._sizes.pop(victim)
+                evicted.append(victim)
+                self.stats.evictions += 1
         self._benefit[key] = cost
-        self._heap.push(key, self._freq(key) * cost)
+        self._sizes[key] = size
+        self._used += size
+        self._heap.push(key, self._freq(key) * cost / size)
         self.stats.insertions += 1
         return evicted
 
     def remove(self, key: Hashable) -> bool:
         if self._benefit.pop(key, None) is None:
             return False
+        self._used -= self._sizes.pop(key)
         self._heap.discard(key)
         return True
 
     def __len__(self) -> int:
-        return len(self._benefit)
+        return self._used
 
     def keys(self) -> Iterator[Hashable]:
         return iter(self._benefit)

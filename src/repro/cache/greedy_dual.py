@@ -43,13 +43,29 @@ __all__ = ["GreedyDualCache"]
 class GreedyDualCache(Cache):
     """Greedy-dual(-size) cache with the O(log n) inflation implementation."""
 
-    __slots__ = ("default_cost", "inflation", "_entries", "_heap", "_used")
+    __slots__ = (
+        "default_cost",
+        "credit_by_size",
+        "inflation",
+        "_entries",
+        "_heap",
+        "_used",
+    )
 
-    def __init__(self, capacity: int, default_cost: float = 1.0) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        default_cost: float = 1.0,
+        credit_by_size: bool = True,
+    ) -> None:
         super().__init__(capacity)
         if default_cost <= 0:
             raise ValueError("default_cost must be positive")
         self.default_cost = default_cost
+        #: GDS credit ``L + cost/size`` (Cao & Irani) when True; classic
+        #: GD ``L + cost`` when False.  Identical at unit sizes either
+        #: way (``cost/1 == cost`` exactly in IEEE arithmetic).
+        self.credit_by_size = credit_by_size
         self.inflation = 0.0  # the running value L
         self._entries: dict[Hashable, tuple[int, float]] = {}  # key -> (size, cost)
         self._heap = HeapDict()
@@ -72,7 +88,8 @@ class GreedyDualCache(Cache):
         heap = self._heap
         seq = heap._seq + 1
         heap._seq = seq
-        heap._live[key] = (self.inflation + entry[1] / entry[0], seq, False)
+        credit = entry[1] / entry[0] if self.credit_by_size else entry[1]
+        heap._live[key] = (self.inflation + credit, seq, False)
         self.stats.hits += 1
         return True
 
@@ -86,19 +103,33 @@ class GreedyDualCache(Cache):
             cost = self.default_cost
         if cost <= 0:
             raise ValueError("cost must be positive")
-        if size > self.capacity:
-            return [key]
         entries = self._entries
         used = self._used
         old = entries.pop(key, None)
         if old is not None:
             used -= old[0]
+        if size > self.capacity:
+            # The object cannot fit at any eviction cost.  Any stale copy
+            # under the same key (a refresh-insert that grew past the
+            # capacity) must still be dropped — its bytes are already
+            # uncharged above — or the cache would keep serving the old
+            # version while reporting the key evicted.
+            if old is not None:
+                self._heap.discard(key)
+                self._used = used
+                self.stats.evictions += 1
+            return [key]
         evicted: list[Hashable] = []
         capacity = self.capacity
         heap = self._heap
         live = heap._live
         hl = heap._heap
         if used + size > capacity:
+            if old is not None:
+                # A refresh-insert that grew needs evictions; the key's
+                # own stale heap entry must not be a victim candidate —
+                # its bytes are already uncharged and it left entries.
+                heap.discard(key)
             # Inlined HeapDict.pop_min (friend access): pop heads,
             # dropping outdated entries and re-pushing lazily-raised keys
             # exactly as ``_materialize_min`` would, until enough live
@@ -131,7 +162,7 @@ class GreedyDualCache(Cache):
         # eager/lazy comparison.
         seq = heap._seq + 1
         heap._seq = seq
-        prio = self.inflation + cost / size
+        prio = self.inflation + (cost / size if self.credit_by_size else cost)
         old = live.get(key)
         if old is None or prio < old[0]:
             live[key] = (prio, seq, True)

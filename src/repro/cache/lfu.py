@@ -92,11 +92,24 @@ class LfuCache(Cache):
     def insert(self, key: Hashable, cost: float = 1.0, size: int = 1) -> list[Hashable]:
         if size <= 0:
             raise ValueError("size must be positive")
-        if size > self.capacity:
-            return [key]
-        evicted: list[Hashable] = []
         if key in self._sizes:  # re-insert: refresh size accounting only
             self._used -= self._sizes.pop(key)
+            if size > self.capacity:
+                # A refresh that grew past capacity drops the stale copy
+                # (bytes already uncharged above) instead of keeping it
+                # cached while reporting the key evicted.
+                self._heap.discard(key)
+                if self.reset_on_evict:
+                    self._freq.pop(key, None)
+                self.stats.evictions += 1
+                return [key]
+            # A refresh that grew may need evictions below; the key's own
+            # stale heap entry must not be a victim candidate (its bytes
+            # are already uncharged and it left the size table).
+            self._heap.discard(key)
+        elif size > self.capacity:
+            return [key]
+        evicted: list[Hashable] = []
         freq = self._freq.get(key)
         if freq is None:
             # First sighting happens via insert when callers fetch without

@@ -43,7 +43,14 @@ CLIENT_TIER = "client"
 class TieredCache(Cache):
     """Unified proxy + P2P-client cache: one LFU store, ranked tiers."""
 
-    __slots__ = ("proxy_capacity", "client_capacity", "_value_fn", "_store", "_tiers")
+    __slots__ = (
+        "proxy_capacity",
+        "client_capacity",
+        "by_bytes",
+        "_value_fn",
+        "_store",
+        "_tiers",
+    )
 
     def __init__(
         self,
@@ -52,6 +59,7 @@ class TieredCache(Cache):
         value_fn: Callable[[Hashable, int], float] | None = None,
         lfu_reset_on_evict: bool = False,
         on_tier: Callable[[Hashable, bool | None], None] | None = None,
+        by_bytes: bool = False,
     ) -> None:
         """
         Parameters
@@ -70,15 +78,25 @@ class TieredCache(Cache):
             Optional tier-transition listener forwarded to the
             :class:`~repro.cache.topk.TopKTracker` (see its docstring);
             the hot-path presence indexes subscribe here.
+        by_bytes:
+            When True, both capacities are *byte* budgets and inserts
+            carry per-object sizes: replacement runs the size-aware LFU
+            and the proxy tier holds the most valuable residents whose
+            summed bytes fit ``proxy_capacity``.
         """
         if proxy_capacity < 0 or client_capacity < 0:
             raise ValueError("capacities must be non-negative")
         super().__init__(proxy_capacity + client_capacity)
         self.proxy_capacity = proxy_capacity
         self.client_capacity = client_capacity
+        self.by_bytes = by_bytes
         self._value_fn = value_fn or (lambda _key, freq: float(freq))
         self._store = LfuCache(self.capacity, reset_on_evict=lfu_reset_on_evict)
-        self._tiers = TopKTracker(proxy_capacity, on_tier=on_tier)
+        self._tiers = TopKTracker(
+            proxy_capacity,
+            on_tier=on_tier,
+            budget=proxy_capacity if by_bytes else None,
+        )
         self.stats = self._store.stats  # single source of truth
 
     # -- inspection --------------------------------------------------------
@@ -136,13 +154,16 @@ class TieredCache(Cache):
 
     def insert(self, key: Hashable, cost: float = 1.0, size: int = 1) -> list[Hashable]:
         """Admit a fetched object; unified LFU evicts the global minimum."""
-        if size != 1:
-            raise ValueError("the unified EC model assumes unit object sizes")
-        evicted = self._store.insert(key)
+        if size != 1 and not self.by_bytes:
+            raise ValueError(
+                "the unified EC model assumes unit object sizes "
+                "(construct with by_bytes=True for size-aware mode)"
+            )
+        evicted = self._store.insert(key, size=size)
         for victim in evicted:
             self._tiers.remove(victim)
         if self._store.contains(key):
-            self._tiers.add(key, self._value(key))
+            self._tiers.add(key, self._value(key), size=size)
         return evicted
 
     def remove(self, key: Hashable) -> bool:

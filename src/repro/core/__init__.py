@@ -13,7 +13,7 @@ from .churn import ChurnEvent, HierGdChurnScheme
 from .config import ClusterSizing, NetworkConfig, SimulationConfig
 from .directory import BloomDirectory, ExactDirectory, LookupDirectory, make_directory
 from .hiergd import HierGdScheme
-from .metrics import SchemeResult, latency_gain
+from .metrics import SchemeResult, byte_hit_rate, byte_latency_gain, latency_gain
 from .run import (
     available_schemes,
     gains_vs_nc,
@@ -36,6 +36,8 @@ __all__ = [
     "HierGdScheme",
     "SchemeResult",
     "latency_gain",
+    "byte_hit_rate",
+    "byte_latency_gain",
     "available_schemes",
     "gains_vs_nc",
     "generate_workloads",

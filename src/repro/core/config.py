@@ -30,12 +30,21 @@ __all__ = ["SimulationConfig", "ClusterSizing", "NetworkConfig"]
 
 @dataclass(frozen=True)
 class ClusterSizing:
-    """Concrete per-cluster cache sizes derived from a trace."""
+    """Concrete per-cluster cache sizes derived from a trace.
+
+    All capacities share one denomination: *objects* under the paper's
+    equal-size assumption, *bytes* when the trace carries per-object
+    sizes (:attr:`by_bytes`); they are fractions of the matching
+    infinite-cache-size measure either way, so the x-axis of every
+    figure keeps its meaning.
+    """
 
     infinite_cache_size: int
     proxy_size: int
     client_size: int
     n_clients: int
+    #: True when the sizes above are denominated in bytes.
+    by_bytes: bool = False
 
     @property
     def p2p_size(self) -> int:
@@ -94,6 +103,11 @@ class SimulationConfig:
     #: The paper chooses greedy-dual because it beats LRU and LFU
     #: (Korupolu & Dahlin, §3); "lru"/"lfu" exist to measure that claim.
     hiergd_policy: str = "gd"
+    #: Credit model for the greedy-dual caches when object sizes vary:
+    #: "gds" (GreedyDual-Size, credit L + cost/size — Cao & Irani) or
+    #: "gd" (classic greedy-dual, credit L + cost, size-blind credit
+    #: with byte-accurate capacity).  Indistinguishable at unit sizes.
+    gd_cost_model: str = "gds"
     #: Copies kept per destaged object in the P2P client cache (PAST-style
     #: leaf-set replication; the paper keeps 1).  Extra replicas are
     #: best-effort — stored only where free space exists — and pay off as
@@ -134,6 +148,8 @@ class SimulationConfig:
             raise ValueError("lfu_mode must be 'perfect' or 'in-cache'")
         if self.hiergd_policy not in ("gd", "lru", "lfu"):
             raise ValueError("hiergd_policy must be 'gd', 'lru' or 'lfu'")
+        if self.gd_cost_model not in ("gds", "gd"):
+            raise ValueError("gd_cost_model must be 'gds' or 'gd'")
         if self.p2p_replicas < 1:
             raise ValueError("p2p_replicas must be >= 1")
         if self.hot_path not in ("fast", "reference"):
@@ -159,8 +175,14 @@ class SimulationConfig:
         client cache is at least one object whenever the fraction is
         non-zero (a zero-size client cache would silently disable the P2P
         tier at tiny scales).
+
+        When the trace carries per-object sizes, every capacity is
+        denominated in *bytes* of the byte-valued infinite cache size
+        (``trace.infinite_cache_bytes``) instead of object counts — the
+        same fractions, the same sweep semantics, byte-accurate storage.
         """
-        ics = trace.infinite_cache_size
+        sized = getattr(trace, "sizes", None) is not None
+        ics = trace.infinite_cache_bytes if sized else trace.infinite_cache_size
         proxy = max(1, round(self.proxy_cache_fraction * ics))
         client = 0
         if self.client_cache_fraction > 0:
@@ -170,6 +192,7 @@ class SimulationConfig:
             proxy_size=proxy,
             client_size=client,
             n_clients=self.clients_per_cluster,
+            by_bytes=sized,
         )
 
     def describe(self) -> str:

@@ -135,8 +135,16 @@ class HierGdScheme(CachingScheme):
         faulty = self.transport.faulty
         # A fault layer needs every cooperation hop routed through the
         # transport, which the fast engine inlines away: pin the
-        # reference engine whenever a fault process is active.
-        self._fast = config.hot_path == "fast" and not self._force_reference and not faulty
+        # reference engine whenever a fault process is active.  The same
+        # pin applies when the workload carries object sizes: the fast
+        # engine's free-space tracking (monotone "full forever" sets) and
+        # the fused unit-size GD insert both assume equal-size objects.
+        self._fast = (
+            config.hot_path == "fast"
+            and not self._force_reference
+            and not faulty
+            and self.sizes is None
+        )
         #: Where a directory over-claim is counted: a stale entry under
         #: fault injection (exact directories go stale through dropped
         #: eviction notices), a false positive otherwise (Bloom).
@@ -179,6 +187,11 @@ class HierGdScheme(CachingScheme):
         # under the base transport).
         self.transport.install_counters(self._msg)
         self._object_keys = None  # shared objectId array, built lazily
+        #: Mean object size (bytes) when sized — converts byte-denominated
+        #: capacities into expected object counts for directory sizing.
+        self._mean_size = (
+            float(self.sizes.mean()) if self.sizes is not None else 1.0
+        )
         self.states: list[_ClusterState] = []
         for ci, sizing in enumerate(self.sizings):
             overlay = make_overlay(config)
@@ -202,7 +215,10 @@ class HierGdScheme(CachingScheme):
                 directory=self.transport.wrap_directory(
                     make_directory(
                         config.directory,
-                        capacity=max(1, sizing.p2p_size),
+                        # Directory capacity is an *object count*; under
+                        # byte-denominated sizing, estimate it from the
+                        # mean object size.
+                        capacity=max(1, round(sizing.p2p_size / self._mean_size)),
                         fp_rate=config.bloom_fp_rate,
                     ),
                     ci,
@@ -275,7 +291,11 @@ class HierGdScheme(CachingScheme):
         """
         policy = self.config.hiergd_policy
         if policy == "gd":
-            return GreedyDualCache(capacity, default_cost=self._t_server)
+            return GreedyDualCache(
+                capacity,
+                default_cost=self._t_server,
+                credit_by_size=self.config.gd_cost_model == "gds",
+            )
         if policy == "lru":
             return LruCache(capacity)
         return LfuCache(capacity, reset_on_evict=self.config.lfu_reset_on_evict)
@@ -331,6 +351,7 @@ class HierGdScheme(CachingScheme):
             self._msg["dedicated_destage_connections"] += 1
 
         cost = state.costs.get(obj, self._t_server)
+        size = self._size_of(obj)
         owner_idx = self._owner(state, obj)
         holder = self._locate(state, obj, owner_idx)
         if holder is not None:
@@ -342,17 +363,17 @@ class HierGdScheme(CachingScheme):
         owner_cache = state.clients[owner_idx]
 
         # (3)-(5): free space at the destination — store directly.
-        if owner_cache.free_space >= 1:
-            owner_cache.insert(obj, cost=cost)
+        if owner_cache.free_space >= size:
+            owner_cache.insert(obj, cost=cost, size=size)
             self._record_store(state, obj)
             self._replicate(state, obj, cost, primary_idx=owner_idx, owner_idx=owner_idx)
             return
 
         # (7)-(10): object diversion to an overlay neighbour with free space.
         if self.config.object_diversion:
-            divertee = self._pick_divertee(state, owner_idx)
+            divertee = self._pick_divertee(state, owner_idx, size)
             if divertee is not None:
-                state.clients[divertee].insert(obj, cost=cost)
+                state.clients[divertee].insert(obj, cost=cost, size=size)
                 state.pointers.setdefault(owner_idx, {})[obj] = divertee
                 self._msg["diversions"] += 1
                 self._record_store(state, obj)
@@ -361,7 +382,7 @@ class HierGdScheme(CachingScheme):
 
         # (12)-(14): replacement at the destination; its eviction d2 is
         # simply discarded (§3) after notifying the proxy's directory.
-        evicted = owner_cache.insert(obj, cost=cost)
+        evicted = owner_cache.insert(obj, cost=cost, size=size)
         stored = True
         for d2 in evicted:
             if d2 == obj:
@@ -577,6 +598,7 @@ class HierGdScheme(CachingScheme):
             return
         if owner_idx is None:
             owner_idx = self._owner(state, obj)
+        size = self._size_of(obj)
         existing = state.replicas.get(obj, set())
         for idx in self._neighbour_indexes(state, owner_idx):
             if extra <= 0:
@@ -584,8 +606,8 @@ class HierGdScheme(CachingScheme):
             if idx == primary_idx or idx in existing:
                 continue
             cache = state.clients[idx]
-            if cache.free_space >= 1 and not cache.contains(obj):
-                cache.insert(obj, cost=cost)
+            if cache.free_space >= size and not cache.contains(obj):
+                cache.insert(obj, cost=cost, size=size)
                 if self._fast and cache._used >= cache.capacity:
                     state.free_clients.discard(idx)
                 state.replicas.setdefault(obj, set()).add(idx)
@@ -604,15 +626,22 @@ class HierGdScheme(CachingScheme):
         owner_nid = state.node_of_idx[owner_idx]
         return [state.idx_of_node[nb] for nb in state.overlay.neighbourhood(owner_nid)]
 
-    def _pick_divertee(self, state: _ClusterState, owner_idx: int) -> int | None:
-        """Neighbourhood member with the most free space (storage balancing)."""
+    def _pick_divertee(
+        self, state: _ClusterState, owner_idx: int, size: int = 1
+    ) -> int | None:
+        """Neighbourhood member with the most free space (storage balancing).
+
+        Only members that can actually hold the object (free space of at
+        least ``size``) qualify; at unit sizes that is the original
+        "any free space" rule.
+        """
         best: int | None = None
-        best_free = 0
+        best_free = size - 1  # a candidate must fit the object
         clients = state.clients
         for idx in self._neighbour_indexes(state, owner_idx):
             cache = clients[idx]
             # == cache.free_space: every policy here tracks used units in
-            # ``_used`` and unit sizes keep it <= capacity.
+            # ``_used`` and the insert paths keep it <= capacity.
             free = cache.capacity - cache._used
             if free > best_free:
                 best, best_free = idx, free
@@ -720,7 +749,7 @@ class HierGdScheme(CachingScheme):
                             del holders[d1]
                     self._pass_down_fast(state, d1)
             return
-        evicted = proxy.insert(obj, cost=cost)
+        evicted = proxy.insert(obj, cost=cost, size=self._size_of(obj))
         if self._fast:
             # Inlined PresenceIndex.add/discard on the proxy index.
             holders = self._proxy_presence._holders

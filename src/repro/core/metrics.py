@@ -21,7 +21,13 @@ from ..netmodel import ALL_TIERS
 # fault transport); re-exported here because results are where they land.
 from ..protocol.messages import FAULT_COUNTERS
 
-__all__ = ["FAULT_COUNTERS", "SchemeResult", "latency_gain"]
+__all__ = [
+    "FAULT_COUNTERS",
+    "SchemeResult",
+    "latency_gain",
+    "byte_hit_rate",
+    "byte_latency_gain",
+]
 
 
 @dataclass
@@ -127,3 +133,50 @@ def latency_gain(result: SchemeResult, baseline: SchemeResult) -> float:
     if baseline.mean_latency <= 0:
         raise ValueError("baseline mean latency must be positive")
     return 1.0 - result.mean_latency / baseline.mean_latency
+
+
+def _require_byte_accounting(result: SchemeResult) -> float:
+    """Return ``bytes_total`` or explain that the run had sizes off."""
+    total = result.extras.get("bytes_total")
+    if total is None:
+        raise ValueError(
+            f"result for {result.scheme!r} carries no byte accounting; "
+            "byte metrics require a run with object sizes enabled "
+            "(ProWGenConfig.object_sizes != 'off' or a trace with sizes)"
+        )
+    return total
+
+
+def byte_hit_rate(result: SchemeResult) -> float:
+    """Fraction of response *bytes* served without the origin server.
+
+    The equal-size world only needs the request hit rate; with
+    heavy-tailed object sizes the two diverge (small hot objects inflate
+    the request hit rate while most bytes still ship from the server),
+    so size-aware runs report both.  Computed as
+    ``1 − bytes_server / bytes_total`` over the measured (post-warmup)
+    window.
+    """
+    total = _require_byte_accounting(result)
+    if total <= 0:
+        return 0.0
+    return 1.0 - result.extras.get("bytes_server", 0.0) / total
+
+
+def byte_latency_gain(result: SchemeResult, baseline: SchemeResult) -> float:
+    """Byte-weighted analogue of :func:`latency_gain`.
+
+    Weights each request's latency by the bytes it moved before
+    averaging, so saving a 10 MB fetch counts 10⁵× a 100 B one — the
+    transfer-time reading of the paper's metric once sizes vary.
+    Requires both runs to carry byte accounting.
+    """
+    base_total = _require_byte_accounting(baseline)
+    total = _require_byte_accounting(result)
+    if base_total <= 0 or total <= 0:
+        raise ValueError("byte_latency_gain needs a non-empty measured window")
+    base_mean = baseline.extras.get("byte_latency", 0.0) / base_total
+    if base_mean <= 0:
+        raise ValueError("baseline byte-weighted mean latency must be positive")
+    mean = result.extras.get("byte_latency", 0.0) / total
+    return 1.0 - mean / base_mean

@@ -43,7 +43,7 @@ class NcScheme(CachingScheme):
         ]
 
     def process(self, cluster: int, client: int, obj: int) -> str:
-        hit, _ = self.caches[cluster].lookup_or_insert(obj)
+        hit, _ = self.caches[cluster].lookup_or_insert(obj, size=self._size_of(obj))
         return TIER_LOCAL_PROXY if hit else TIER_SERVER
 
 
@@ -82,7 +82,7 @@ class ScScheme(CachingScheme):
         # Remote probes never touch the local cache, so the fused
         # lookup-or-insert may run first; ``first_holder`` excludes this
         # cluster, making the index update order irrelevant too.
-        hit, evicted = cache.lookup_or_insert(obj)
+        hit, evicted = cache.lookup_or_insert(obj, size=self._size_of(obj))
         if hit:
             return TIER_LOCAL_PROXY
         presence = self._presence
@@ -115,7 +115,7 @@ class ScScheme(CachingScheme):
                     tier = TIER_COOP_PROXY
                     self._coop_fetches += 1
                     break
-        cache.insert(obj)
+        cache.insert(obj, size=self._size_of(obj))
         return tier
 
     def finalize(self) -> tuple[dict[str, int], dict[str, float]]:

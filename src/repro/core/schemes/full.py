@@ -63,12 +63,16 @@ class FcScheme(CachingScheme):
         net = config.network
         self._benefit_remote = net.benefit_first_copy_remote  # Ts - Tc
         self._benefit_local = net.benefit_local_copy  # Tc
-        # Copy store: (obj, cluster) -> value; plus per-object placement.
+        # Copy store: (obj, cluster) -> value density; plus placement.
+        # The heap priority is value *per capacity unit* (value/size);
+        # at unit sizes that is the raw value, the paper's rule.
         self._copies = HeapDict()
         self._holders: dict[int, set[int]] = {}
         self._primary: dict[int, int] = {}
         self._local: list[set[int]] = [set() for _ in traces]
         self._placement_updates = 0
+        #: Capacity units in use (== copy count under unit sizes).
+        self._used = 0
 
     # -- value model -------------------------------------------------------
 
@@ -88,11 +92,20 @@ class FcScheme(CachingScheme):
             self._primary[obj] = cluster
         self._local[cluster].add(obj)
         self._placement_updates += 1
-        self._copies.push((obj, cluster), self._value(obj, cluster, primary))
+        size = self._size_of(obj)
+        self._used += size
+        self._copies.push((obj, cluster), self._value(obj, cluster, primary) / size)
 
     def _evict_min(self) -> None:
+        (obj, cluster), _density = self._copies.pop_min()
+        self._drop_copy(obj, cluster)
+
+    def _drop_copy(self, obj: int, cluster: int) -> None:
+        """Bookkeeping for a dying copy (its heap entry already popped,
+        or discarded here if a promotion re-pushed it in the meantime)."""
         self._placement_updates += 1
-        (obj, cluster), _value = self._copies.pop_min()
+        self._copies.discard((obj, cluster))
+        self._used -= self._size_of(obj)
         self._local[cluster].discard(obj)
         holders = self._holders[obj]
         holders.discard(cluster)
@@ -105,24 +118,47 @@ class FcScheme(CachingScheme):
             new_primary = max(holders, key=lambda q: self._freq[q][obj])
             self._primary[obj] = new_primary
             self._copies.push(
-                (obj, new_primary), self._value(obj, new_primary, True)
+                (obj, new_primary),
+                self._value(obj, new_primary, True) / self._size_of(obj),
             )
 
     def _consider_copy(self, obj: int, cluster: int) -> None:
-        """Admit a copy at ``cluster`` if globally worthwhile."""
+        """Admit a copy at ``cluster`` if globally worthwhile.
+
+        Size-aware: admission frees min-density incumbents until the new
+        copy fits, and aborts (restoring the incumbents untouched) the
+        moment an incumbent is at least as dense as the newcomer.  Under
+        unit sizes the loop runs at most one iteration against the raw
+        copy value — exactly the paper's single-victim rule.
+        """
         if obj in self._local[cluster]:
             return
+        size = self._size_of(obj)
+        if size > self.capacity:
+            return
         primary = obj not in self._holders
-        value = self._value(obj, cluster, primary)
-        if len(self._copies) < self.capacity:
+        if self._used + size <= self.capacity:
             self._add_copy(obj, cluster)
             return
-        if self.capacity == 0:
+        density = self._value(obj, cluster, primary) / size
+        victims: list[tuple[tuple[int, int], float]] = []
+        freed = 0
+        admit = True
+        while self._used - freed + size > self.capacity:
+            victim, vdensity = self._copies.peek_min()
+            if vdensity >= density:
+                admit = False
+                break
+            self._copies.pop_min()
+            victims.append((victim, vdensity))
+            freed += self._size_of(victim[0])
+        if not admit:
+            for key, prio in victims:
+                self._copies.push(key, prio)  # rejection leaves no trace
             return
-        _victim, min_value = self._copies.peek_min()
-        if value > min_value:
-            self._evict_min()
-            self._add_copy(obj, cluster)
+        for (vobj, vcluster), _prio in victims:
+            self._drop_copy(vobj, vcluster)
+        self._add_copy(obj, cluster)
 
     # -- request path -------------------------------------------------------------
 

@@ -68,7 +68,15 @@ class FcEcScheme(CachingScheme):
         self._primary: dict[int, int] = {}
         self._local: list[set[int]] = [set() for _ in traces]
         self._placement_updates = 0
-        self._tiers = [TopKTracker(s.proxy_size) for s in self.sizings]
+        #: Capacity units in use (== copy count under unit sizes).
+        self._used = 0
+        self._tiers = [
+            TopKTracker(
+                s.proxy_size,
+                budget=s.proxy_size if s.by_bytes else None,
+            )
+            for s in self.sizings
+        ]
 
     def _value(self, obj: int, cluster: int, primary: bool) -> float:
         v = float(self._freq[cluster][obj]) * self._benefit_local
@@ -85,12 +93,21 @@ class FcEcScheme(CachingScheme):
         self._local[cluster].add(obj)
         self._placement_updates += 1
         value = self._value(obj, cluster, primary)
-        self._copies.push((obj, cluster), value)
-        self._tiers[cluster].add(obj, value)
+        size = self._size_of(obj)
+        self._used += size
+        self._copies.push((obj, cluster), value / size)
+        self._tiers[cluster].add(obj, value, size=size)
 
     def _evict_min(self) -> None:
+        (obj, cluster), _density = self._copies.pop_min()
+        self._drop_copy(obj, cluster)
+
+    def _drop_copy(self, obj: int, cluster: int) -> None:
+        """Bookkeeping for a dying copy (its heap entry already popped,
+        or discarded here if a promotion re-pushed it in the meantime)."""
         self._placement_updates += 1
-        (obj, cluster), _value = self._copies.pop_min()
+        self._copies.discard((obj, cluster))
+        self._used -= self._size_of(obj)
         self._local[cluster].discard(obj)
         self._tiers[cluster].remove(obj)
         holders = self._holders[obj]
@@ -103,23 +120,41 @@ class FcEcScheme(CachingScheme):
             new_primary = max(holders, key=lambda q: self._freq[q][obj])
             self._primary[obj] = new_primary
             value = self._value(obj, new_primary, True)
-            self._copies.push((obj, new_primary), value)
+            self._copies.push((obj, new_primary), value / self._size_of(obj))
             self._tiers[new_primary].update(obj, value)
 
     def _consider_copy(self, obj: int, cluster: int) -> None:
+        """Greedy global admission; size-aware exactly as in
+        :meth:`FcScheme._consider_copy` (value density vs min-density
+        incumbents, single-victim rule at unit sizes)."""
         if obj in self._local[cluster]:
             return
+        size = self._size_of(obj)
+        if size > self.capacity:
+            return
         primary = obj not in self._holders
-        value = self._value(obj, cluster, primary)
-        if len(self._copies) < self.capacity:
+        if self._used + size <= self.capacity:
             self._add_copy(obj, cluster)
             return
-        if self.capacity == 0:
+        density = self._value(obj, cluster, primary) / size
+        victims: list[tuple[tuple[int, int], float]] = []
+        freed = 0
+        admit = True
+        while self._used - freed + size > self.capacity:
+            victim, vdensity = self._copies.peek_min()
+            if vdensity >= density:
+                admit = False
+                break
+            self._copies.pop_min()
+            victims.append((victim, vdensity))
+            freed += self._size_of(victim[0])
+        if not admit:
+            for key, prio in victims:
+                self._copies.push(key, prio)  # rejection leaves no trace
             return
-        _victim, min_value = self._copies.peek_min()
-        if value > min_value:
-            self._evict_min()
-            self._add_copy(obj, cluster)
+        for (vobj, vcluster), _prio in victims:
+            self._drop_copy(vobj, vcluster)
+        self._add_copy(obj, cluster)
 
     def process(self, cluster: int, client: int, obj: int) -> str:
         if obj in self._local[cluster]:

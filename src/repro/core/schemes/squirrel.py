@@ -130,7 +130,9 @@ class SquirrelScheme(CachingScheme):
         return self.homes[cluster][idx]
 
     def process(self, cluster: int, client: int, obj: int) -> str:
-        hit, _ = self._home(cluster, obj).lookup_or_insert(obj)
+        hit, _ = self._home(cluster, obj).lookup_or_insert(
+            obj, size=self._size_of(obj)
+        )
         if hit:
             return TIER_LOCAL_P2P
         # Home miss: the home node fetches from the origin, stores the
@@ -152,7 +154,9 @@ class SquirrelScheme(CachingScheme):
         """
         if not self.transport.attempt(P2P_FETCH):
             return TIER_SERVER
-        hit, _ = self._home(cluster, obj).lookup_or_insert(obj)
+        hit, _ = self._home(cluster, obj).lookup_or_insert(
+            obj, size=self._size_of(obj)
+        )
         if hit:
             return TIER_LOCAL_P2P
         # Home miss: the home node fetches from the origin, stores the

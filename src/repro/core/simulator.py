@@ -57,6 +57,16 @@ class CachingScheme(ABC):
             raise ValueError("at least one trace required")
         self.config = config
         self.traces = traces
+        sized = [getattr(t, "sizes", None) is not None for t in traces]
+        if any(sized) and not all(sized):
+            raise ValueError("all cluster traces must agree on carrying sizes")
+        #: Shared per-object size table (bytes) when the workload carries
+        #: sizes, else ``None``.  It is one Web: every cluster's trace is
+        #: built over the same object universe, so the table from any
+        #: trace serves all clusters.
+        self.sizes = traces[0].sizes if sized[0] else None
+        #: Same table as a plain list (fast per-request indexing).
+        self._size_list = self.sizes.tolist() if self.sizes is not None else None
         self.sizings: list[ClusterSizing] = [config.sizing_for(t) for t in traces]
         #: Latency not attributable to a serving tier (e.g. wasted rounds
         #: caused by Bloom-directory false positives); added to the total.
@@ -74,6 +84,10 @@ class CachingScheme(ABC):
         """Record off-tier latency (ignored during the warmup window)."""
         if not self._in_warmup:
             self.extra_latency += amount
+
+    def _size_of(self, obj: int) -> int:
+        """Object size in cache-capacity units (1 when sizes are off)."""
+        return 1 if self._size_list is None else self._size_list[obj]
 
     # -- scheme contract ----------------------------------------------------
 
@@ -125,6 +139,12 @@ class CachingScheme(ABC):
         tier_counts = dict.fromkeys(ALL_TIERS, 0)
         total_latency = 0.0
         n_requests = 0
+        # Byte accounting (size-aware runs only): bytes served per tier
+        # over the measured window.  ``None`` keeps the equal-size request
+        # loop on its original path.
+        bytes_by_tier = (
+            dict.fromkeys(ALL_TIERS, 0) if self.sizes is not None else None
+        )
 
         process = self.process
         lengths = {len(t) for t in self.traces}
@@ -158,13 +178,28 @@ class CachingScheme(ABC):
                     ).ravel().tolist()
                     clusters = list(range(n_clusters)) * (b - a)
                     tiers = map(process, clusters, clients, objs)
-                    if to_warm:
-                        drained = min(to_warm, (b - a) * n_clusters)
-                        deque(islice(tiers, drained), maxlen=0)  # caches warm
-                        to_warm -= drained
-                        if to_warm == 0:
-                            self._in_warmup = False
-                    counted.update(tiers)
+                    if bytes_by_tier is None:
+                        if to_warm:
+                            drained = min(to_warm, (b - a) * n_clusters)
+                            deque(islice(tiers, drained), maxlen=0)  # warm
+                            to_warm -= drained
+                            if to_warm == 0:
+                                self._in_warmup = False
+                        counted.update(tiers)
+                    else:
+                        # Sized runs keep the served tiers aligned with the
+                        # request stream so bytes land on the right tier.
+                        served = list(tiers)
+                        skip = 0
+                        if to_warm:
+                            skip = min(to_warm, len(served))
+                            to_warm -= skip
+                            if to_warm == 0:
+                                self._in_warmup = False
+                        counted.update(served[skip:])
+                        size_of = self.sizes
+                        for tier, obj in zip(served[skip:], objs[skip:]):
+                            bytes_by_tier[tier] += int(size_of[obj])
                     self._after_block(b)
                 self._in_warmup = False
                 tier_counts.update(counted)
@@ -193,8 +228,19 @@ class CachingScheme(ABC):
                         tier_counts[tier] += 1
                         total_latency += latency_of[tier]
                         n_requests += 1
+                        if bytes_by_tier is not None:
+                            bytes_by_tier[tier] += int(self.sizes[objs[i]])
 
         messages, extras = self.finalize()
+        if bytes_by_tier is not None:
+            extras = dict(extras)
+            extras["bytes_total"] = float(sum(bytes_by_tier.values()))
+            for tier, nbytes in bytes_by_tier.items():
+                if nbytes:
+                    extras[f"bytes_{tier}"] = float(nbytes)
+            extras["byte_latency"] = float(
+                sum(latency_of[t] * nb for t, nb in bytes_by_tier.items())
+            )
         return SchemeResult(
             scheme=self.name,
             n_requests=n_requests,

@@ -71,6 +71,7 @@ from .figure3 import figure3
 from .figure4 import figure4
 from .figure5 import figure5a, figure5b, figure5c, figure5d
 from .bakeoff import figure_bakeoff
+from .figure_sizes import figure_sizes
 from .policy_frontier import figure_policy_frontier
 from .robustness import figure_robustness
 from .runner import SCALES, current_overlay, current_scale
@@ -90,6 +91,7 @@ FIGURES = {
     "robust": figure_robustness,
     "bakeoff": figure_bakeoff,
     "frontier": figure_policy_frontier,
+    "sizes": figure_sizes,
 }
 
 #: Store filename used when ``--resume`` is given without a path.

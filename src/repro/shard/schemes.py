@@ -199,6 +199,12 @@ class ShardedHierGd(_ShardMixin, HierGdScheme):
         transport: Transport | None = None,
     ) -> None:
         super().__init__(config, traces, transport)
+        if self.sizes is not None:
+            raise ValueError(
+                "sharded hier-gd does not support sized workloads (the "
+                "digest protocol rides the fast engine, which assumes "
+                "equal-size objects); run with shards=1"
+            )
         if not self._fast:
             raise ValueError("sharded hier-gd requires hot_path='fast'")
         if self._dir_presence is None:

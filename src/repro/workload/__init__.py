@@ -133,6 +133,7 @@ def generate_cluster_traces_streaming(
                     existing.n_requests == config.n_requests
                     and existing.n_objects == config.n_objects
                     and existing.n_clients == config.n_clients
+                    and existing.has_sizes == (config.object_sizes != "off")
                 ):
                     traces.append(existing)
                     continue

@@ -16,6 +16,15 @@ string by default — the standard proxy-study methodology), map clients
 and URLs to dense integer ids, and return a :class:`~repro.workload.
 trace.Trace` ready for any scheme.  Unparseable lines are counted, not
 fatal: real logs always contain junk.
+
+Object sizes are parsed along with the request: each kept record's byte
+count becomes a size observation for its object, and the trace carries
+one size per object (the largest positive observation — proxies store
+the full body, and real logs mix partial transfers with full ones).
+Non-positive byte counts (Squid logs aborted transfers as 0 or negative)
+and CLF's ``-`` placeholder are *not* size observations: they are
+counted in :attr:`AdapterReport.size_missing` and the object falls back
+to the median observed size (or 1 when no line carried a usable size).
 """
 
 from __future__ import annotations
@@ -43,6 +52,10 @@ class AdapterReport:
     dropped_status: int = 0
     dropped_query: int = 0
     malformed: int = 0
+    #: Kept requests whose byte count was missing (CLF ``-``) or
+    #: non-positive (aborted transfers); the request survives, the size
+    #: observation does not.
+    size_missing: int = 0
 
 
 _SQUID_RE = re.compile(
@@ -79,42 +92,69 @@ def _lines(source: str | Path | Iterable[str]) -> Iterator[str]:
 
 
 def _build_trace(
-    pairs: list[tuple[str, str]], name: str, n_clients: int | None
+    pairs: list[tuple[str, str, int | None]], name: str, n_clients: int | None
 ) -> Trace:
-    """Densify (client, url) pairs into a Trace.
+    """Densify (client, url, size) triples into a Trace.
 
     ``n_clients`` caps the client population: real logs can contain
     thousands of hosts while the simulated cluster has a fixed size, so
     surplus clients are folded in round-robin by first appearance.
+
+    Per-object sizes: the largest positive observation wins (a proxy
+    stores the full body; smaller counts are partial transfers).
+    Objects with no usable observation fall back to the median observed
+    size across the log, or 1 when the log carried none at all.
     """
     client_ids: dict[str, int] = {}
     object_ids: dict[str, int] = {}
     clients = np.empty(len(pairs), dtype=np.int32)
     objects = np.empty(len(pairs), dtype=np.int64)
-    for i, (client, url) in enumerate(pairs):
+    size_of: dict[int, int] = {}
+    for i, (client, url, size) in enumerate(pairs):
         cid = client_ids.setdefault(client, len(client_ids))
         if n_clients is not None:
             cid %= n_clients
         clients[i] = cid
-        objects[i] = object_ids.setdefault(url, len(object_ids))
+        oid = object_ids.setdefault(url, len(object_ids))
+        objects[i] = oid
+        if size is not None and size > size_of.get(oid, 0):
+            size_of[oid] = size
     population = len(client_ids) if n_clients is None else min(n_clients, max(1, len(client_ids)))
+    n_objects = max(1, len(object_ids))
+    observed = sorted(size_of.values())
+    fallback = observed[len(observed) // 2] if observed else 1
+    sizes = np.full(n_objects, fallback, dtype=np.int64)
+    for oid, size in size_of.items():
+        sizes[oid] = size
     return Trace(
         object_ids=objects,
         client_ids=clients,
-        n_objects=max(1, len(object_ids)),
+        n_objects=n_objects,
         n_clients=max(1, population),
         name=name,
+        sizes=sizes,
     )
 
 
+def _sanitise_size(raw: str | None, report: AdapterReport) -> int | None:
+    """One record's byte count, or None (counted) when unusable."""
+    size: int | None = None
+    if raw is not None and raw.lstrip("-").isdigit():
+        size = int(raw)
+    if size is None or size <= 0:
+        report.size_missing += 1
+        return None
+    return size
+
+
 def _filter(
-    records: Iterator[tuple[str, str, str, int]],
+    records: Iterator[tuple[str, str, str, int, str | None]],
     report: AdapterReport,
     methods: tuple[str, ...],
     keep_queries: bool,
-) -> list[tuple[str, str]]:
-    kept: list[tuple[str, str]] = []
-    for client, method, url, status in records:
+) -> list[tuple[str, str, int | None]]:
+    kept: list[tuple[str, str, int | None]] = []
+    for client, method, url, status, raw_size in records:
         report.parsed += 1
         if method.upper() not in methods:
             report.dropped_method += 1
@@ -125,7 +165,7 @@ def _filter(
         if not keep_queries and "?" in url:
             report.dropped_query += 1
             continue
-        kept.append((client, _normalise_url(url)))
+        kept.append((client, _normalise_url(url), _sanitise_size(raw_size, report)))
         report.kept += 1
     return kept
 
@@ -143,7 +183,7 @@ def from_squid_log(
     """
     report = AdapterReport()
 
-    def records() -> Iterator[tuple[str, str, str, int]]:
+    def records() -> Iterator[tuple[str, str, str, int, str | None]]:
         for line in _lines(source):
             if not line.strip():
                 continue
@@ -152,7 +192,7 @@ def from_squid_log(
             if m is None:
                 report.malformed += 1
                 continue
-            yield m["client"], m["method"], m["url"], int(m["status"])
+            yield m["client"], m["method"], m["url"], int(m["status"]), m["size"]
 
     pairs = _filter(records(), report, methods, keep_queries)
     return _build_trace(pairs, name, n_clients), report
@@ -168,7 +208,7 @@ def from_common_log(
     """Parse a Common Log Format stream into a simulation trace."""
     report = AdapterReport()
 
-    def records() -> Iterator[tuple[str, str, str, int]]:
+    def records() -> Iterator[tuple[str, str, str, int, str | None]]:
         for line in _lines(source):
             if not line.strip():
                 continue
@@ -177,7 +217,7 @@ def from_common_log(
             if m is None:
                 report.malformed += 1
                 continue
-            yield m["host"], m["method"], m["url"], int(m["status"])
+            yield m["host"], m["method"], m["url"], int(m["status"]), m["size"]
 
     pairs = _filter(records(), report, methods, keep_queries)
     return _build_trace(pairs, name, n_clients), report

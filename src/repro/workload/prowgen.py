@@ -70,8 +70,18 @@ class ProWGenConfig:
     #: Skew of the stack-position re-reference distribution (1 = Zipf-1).
     stack_skew: float = 1.0
     n_clients: int = 100
+    #: Per-object byte sizes: ``"off"`` (the paper's equal-size
+    #: assumption; capacities stay denominated in objects) or
+    #: ``"heavy-tailed"`` (:func:`sample_object_sizes`, drawn from a
+    #: dedicated RNG stream so the request stream is unchanged).
+    object_sizes: str = "off"
 
     def __post_init__(self) -> None:
+        if self.object_sizes not in ("off", "heavy-tailed"):
+            raise ValueError(
+                f"object_sizes must be 'off' or 'heavy-tailed', "
+                f"got {self.object_sizes!r}"
+            )
         if self.n_requests <= 0 or self.n_objects <= 0 or self.n_clients <= 0:
             raise ValueError("n_requests, n_objects and n_clients must be positive")
         if not 0.0 <= self.one_timer_fraction < 1.0:
@@ -255,6 +265,30 @@ def _emit_stream(
     return np.concatenate(chunks)
 
 
+#: Seed-sequence tag for the dedicated size RNG stream (see
+#: :func:`_object_sizes_for`).
+_SIZE_STREAM_TAG = 0x517E5
+
+
+def _object_sizes_for(
+    config: ProWGenConfig, seed: int, counts_seed: int | None
+) -> np.ndarray | None:
+    """The per-object size table, or None with sizes off.
+
+    Sizes are a property of the *objects*, not of one cluster's request
+    ordering, so they are drawn from their own RNG seeded by the shared
+    ``counts_seed`` (falling back to ``seed`` when none is given): every
+    cluster of an experiment derives the identical table independently —
+    sharded workers need no size exchange — and the generator's existing
+    RNG draw order is untouched, keeping sizes-off traces byte-identical.
+    """
+    if config.object_sizes == "off":
+        return None
+    base = seed if counts_seed is None else counts_seed
+    size_rng = np.random.default_rng([_SIZE_STREAM_TAG, base])
+    return sample_object_sizes(config.n_objects, size_rng)
+
+
 def generate_trace(
     config: ProWGenConfig,
     seed: int,
@@ -269,7 +303,9 @@ def generate_trace(
     from the request ordering: clusters of one experiment share it, so the
     same objects are hot everywhere (it is one Web), while each cluster
     orders its own references independently.  Without a shared popularity
-    assignment, cooperation would have almost nothing to share.
+    assignment, cooperation would have almost nothing to share.  The
+    per-object size table (``object_sizes="heavy-tailed"``) shares the
+    same logic: one Web, one size per object, identical across clusters.
     """
     rng = np.random.default_rng(seed)
     counts_rng = rng if counts_seed is None else np.random.default_rng(counts_seed)
@@ -282,6 +318,7 @@ def generate_trace(
         n_objects=config.n_objects,
         n_clients=config.n_clients,
         name=name or f"prowgen(a={config.alpha},stack={config.stack_fraction},seed={seed})",
+        sizes=_object_sizes_for(config, seed, counts_seed),
     )
 
 
@@ -313,6 +350,7 @@ def generate_trace_streaming(
         n_objects=config.n_objects,
         n_clients=config.n_clients,
         name=name or f"prowgen(a={config.alpha},stack={config.stack_fraction},seed={seed})",
+        sizes=_object_sizes_for(config, seed, counts_seed),
     )
     for chunk in _emit_stream_chunks(config, counts, rng, chunk_requests):
         writer.append_objects(chunk)

@@ -14,6 +14,15 @@ File layout (version 1)::
     [object_ids] n_requests × int64, little-endian
     [client_ids] n_requests × int32, little-endian
 
+Version 2 appends a per-object size table after the request arrays::
+
+    [sizes]      n_objects × int64, little-endian
+
+and marks it with ``"sizes": true`` in the header.  Size-free traces are
+still written as version 1 — byte-identical to what this module always
+produced — and readers accept both versions (:data:`STREAM_VERSIONS`),
+so old traces stay loadable.
+
 The header names the exact body size, so a file whose length disagrees
 is **truncated** (a crashed writer, a partial copy) and is refused at
 open time — the same refuse-don't-guess policy the exchange-trace reader
@@ -40,6 +49,7 @@ __all__ = [
     "CHUNK_REQUESTS",
     "STREAM_MAGIC",
     "STREAM_VERSION",
+    "STREAM_VERSIONS",
     "TruncatedTraceError",
     "ChunkedTraceWriter",
     "StreamingTrace",
@@ -51,7 +61,12 @@ __all__ = [
 CHUNK_REQUESTS = 1 << 18
 
 STREAM_MAGIC = "repro-ctrace"
+#: Version written for size-free traces (the historical format).
 STREAM_VERSION = 1
+#: Version written when a per-object size table is present.
+STREAM_VERSION_SIZED = 2
+#: Versions this build reads.
+STREAM_VERSIONS = (1, 2)
 
 #: Fixed header size.  JSON + padding; rewriting the sealed flag in
 #: place never moves the body.
@@ -72,8 +87,11 @@ def _header_bytes(meta: dict) -> bytes:
     return raw + b" " * (HEADER_BYTES - len(raw) - 1) + b"\n"
 
 
-def _body_bytes(n_requests: int) -> int:
-    return n_requests * (_OBJ_DTYPE.itemsize + _CLI_DTYPE.itemsize)
+def _body_bytes(n_requests: int, n_sized_objects: int = 0) -> int:
+    return (
+        n_requests * (_OBJ_DTYPE.itemsize + _CLI_DTYPE.itemsize)
+        + n_sized_objects * _OBJ_DTYPE.itemsize
+    )
 
 
 class ChunkedTraceWriter:
@@ -99,6 +117,7 @@ class ChunkedTraceWriter:
         n_objects: int,
         n_clients: int,
         name: str = "",
+        sizes: np.ndarray | None = None,
     ) -> None:
         if n_requests < 0:
             raise ValueError("n_requests must be non-negative")
@@ -107,12 +126,20 @@ class ChunkedTraceWriter:
         self.n_objects = int(n_objects)
         self.n_clients = int(n_clients)
         self.name = name
+        if sizes is not None:
+            sizes = np.ascontiguousarray(sizes, dtype=_OBJ_DTYPE)
+            if sizes.shape != (self.n_objects,):
+                raise ValueError(
+                    f"sizes must have one entry per object ({self.n_objects})"
+                )
+        self.sizes = sizes
         self._obj_cursor = 0
         self._cli_cursor = 0
         self._closed = False
+        n_sized = self.n_objects if sizes is not None else 0
         with self.path.open("wb") as fh:
             fh.write(_header_bytes(self._meta(sealed=False)))
-            fh.truncate(HEADER_BYTES + _body_bytes(self.n_requests))
+            fh.truncate(HEADER_BYTES + _body_bytes(self.n_requests, n_sized))
         if self.n_requests:
             self._objs = np.memmap(
                 self.path,
@@ -132,7 +159,10 @@ class ChunkedTraceWriter:
             self._objs = self._clis = None
 
     def _meta(self, sealed: bool) -> dict:
-        return {
+        # Size-free traces keep writing the historical version-1 header
+        # so their files stay byte-identical; only sized traces move to
+        # version 2 (and old readers then refuse them loudly).
+        meta = {
             "magic": STREAM_MAGIC,
             "version": STREAM_VERSION,
             "n_requests": self.n_requests,
@@ -141,6 +171,10 @@ class ChunkedTraceWriter:
             "name": self.name,
             "sealed": sealed,
         }
+        if self.sizes is not None:
+            meta["version"] = STREAM_VERSION_SIZED
+            meta["sizes"] = True
+        return meta
 
     def append_objects(self, chunk: np.ndarray) -> None:
         """Append one chunk of object ids at the object cursor."""
@@ -177,6 +211,10 @@ class ChunkedTraceWriter:
             # Release the maps before rewriting the header.
             del self._objs, self._clis
         with self.path.open("r+b") as fh:
+            if self.sizes is not None:
+                fh.seek(HEADER_BYTES + _body_bytes(self.n_requests))
+                fh.write(self.sizes.tobytes())
+            fh.seek(0)
             fh.write(_header_bytes(self._meta(sealed=True)))
         self._closed = True
         return self.path
@@ -210,10 +248,10 @@ class StreamingTrace:
             raise ValueError(f"{self.path} is not a chunked repro trace") from exc
         if not isinstance(meta, dict) or meta.get("magic") != STREAM_MAGIC:
             raise ValueError(f"{self.path} is not a chunked repro trace")
-        if meta.get("version") != STREAM_VERSION:
+        if meta.get("version") not in STREAM_VERSIONS:
             raise ValueError(
                 f"{self.path}: trace version {meta.get('version')!r}, this "
-                f"build reads version {STREAM_VERSION}"
+                f"build reads versions {STREAM_VERSIONS}"
             )
         if not meta.get("sealed"):
             raise TruncatedTraceError(
@@ -224,7 +262,9 @@ class StreamingTrace:
         self.n_objects = int(meta["n_objects"])
         self.n_clients = int(meta["n_clients"])
         self.name = str(meta.get("name", ""))
-        expected = HEADER_BYTES + _body_bytes(self.n_requests)
+        self.has_sizes = bool(meta.get("sizes", False))
+        n_sized = self.n_objects if self.has_sizes else 0
+        expected = HEADER_BYTES + _body_bytes(self.n_requests, n_sized)
         actual = self.path.stat().st_size
         if actual != expected:
             raise TruncatedTraceError(
@@ -232,6 +272,7 @@ class StreamingTrace:
                 f"{expected} — refusing a truncated trace"
             )
         self._counts: np.ndarray | None = None
+        self._sizes: np.ndarray | None = None
 
     @classmethod
     def open(cls, path: str | Path, chunk_requests: int = CHUNK_REQUESTS) -> "StreamingTrace":
@@ -264,6 +305,19 @@ class StreamingTrace:
         with self.path.open("rb") as fh:
             fh.seek(base + start * _CLI_DTYPE.itemsize)
             return np.frombuffer(fh.read(n * _CLI_DTYPE.itemsize), dtype=_CLI_DTYPE)
+
+    @property
+    def sizes(self) -> np.ndarray | None:
+        """Per-object byte sizes (version-2 traces; None otherwise)."""
+        if not self.has_sizes:
+            return None
+        if self._sizes is None:
+            with self.path.open("rb") as fh:
+                fh.seek(HEADER_BYTES + _body_bytes(self.n_requests))
+                self._sizes = np.frombuffer(
+                    fh.read(self.n_objects * _OBJ_DTYPE.itemsize), dtype=_OBJ_DTYPE
+                )
+        return self._sizes
 
     def iter_chunks(self):
         """Yield ``(start, object_chunk, client_chunk)`` windows in order."""
@@ -311,6 +365,16 @@ class StreamingTrace:
         return int((self.reference_counts() > 1).sum())
 
     @property
+    def infinite_cache_bytes(self) -> int:
+        """Bytes of the objects referenced more than once (mirrors
+        :attr:`Trace.infinite_cache_bytes`)."""
+        mask = self.reference_counts() > 1
+        sizes = self.sizes
+        if sizes is None:
+            return int(mask.sum())
+        return int(sizes[mask].sum())
+
+    @property
     def one_timer_fraction(self) -> float:
         counts = self.reference_counts()
         total = int((counts > 0).sum())
@@ -335,6 +399,7 @@ class StreamingTrace:
             n_objects=self.n_objects,
             n_clients=self.n_clients,
             name=self.name,
+            sizes=self.sizes,
         )
 
     def to_trace(self):
@@ -347,4 +412,5 @@ class StreamingTrace:
             n_objects=self.n_objects,
             n_clients=self.n_clients,
             name=self.name,
+            sizes=self.sizes,
         )

@@ -47,6 +47,11 @@ class Trace:
         Number of clients in the cluster.
     name:
         Free-form label (workload family, seed) for reports.
+    sizes:
+        Optional per-*object* byte sizes (int64, length ``n_objects``).
+        ``None`` — the default, and the paper's equal-size assumption —
+        means every object counts as one unit and capacities stay
+        denominated in objects.
     """
 
     object_ids: np.ndarray
@@ -54,6 +59,7 @@ class Trace:
     n_objects: int
     n_clients: int
     name: str = ""
+    sizes: np.ndarray | None = None
     _counts: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     #: In-memory traces are not chunk-backed; the engine's block loop
@@ -75,6 +81,15 @@ class Trace:
             self.client_ids.min() < 0 or self.client_ids.max() >= self.n_clients
         ):
             raise ValueError("client ids out of range")
+        if self.sizes is not None:
+            self.sizes = np.ascontiguousarray(self.sizes, dtype=np.int64)
+            if self.sizes.shape != (self.n_objects,):
+                raise ValueError(
+                    f"sizes must have one entry per object ({self.n_objects}), "
+                    f"got shape {self.sizes.shape}"
+                )
+            if len(self.sizes) and self.sizes.min() <= 0:
+                raise ValueError("object sizes must be positive")
 
     def __len__(self) -> int:
         return len(self.object_ids)
@@ -97,6 +112,16 @@ class Trace:
         return int((self.reference_counts() > 1).sum())
 
     @property
+    def infinite_cache_bytes(self) -> int:
+        """Bytes of the objects referenced more than once — the §5.1
+        *infinite cache size* denominated in bytes when the trace carries
+        per-object sizes (each such object counts 1 otherwise)."""
+        mask = self.reference_counts() > 1
+        if self.sizes is None:
+            return int(mask.sum())
+        return int(self.sizes[mask].sum())
+
+    @property
     def one_timer_fraction(self) -> float:
         """Fraction of *referenced* objects that are referenced exactly once."""
         counts = self.reference_counts()
@@ -115,24 +140,47 @@ class Trace:
     # -- IO -------------------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Write as a small self-describing text format (one request/line)."""
+        """Write as a small self-describing text format (one request/line).
+
+        Size-free traces are written as version 1 — byte-identical to
+        what this method always produced.  A trace carrying per-object
+        sizes writes version 2, which adds one ``# sizes=...`` header
+        line; the version-1 body is unchanged, so old readers fail
+        loudly on the version tag rather than silently dropping sizes.
+        """
         path = Path(path)
+        version = 1 if self.sizes is None else 2
         with path.open("w", encoding="ascii") as fh:
-            fh.write(f"# repro-trace v1 name={self.name or '-'}\n")
+            fh.write(f"# repro-trace v{version} name={self.name or '-'}\n")
             fh.write(f"# n_objects={self.n_objects} n_clients={self.n_clients}\n")
+            if self.sizes is not None:
+                fh.write("# sizes=" + " ".join(str(s) for s in self.sizes) + "\n")
             for cid, oid in zip(self.client_ids, self.object_ids):
                 fh.write(f"{cid} {oid}\n")
 
     @classmethod
     def load(cls, path: str | Path) -> "Trace":
+        """Read either format version (1: no sizes, 2: with sizes)."""
         path = Path(path)
         with path.open("r", encoding="ascii") as fh:
             header = fh.readline()
-            if not header.startswith("# repro-trace v1"):
+            if header.startswith("# repro-trace v1"):
+                version = 1
+            elif header.startswith("# repro-trace v2"):
+                version = 2
+            else:
                 raise ValueError(f"{path} is not a repro trace file")
             name = header.split("name=", 1)[1].strip()
             meta = fh.readline().replace("#", "").split()
             kv = dict(item.split("=") for item in meta)
+            sizes = None
+            if version == 2:
+                size_line = fh.readline()
+                if not size_line.startswith("# sizes="):
+                    raise ValueError(f"{path}: v2 trace is missing its sizes line")
+                sizes = np.array(
+                    size_line.split("=", 1)[1].split(), dtype=np.int64
+                )
             body = fh.read()
         if body.strip():
             pairs = np.loadtxt(body.splitlines(), dtype=np.int64, ndmin=2)
@@ -144,6 +192,7 @@ class Trace:
             n_objects=int(kv["n_objects"]),
             n_clients=int(kv["n_clients"]),
             name="" if name == "-" else name,
+            sizes=sizes,
         )
 
     # -- windowed access (API parity with StreamingTrace) --------------------
@@ -166,6 +215,7 @@ class Trace:
             n_objects=self.n_objects,
             n_clients=self.n_clients,
             name=self.name,
+            sizes=self.sizes,
         )
 
 

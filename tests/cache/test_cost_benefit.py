@@ -77,9 +77,9 @@ class TestOnlineCounting:
 
 
 class TestValidation:
-    def test_unit_size_only(self):
+    def test_non_positive_size_rejected(self):
         with pytest.raises(ValueError):
-            CostBenefitCache(2).insert("x", size=2)
+            CostBenefitCache(2).insert("x", size=0)
 
     def test_negative_benefit_rejected(self):
         with pytest.raises(ValueError):
@@ -106,3 +106,21 @@ class TestValidation:
         c.insert("a", cost=3.0)
         assert len(c) == 1
         assert c.value("a") == pytest.approx(30.0)
+
+    def test_growing_refresh_never_evicts_itself(self):
+        # Regression: a re-insert that grows and displaces incumbents
+        # used to trial-pop the refreshed key's own stale heap entry.
+        oracle = FrequencyOracle({"a": 1, "b": 5})
+        c = CostBenefitCache(4, frequency=oracle)
+        c.insert("a", cost=1.0, size=2)
+        c.insert("b", cost=0.5, size=2)  # density 1.25 < the refresh's 2.25
+        assert c.insert("a", cost=9.0, size=4) == ["b"]
+        assert c.contains("a") and not c.contains("b")
+        assert len(c) == 4
+
+    def test_oversized_refresh_drops_stale_copy(self):
+        c = CostBenefitCache(4)
+        c.insert("a", cost=1.0, size=2)
+        assert c.insert("a", cost=1.0, size=9) == ["a"]
+        assert not c.contains("a")
+        assert len(c) == 0

@@ -1,5 +1,7 @@
 """Tests for the greedy-dual policy against its defining invariants."""
 
+import random
+
 import pytest
 
 from repro.cache import GreedyDualCache
@@ -112,3 +114,105 @@ class TestGreedyDual:
     def test_zero_capacity(self):
         c = GreedyDualCache(0)
         assert c.insert("a") == ["a"]
+
+    def test_classic_gd_flag_ignores_size_in_credit(self):
+        c = GreedyDualCache(10, credit_by_size=False)
+        c.insert("big", cost=8.0, size=4)
+        c.insert("small", cost=8.0, size=1)
+        assert c.credit("big") == pytest.approx(8.0)
+        assert c.credit("small") == pytest.approx(8.0)
+
+    def test_growing_refresh_never_evicts_itself(self):
+        # Regression: a refresh-insert that grows and forces evictions
+        # used to crash (KeyError) when the refreshed key held the
+        # minimum credit — its stale heap entry was popped as a victim.
+        c = GreedyDualCache(4)
+        c.insert("a", cost=1.0, size=2)
+        c.insert("b", cost=9.0, size=2)
+        assert c.insert("a", cost=1.0, size=4) == ["b"]
+        assert c.contains("a") and not c.contains("b")
+        assert len(c) == 4
+
+    def test_oversized_refresh_drops_stale_copy(self):
+        # Regression: a refresh-insert that grows past the capacity must
+        # drop the cached copy, not keep serving the old version while
+        # reporting the key evicted.
+        c = GreedyDualCache(4)
+        c.insert("a", cost=1.0, size=2)
+        assert c.insert("a", cost=1.0, size=9) == ["a"]
+        assert not c.contains("a")
+        assert len(c) == 0
+        assert c.insert("b", cost=1.0, size=4) == []
+
+
+class NaiveGds:
+    """Brute-force greedy-dual(-size): linear-scan min, in-place credits.
+
+    The reference the O(log n) lazy-heap implementation is checked
+    against: same credit rule, eviction rule and inflation update, with
+    ties broken by insertion/refresh order (the heap's sequence number).
+    """
+
+    def __init__(self, capacity, credit_by_size=True):
+        self.capacity = capacity
+        self.credit_by_size = credit_by_size
+        self.L = 0.0
+        self.seq = 0
+        self.entries = {}  # key -> [credit, seq, size, cost]
+        self.used = 0
+
+    def _credit(self, cost, size):
+        return self.L + (cost / size if self.credit_by_size else cost)
+
+    def lookup(self, key):
+        e = self.entries.get(key)
+        if e is None:
+            return False
+        self.seq += 1
+        e[0] = self._credit(e[3], e[2])
+        e[1] = self.seq
+        return True
+
+    def insert(self, key, cost, size):
+        old = self.entries.pop(key, None)
+        if old is not None:
+            self.used -= old[2]
+        if size > self.capacity:
+            return [key]
+        evicted = []
+        while self.used + size > self.capacity:
+            victim = min(self.entries, key=lambda k: tuple(self.entries[k][:2]))
+            credit = self.entries[victim][0]
+            if credit > self.L:
+                self.L = credit
+            self.used -= self.entries.pop(victim)[2]
+            evicted.append(victim)
+        self.seq += 1
+        self.entries[key] = [self._credit(cost, size), self.seq, size, cost]
+        self.used += size
+        return evicted
+
+
+class TestAgainstNaiveGds:
+    @pytest.mark.parametrize("credit_by_size", [True, False])
+    def test_randomized_sized_run_matches_model(self, credit_by_size):
+        rng = random.Random(credit_by_size)
+        cache = GreedyDualCache(32, credit_by_size=credit_by_size)
+        model = NaiveGds(32, credit_by_size=credit_by_size)
+        for _ in range(4000):
+            key = f"k{rng.randrange(24)}"
+            if rng.random() < 0.4:
+                assert cache.lookup(key) == model.lookup(key)
+            else:
+                # Random float costs keep credits tie-free, so the
+                # eviction order is fully determined by the credit rule.
+                cost = rng.uniform(0.5, 10.0)
+                size = rng.randrange(1, 9)
+                assert cache.insert(key, cost=cost, size=size) == model.insert(
+                    key, cost=cost, size=size
+                )
+            assert len(cache) == model.used
+            assert cache.inflation == pytest.approx(model.L)
+            assert set(cache.keys()) == set(model.entries)
+            for k, e in model.entries.items():
+                assert cache.credit(k) == pytest.approx(e[0])

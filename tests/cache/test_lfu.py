@@ -94,6 +94,25 @@ class TestCommon:
         assert len(c) <= 5
         assert evicted  # something had to go
 
+    def test_growing_refresh_never_evicts_itself(self):
+        # Regression: a re-insert that grows and forces evictions used to
+        # crash (KeyError) when the refreshed key was the eviction
+        # candidate — its stale heap entry was popped as a victim.
+        c = LfuCache(4)
+        c.insert("a", size=2)
+        c.insert("b", size=2)
+        c.lookup("b")  # b now more frequent than a
+        assert c.insert("a", size=4) == ["b"]
+        assert c.contains("a") and not c.contains("b")
+        assert len(c) == 4
+
+    def test_oversized_refresh_drops_stale_copy(self):
+        c = LfuCache(4)
+        c.insert("a", size=2)
+        assert c.insert("a", size=9) == ["a"]
+        assert not c.contains("a")
+        assert len(c) == 0
+
     def test_contains_no_side_effect(self):
         c = LfuCache(2)
         c.insert("a")

@@ -71,6 +71,115 @@ class TestBasics:
         assert len(t) == 3
 
 
+class TestByteBudget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TopKTracker(1, budget=-1)
+        with pytest.raises(ValueError):
+            TopKTracker(1, budget=10).add("a", 1.0, size=0)
+
+    def test_partitions_by_value_within_budget(self):
+        t = TopKTracker(99, budget=5)
+        t.add("a", 3.0, size=3)
+        t.add("b", 1.0, size=3)  # does not fit next to a
+        t.add("c", 2.0, size=2)  # fits in the 2 leftover bytes
+        assert t.in_top("a") and t.in_top("c") and not t.in_top("b")
+        assert t.top_bytes == 5
+
+    def test_swap_when_better_value_fits(self):
+        t = TopKTracker(99, budget=4)
+        t.add("low", 1.0, size=4)
+        t.add("high", 9.0, size=4)  # swaps in: same bytes, higher value
+        assert t.in_top("high") and not t.in_top("low")
+        assert t.top_bytes == 4
+
+    def test_no_swap_that_would_overflow(self):
+        t = TopKTracker(99, budget=4)
+        t.add("small", 1.0, size=2)
+        t.add("tiny", 2.0, size=2)
+        t.add("big", 9.0, size=3)  # best value but no 3-byte hole
+        assert not t.in_top("big")
+        assert t.top_bytes <= 4
+
+    def test_update_keeps_size(self):
+        t = TopKTracker(99, budget=4)
+        t.add("a", 1.0, size=3)
+        t.update("a", 7.0)
+        assert t.in_top("a") and t.top_bytes == 3
+
+    def test_remove_releases_bytes_and_promotes(self):
+        t = TopKTracker(99, budget=4)
+        t.add("a", 5.0, size=4)
+        t.add("b", 1.0, size=4)
+        assert not t.in_top("b")
+        assert t.remove("a") is True
+        assert t.in_top("b") and t.top_bytes == 4
+        assert t.remove("a") is False
+
+    def test_zero_budget_tracks_but_never_tops(self):
+        t = TopKTracker(99, budget=0)
+        t.add("a", 9.0, size=1)
+        assert not t.in_top("a")
+        assert "a" in t and t.top_bytes == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["add", "remove"]),
+                st.integers(min_value=0, max_value=7),
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                st.integers(min_value=1, max_value=5),
+            ),
+            max_size=120,
+        ),
+        st.integers(min_value=0, max_value=12),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_budget_invariants(self, ops, budget):
+        t = TopKTracker(10**9, budget=budget)
+        model: dict[int, tuple[float, int]] = {}
+        for op, key, value, size in ops:
+            if op == "add":
+                t.add(key, value, size=size)
+                model[key] = (value, size)
+            else:
+                assert t.remove(key) == (key in model)
+                model.pop(key, None)
+            assert len(t) == len(model)
+            top = {k for k in model if t.in_top(k)}
+            assert t.top_bytes == sum(model[k][1] for k in top)
+            assert t.top_bytes <= budget
+            rest = set(model) - top
+            if rest:
+                # Greedy-by-value: the most valuable leftover either does
+                # not fit in the remaining budget, or (on a value tie
+                # with the top's worst) is not strictly better.
+                best = max(rest, key=lambda k: model[k][0])
+                fits = t.top_bytes + model[best][1] <= budget
+                beats = top and model[best][0] > min(model[k][0] for k in top)
+                assert not (fits and beats)
+
+    def test_unit_sizes_match_count_mode(self):
+        rng = random.Random(11)
+        count = TopKTracker(6)
+        budget = TopKTracker(6, budget=6)
+        model: dict[int, float] = {}
+        for _ in range(2000):
+            key = rng.randrange(30)
+            if rng.random() < 0.8:
+                v = rng.random() * 100
+                count.add(key, v)
+                budget.add(key, v, size=1)
+                model[key] = v
+            else:
+                assert count.remove(key) == budget.remove(key)
+                model.pop(key, None)
+            # Ties may place different keys; the value multisets agree.
+            count_top = sorted(model[k] for k in model if count.in_top(k))
+            budget_top = sorted(model[k] for k in model if budget.in_top(k))
+            assert count_top == budget_top
+
+
 class TestAgainstModel:
     @given(
         st.lists(

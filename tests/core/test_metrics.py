@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.core.metrics import SchemeResult, latency_gain
+from repro.core.metrics import (
+    SchemeResult,
+    byte_hit_rate,
+    byte_latency_gain,
+    latency_gain,
+)
 
 
 def result(mean, n=100, scheme="x", tiers=None):
@@ -78,3 +83,50 @@ class TestLatencyGain:
         empty = SchemeResult(scheme="nc", n_requests=0, total_latency=0.0)
         with pytest.raises(ValueError):
             latency_gain(result(1.0), empty)
+
+
+def sized_result(bytes_total, bytes_server, byte_latency, scheme="x"):
+    r = result(1.0, scheme=scheme)
+    r.extras.update(
+        bytes_total=bytes_total,
+        bytes_server=bytes_server,
+        byte_latency=byte_latency,
+    )
+    return r
+
+
+class TestByteMetrics:
+    def test_byte_hit_rate_definition(self):
+        r = sized_result(bytes_total=1000.0, bytes_server=250.0, byte_latency=1.0)
+        assert byte_hit_rate(r) == pytest.approx(0.75)
+
+    def test_byte_hit_rate_zero_window(self):
+        r = sized_result(bytes_total=0.0, bytes_server=0.0, byte_latency=0.0)
+        assert byte_hit_rate(r) == 0.0
+
+    def test_requires_byte_accounting(self):
+        plain = result(1.0)
+        with pytest.raises(ValueError, match="sizes enabled"):
+            byte_hit_rate(plain)
+        sized = sized_result(100.0, 0.0, 100.0)
+        with pytest.raises(ValueError, match="sizes enabled"):
+            byte_latency_gain(sized, plain)
+        with pytest.raises(ValueError, match="sizes enabled"):
+            byte_latency_gain(plain, sized)
+
+    def test_byte_latency_gain_definition(self):
+        nc = sized_result(1000.0, 900.0, 10_000.0, scheme="nc")  # mean 10
+        r = sized_result(1000.0, 100.0, 4_000.0)  # mean 4
+        assert byte_latency_gain(r, nc) == pytest.approx(0.6)
+
+    def test_byte_latency_gain_empty_window_rejected(self):
+        nc = sized_result(0.0, 0.0, 0.0, scheme="nc")
+        r = sized_result(100.0, 0.0, 100.0)
+        with pytest.raises(ValueError):
+            byte_latency_gain(r, nc)
+
+    def test_byte_latency_gain_nonpositive_baseline_rejected(self):
+        nc = sized_result(1000.0, 0.0, 0.0, scheme="nc")
+        r = sized_result(1000.0, 0.0, 100.0)
+        with pytest.raises(ValueError):
+            byte_latency_gain(r, nc)

@@ -82,12 +82,28 @@ class TestBakeoff:
             assert panels["hops"].get(ov).values[0] > 0.0
 
 
+class TestFigureSizes:
+    def test_panels_and_series(self):
+        from repro.experiments.figure_sizes import SIZED_SCHEMES, figure_sizes
+
+        panels = figure_sizes(scale=TINY, fractions=FRACS)
+        assert set(panels) == {"gain", "byte_hit", "byte_gain"}
+        gd_series = [*SIZED_SCHEMES, "hier-gd (gd)"]
+        assert panels["gain"].labels == gd_series
+        assert panels["byte_gain"].labels == gd_series
+        assert panels["byte_hit"].labels == ["nc", *gd_series]
+        assert panels["byte_hit"].y_label == "byte hit rate (%)"
+        for series in panels["byte_hit"].series:
+            assert all(0.0 <= v <= 100.0 for v in series.values)
+        assert "heavy-tailed object sizes" in panels["gain"].notes
+
+
 class TestCli:
     def test_registry_covers_every_figure(self):
         assert set(FIGURES) == {
             "fig2a", "fig2b", "fig3", "fig4",
             "fig5a", "fig5b", "fig5c", "fig5d", "robust", "bakeoff",
-            "frontier",
+            "frontier", "sizes",
         }
 
     def test_cli_runs_and_saves_csv(self, tmp_path, capsys, monkeypatch):

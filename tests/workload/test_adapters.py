@@ -83,6 +83,62 @@ class TestSquidAdapter:
         assert result.n_requests == len(trace)
 
 
+class TestObjectSizes:
+    def test_squid_sizes_largest_observation_wins(self):
+        trace, report = from_squid_log(SQUID)
+        assert trace.sizes is not None
+        # x.html observed at 19763, 500 and 100 bytes; the full body wins.
+        counts = trace.reference_counts()
+        x_html = int(counts.argmax())
+        assert trace.sizes[x_html] == 19763
+        assert trace.sizes[1 - x_html] == 900  # y.png
+        assert report.size_missing == 0
+
+    def test_zero_and_negative_counts_are_not_observations(self):
+        log = (
+            "1.0 10 c1 TCP_MISS/200 0 GET http://a.com/a - DIRECT/- -\n"
+            "2.0 10 c1 TCP_MISS/200 -1 GET http://a.com/a - DIRECT/- -\n"
+            "3.0 10 c1 TCP_MISS/200 400 GET http://a.com/b - DIRECT/- -\n"
+        )
+        trace, report = from_squid_log(log)
+        assert report.kept == 3
+        assert report.size_missing == 2
+        # Object a had no usable observation: median fallback (= b's 400).
+        assert sorted(trace.sizes.tolist()) == [400, 400]
+
+    def test_clf_dash_counts_as_missing(self):
+        trace, report = from_common_log(CLF)
+        assert report.size_missing == 1  # the 304's "-"
+        assert trace.sizes is not None
+        assert set(trace.sizes.tolist()) == {2326, 100}
+
+    def test_no_usable_sizes_falls_back_to_unit(self):
+        log = '10.0.0.1 - - [10/Oct/2000:13:55:36 -0700] "GET /a HTTP/1.0" 200 -\n'
+        trace, report = from_common_log(log)
+        assert report.size_missing == 1
+        assert trace.sizes.tolist() == [1]
+
+    def test_dropped_lines_do_not_count_size_missing(self):
+        # The 404 and the POST are dropped before size sanitisation.
+        _, report = from_squid_log(SQUID)
+        assert report.size_missing == 0
+
+    def test_sized_trace_runs_through_a_scheme(self):
+        from repro.core.config import SimulationConfig
+        from repro.core.schemes import NcScheme
+        from repro.workload import ProWGenConfig
+
+        trace, _ = from_squid_log(SQUID)
+        cfg = SimulationConfig(
+            workload=ProWGenConfig(n_requests=100, n_objects=10,
+                                   n_clients=trace.n_clients),
+            n_proxies=1,
+        )
+        result = NcScheme(cfg, [trace]).run()
+        assert result.n_requests == len(trace)
+        assert result.extras["bytes_total"] > 0
+
+
 class TestCommonLogAdapter:
     def test_parses_and_filters(self):
         trace, report = from_common_log(CLF)

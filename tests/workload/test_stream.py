@@ -77,6 +77,53 @@ class TestRoundTrip:
         assert len(back) == 0
         assert back.one_timer_fraction == 0.0
 
+    def test_sized_round_trip_is_version_2(self, tmp_path):
+        sizes = np.array([100, 2000, 64, 7], dtype=np.int64)
+        writer = ChunkedTraceWriter(
+            tmp_path / "s.ctrace", n_requests=5, n_objects=4, n_clients=2,
+            name="sized", sizes=sizes,
+        )
+        writer.append_objects(np.array([0, 1, 2, 3, 1]))
+        writer.append_clients(np.array([0, 1, 0, 1, 0], dtype=np.int32))
+        back = StreamingTrace.open(writer.close())
+        assert back.has_sizes is True
+        assert np.array_equal(back.sizes, sizes)
+        assert back.infinite_cache_bytes == 2000  # only object 1 repeats
+        assert np.array_equal(back.to_trace().sizes, sizes)
+        assert np.array_equal(back.head(3).sizes, sizes)
+
+    def test_size_free_file_stays_version_1(self, tmp_path):
+        import json
+
+        path = write_trace(tmp_path / "v1.ctrace", [0, 1], [0, 0])
+        header = json.loads(path.read_bytes()[:HEADER_BYTES].decode("ascii"))
+        assert header["version"] == 1
+        assert "sizes" not in header
+        back = StreamingTrace.open(path)
+        assert back.has_sizes is False and back.sizes is None
+
+    def test_sized_writer_validates_table_length(self, tmp_path):
+        with pytest.raises(ValueError):
+            ChunkedTraceWriter(
+                tmp_path / "bad.ctrace", n_requests=2, n_objects=3,
+                n_clients=1, sizes=np.array([1, 2]),
+            )
+
+    def test_truncated_sized_trace_refused(self, tmp_path):
+        writer = ChunkedTraceWriter(
+            tmp_path / "t.ctrace", n_requests=2, n_objects=2, n_clients=1,
+            sizes=np.array([10, 20]),
+        )
+        writer.append_objects(np.array([0, 1]))
+        writer.append_clients(np.array([0, 0], dtype=np.int32))
+        path = writer.close()
+        # Chop off the appended size table: the header's promised length
+        # no longer matches and the reader must refuse.
+        with path.open("r+b") as fh:
+            fh.truncate(path.stat().st_size - 8)
+        with pytest.raises(TruncatedTraceError):
+            StreamingTrace.open(path)
+
 
 class TestChunkBoundaries:
     def test_iter_chunks_covers_exactly_once(self, tmp_path):

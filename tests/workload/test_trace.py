@@ -63,6 +63,25 @@ class TestStatistics:
         t = mk([0, 1, 1], n_objects=5)
         assert t.frequency_table() == {0: 1, 1: 2}
 
+    def test_infinite_cache_bytes(self):
+        t = mk([0, 1, 1, 2, 2], n_objects=3)
+        assert t.infinite_cache_bytes == 2  # unit sizes: == object count
+        t.sizes = np.array([7, 100, 1000])
+        t.__post_init__()
+        assert t.infinite_cache_bytes == 1100  # objects 1 and 2
+
+    def test_sizes_validation(self):
+        with pytest.raises(ValueError):
+            Trace(
+                np.array([0, 1]), np.zeros(2, dtype=np.int32), 2, 1,
+                sizes=np.array([5]),  # wrong length
+            )
+        with pytest.raises(ValueError):
+            Trace(
+                np.array([0, 1]), np.zeros(2, dtype=np.int32), 2, 1,
+                sizes=np.array([5, 0]),  # non-positive
+            )
+
 
 class TestIO:
     def test_roundtrip(self, tmp_path):
@@ -85,6 +104,35 @@ class TestIO:
     def test_load_rejects_foreign_file(self, tmp_path):
         p = tmp_path / "x.txt"
         p.write_text("not a trace\n")
+        with pytest.raises(ValueError):
+            Trace.load(p)
+
+    def test_sized_roundtrip_is_version_2(self, tmp_path):
+        t = mk([0, 1, 2, 1], n_objects=3)
+        t.sizes = np.array([100, 2000, 64])
+        t.__post_init__()
+        p = tmp_path / "s.trace"
+        t.save(p)
+        assert p.read_text().startswith("# repro-trace v2")
+        back = Trace.load(p)
+        assert np.array_equal(back.sizes, [100, 2000, 64])
+        assert np.array_equal(back.object_ids, t.object_ids)
+
+    def test_size_free_file_stays_version_1(self, tmp_path):
+        t = mk([0, 1])
+        p = tmp_path / "v1.trace"
+        t.save(p)
+        assert p.read_text().startswith("# repro-trace v1")
+        assert Trace.load(p).sizes is None
+
+    def test_v2_without_sizes_line_rejected(self, tmp_path):
+        t = mk([0, 1, 2, 1], n_objects=3)
+        t.sizes = np.array([1, 2, 3])
+        t.__post_init__()
+        p = tmp_path / "bad.trace"
+        t.save(p)
+        lines = p.read_text().splitlines(keepends=True)
+        p.write_text("".join(line for line in lines if not line.startswith("# sizes=")))
         with pytest.raises(ValueError):
             Trace.load(p)
 
